@@ -1,0 +1,29 @@
+//! E5 microbench: the running-example module (Examples 2.3/3.8) —
+//! preprocessing and enumeration throughput across degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::colored;
+use lowdeg_core::bluered::BlueRed;
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use std::time::Duration;
+
+fn bench_bluered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bluered");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 1usize << 13;
+    for d in [4usize, 16, 64] {
+        let s = colored(n, DegreeClass::Bounded(d), d as u64);
+        g.bench_with_input(BenchmarkId::new("preprocess", d), &d, |b, _| {
+            b.iter(|| BlueRed::build(&s, Epsilon::new(0.5)))
+        });
+        let br = BlueRed::build(&s, Epsilon::new(0.5));
+        g.bench_with_input(BenchmarkId::new("enumerate_50k", d), &d, |b, _| {
+            b.iter(|| br.enumerate().take(50_000).count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bluered);
+criterion_main!(benches);

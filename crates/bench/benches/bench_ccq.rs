@@ -1,0 +1,48 @@
+//! E8 microbench: Lemma 3.1 connected-CQ evaluation across n, plus the
+//! naive oracle at a size where it is still feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::colored;
+use lowdeg_core::connected_cq::evaluate_connected;
+use lowdeg_gen::DegreeClass;
+use lowdeg_logic::eval::answers_naive;
+use lowdeg_logic::{parse_query, Formula};
+use std::time::Duration;
+
+fn split(q: &lowdeg_logic::Query) -> (Vec<lowdeg_logic::Var>, Vec<lowdeg_logic::Var>, Vec<Formula>) {
+    match &q.formula {
+        Formula::Exists(vs, body) => {
+            let parts = match &**body {
+                Formula::And(ps) => ps.clone(),
+                other => vec![other.clone()],
+            };
+            (q.free.clone(), vs.clone(), parts)
+        }
+        Formula::And(ps) => (q.free.clone(), vec![], ps.clone()),
+        other => (q.free.clone(), vec![], vec![other.clone()]),
+    }
+}
+
+fn bench_ccq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connected_cq");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let s = colored(n, DegreeClass::Bounded(4), n as u64);
+        let q = parse_query(s.signature(), "exists z. E(x, z) & E(z, y)").expect("parses");
+        let (free, exists, parts) = split(&q);
+        g.bench_with_input(BenchmarkId::new("lemma_3_1/path2", n), &n, |b, _| {
+            b.iter(|| evaluate_connected(&s, &free, &exists, &parts).expect("connected"))
+        });
+    }
+    // the naive oracle, small n only (it is O(n^3) here)
+    let n = 256usize;
+    let s = colored(n, DegreeClass::Bounded(4), 3);
+    let q = parse_query(s.signature(), "exists z. E(x, z) & E(z, y)").expect("parses");
+    g.bench_function("naive_oracle/path2/n=256", |b| {
+        b.iter(|| answers_naive(&s, &q))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ccq);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E2 microbench: Theorem 2.5 counting through the full pipeline, and the
+//! Lemma 3.5 inclusion–exclusion with a growing number of negated binary
+//! atoms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
+use lowdeg_core::counting::count_conjunction;
+use lowdeg_core::Engine;
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::{parse_query, Formula};
+use std::time::Duration;
+
+fn bench_pipeline_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting/pipeline");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [1usize << 10, 1 << 12] {
+        let s = colored(n, DegreeClass::Bounded(4), n as u64);
+        let q = parse_query(s.signature(), RUNNING_EXAMPLE).expect("parses");
+        g.bench_with_input(BenchmarkId::new("build_and_count", n), &n, |b, _| {
+            b.iter(|| {
+                Engine::build(&s, &q, Epsilon::new(0.5))
+                    .expect("localizable")
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inclusion_exclusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting/lemma_3_5");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let n = 1usize << 12;
+    let s = colored(n, DegreeClass::Bounded(4), 5);
+    let queries = [
+        (1usize, "B(x) & R(y) & !E(x, y)"),
+        (3, "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)"),
+    ];
+    for (m, src) in queries {
+        let q = parse_query(s.signature(), src).expect("parses");
+        let parts = match &q.formula {
+            Formula::And(parts) => parts.clone(),
+            other => vec![other.clone()],
+        };
+        g.bench_with_input(BenchmarkId::new("neg_atoms", m), &m, |b, _| {
+            b.iter(|| count_conjunction(&s, &q.free, &parts).expect("well-formed"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_count, bench_inclusion_exclusion);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E4 microbench: Theorem 2.7 enumeration — preprocessing, first-answer
+//! latency, and bounded-prefix enumeration throughput vs the
+//! generate-and-test baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
+use lowdeg_core::naive::GenerateAndTest;
+use lowdeg_core::Engine;
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::parse_query;
+use std::time::Duration;
+
+fn bench_enum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [1usize << 11, 1 << 13] {
+        let s = colored(n, DegreeClass::Bounded(6), n as u64);
+        let q = parse_query(s.signature(), RUNNING_EXAMPLE).expect("parses");
+        g.bench_with_input(BenchmarkId::new("preprocess", n), &n, |b, _| {
+            b.iter(|| Engine::build(&s, &q, Epsilon::new(0.5)).expect("localizable"))
+        });
+        let engine = Engine::build(&s, &q, Epsilon::new(0.5)).expect("localizable");
+        g.bench_with_input(BenchmarkId::new("first_answer", n), &n, |b, _| {
+            b.iter(|| engine.enumerate().next())
+        });
+        g.bench_with_input(BenchmarkId::new("skip_10k_outputs", n), &n, |b, _| {
+            b.iter(|| engine.enumerate().take(10_000).count())
+        });
+        g.bench_with_input(BenchmarkId::new("naive_10k_outputs", n), &n, |b, _| {
+            b.iter(|| GenerateAndTest::new(&s, &q).take(10_000).count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_enum);
+criterion_main!(benches);

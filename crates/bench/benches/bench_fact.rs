@@ -1,0 +1,59 @@
+//! E7 microbench: Corollary 2.2 constant-time fact tests vs adjacency scan
+//! and sorted-relation binary search, across degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::colored;
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::{Epsilon, FactIndex};
+use lowdeg_storage::Node;
+use std::time::Duration;
+
+const N: usize = 1 << 13;
+
+fn probes() -> Vec<[Node; 2]> {
+    (0..1024u64)
+        .map(|i| {
+            [
+                Node((i.wrapping_mul(2654435761) % N as u64) as u32),
+                Node((i.wrapping_mul(40503) % N as u64) as u32),
+            ]
+        })
+        .collect()
+}
+
+fn bench_fact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fact_test");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let ps = probes();
+    for d in [4usize, 32, 128] {
+        let s = colored(N, DegreeClass::Bounded(d), d as u64);
+        let e = s.signature().rel("E").expect("E");
+        let idx = FactIndex::build(&s, Epsilon::new(0.5));
+        let gaif = s.gaifman().clone();
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("fact_index", d), &d, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ps.len();
+                std::hint::black_box(idx.holds(e, &ps[i]))
+            })
+        });
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("adjacency_scan", d), &d, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ps.len();
+                std::hint::black_box(gaif.neighbors(ps[i][0]).contains(&ps[i][1]))
+            })
+        });
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("binary_search", d), &d, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ps.len();
+                std::hint::black_box(s.holds(e, &ps[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fact);
+criterion_main!(benches);

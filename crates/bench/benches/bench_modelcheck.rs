@@ -1,0 +1,33 @@
+//! E1 microbench: Theorem 2.4 model checking of basic-local sentences
+//! across degree classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::colored;
+use lowdeg_core::Engine;
+use lowdeg_gen::DegreeClass;
+use lowdeg_logic::parse_query;
+use std::time::Duration;
+
+fn bench_modelcheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_check");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let sentences = [
+        ("connected", "exists x y. B(x) & R(y) & E(x, y)"),
+        ("scattered_l2", "exists u v. B(u) & B(v) & dist(u, v) > 4"),
+    ];
+    for (label, src) in sentences {
+        for n in [1usize << 11, 1 << 13] {
+            let s = colored(n, DegreeClass::Bounded(4), n as u64);
+            let q = parse_query(s.signature(), src).expect("parses");
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| b.iter(|| Engine::model_check(&s, &q).expect("localizable")),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modelcheck);
+criterion_main!(benches);

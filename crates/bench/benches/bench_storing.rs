@@ -1,0 +1,81 @@
+//! E6 microbench: the Storing Theorem store (Thm 2.1) vs hash/btree
+//! baselines — build and lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_index::{Epsilon, HashFuncStore, RadixFuncStore};
+use lowdeg_storage::Node;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const N: usize = 1 << 18;
+const KEYS: usize = 50_000;
+
+fn entries() -> Vec<(Vec<Node>, u32)> {
+    (0..KEYS as u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(2654435761) % N as u64) as u32;
+            let b = (i.wrapping_mul(97_003) % N as u64) as u32;
+            (vec![Node(a), Node(b)], i as u32)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let data = entries();
+    let mut g = c.benchmark_group("storing/build");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for eps in [0.1, 0.25, 0.5] {
+        g.bench_with_input(BenchmarkId::new("radix", eps), &eps, |b, &eps| {
+            b.iter(|| RadixFuncStore::build(N, 2, Epsilon::new(eps), data.iter().cloned()))
+        });
+    }
+    g.bench_function("fxhash", |b| {
+        b.iter(|| HashFuncStore::build(2, data.iter().cloned()))
+    });
+    g.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut m: BTreeMap<Vec<Node>, u32> = BTreeMap::new();
+            for (k, v) in &data {
+                m.insert(k.clone(), *v);
+            }
+            m
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let data = entries();
+    let radix = RadixFuncStore::build(N, 2, Epsilon::new(0.5), data.iter().cloned());
+    let hash = HashFuncStore::build(2, data.iter().cloned());
+    let btree: BTreeMap<Vec<Node>, u32> =
+        data.iter().map(|(k, v)| (k.clone(), *v)).collect();
+
+    let mut g = c.benchmark_group("storing/lookup");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    let mut i = 0usize;
+    g.bench_function("radix", |b| {
+        b.iter(|| {
+            i = (i + 1) % data.len();
+            std::hint::black_box(radix.get(&data[i].0))
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function("fxhash", |b| {
+        b.iter(|| {
+            i = (i + 1) % data.len();
+            std::hint::black_box(hash.get(&data[i].0))
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function("btree", |b| {
+        b.iter(|| {
+            i = (i + 1) % data.len();
+            std::hint::black_box(btree.get(&data[i].0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E3 microbench: Theorem 2.6 constant-time membership tests — the
+//! per-test latency must not move as n quadruples, while the naive test of
+//! a quantified query pays O(n) per probe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdeg_bench::workloads::{colored, TWO_HOP};
+use lowdeg_core::Engine;
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::eval::check_naive;
+use lowdeg_logic::parse_query;
+use lowdeg_storage::Node;
+use std::time::Duration;
+
+fn bench_testing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testing");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    for n in [1usize << 10, 1 << 12] {
+        let s = colored(n, DegreeClass::Bounded(2), n as u64);
+        let q = parse_query(s.signature(), TWO_HOP).expect("parses");
+        let engine = Engine::build(&s, &q, Epsilon::new(0.5)).expect("localizable");
+        let probes: Vec<[Node; 2]> = (0..512u64)
+            .map(|i| {
+                [
+                    Node((i.wrapping_mul(2654435761) % n as u64) as u32),
+                    Node((i.wrapping_mul(40503) % n as u64) as u32),
+                ]
+            })
+            .collect();
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("engine_test", n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(engine.test(&probes[i]))
+            })
+        });
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("naive_test", n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(check_naive(&s, &q, &probes[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_testing);
+criterion_main!(benches);

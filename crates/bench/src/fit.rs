@@ -1,0 +1,83 @@
+//! Least-squares scaling-exponent fits on log–log data.
+//!
+//! The pseudo-linear claims predict that preprocessing/counting time over a
+//! geometric `n` grid has `log t` vs `log n` slope ≤ 1 + ε (plus lower-order
+//! noise); the constant-time/constant-delay claims predict slope ≈ 0. Every
+//! experiment table reports this fitted exponent.
+
+/// Least-squares slope of `ln(y)` against `ln(x)`.
+///
+/// Returns `None` for fewer than two points or non-positive data.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            if x <= 0.0 || y <= 0.0 {
+                (f64::NAN, f64::NAN)
+            } else {
+                (x.ln(), y.ln())
+            }
+        })
+        .collect();
+    if logs.iter().any(|&(x, y)| x.is_nan() || y.is_nan()) {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Convenience: fit from `(n, duration-in-seconds)` samples.
+pub fn slope_of_times(samples: &[(usize, std::time::Duration)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|&(n, d)| (n as f64, d.as_secs_f64()))
+        .collect();
+    loglog_slope(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_slope() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        let s = loglog_slope(&pts).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn exact_quadratic_slope() {
+        let pts: Vec<(f64, f64)> = (1..=5)
+            .map(|i| (i as f64, (i * i) as f64))
+            .collect();
+        let s = loglog_slope(&pts).unwrap();
+        assert!((s - 2.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn constant_slope_is_zero() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 7.0)).collect();
+        let s = loglog_slope(&pts).unwrap();
+        assert!(s.abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(1.0, 1.0)]).is_none());
+        assert!(loglog_slope(&[(1.0, 0.0), (2.0, 1.0)]).is_none());
+        assert!(loglog_slope(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Implementation of the `lowdeg` command-line interface (see `main.rs`),
+//! factored into a library for testability: [`run`] takes the argument
+//! vector and a writer, so the test suite can drive every command without
+//! spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lowdeg_core::Engine;
+use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+use lowdeg_index::Epsilon;
+use lowdeg_logic::parse_query;
+use lowdeg_storage::{parse_edge_list, parse_structure, write_structure, Node, Structure};
+use std::io::Write;
+
+/// Execute one CLI invocation; `args` excludes the program name.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let eps = extract_eps(&mut args)?;
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let rest: Vec<String> = it.collect();
+    let w = |e: std::io::Error| format!("write error: {e}");
+
+    match cmd.as_str() {
+        "stats" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            writeln!(out, "domain:  {}", db.cardinality()).map_err(w)?;
+            writeln!(out, "size:    {} (norm)", db.size()).map_err(w)?;
+            writeln!(out, "degree:  {}", db.degree()).map_err(w)?;
+            writeln!(out, "mean degree: {:.2}", db.gaifman().mean_degree()).map_err(w)?;
+            let (_, comps) = db.gaifman().components();
+            writeln!(out, "components: {comps}").map_err(w)?;
+            writeln!(out, "schema:  {}", db.signature()).map_err(w)?;
+            for rel in db.signature().rel_ids() {
+                writeln!(
+                    out,
+                    "  {}: {} facts",
+                    db.signature().name(rel),
+                    db.relation(rel).len()
+                )
+                .map_err(w)?;
+            }
+            Ok(())
+        }
+        "check" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
+            if !q.is_sentence() {
+                return Err(format!(
+                    "`check` needs a sentence; this query has {} free variables",
+                    q.arity()
+                ));
+            }
+            let ok = Engine::model_check(&db, &q).map_err(|e| e.to_string())?;
+            writeln!(out, "{ok}").map_err(w)?;
+            Ok(())
+        }
+        "explain" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
+            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            write!(out, "{}", engine.explain()).map_err(w)?;
+            Ok(())
+        }
+        "count" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
+            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", engine.count()).map_err(w)?;
+            Ok(())
+        }
+        "test" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
+            let tuple: Vec<Node> = rest[2..]
+                .iter()
+                .map(|s| s.parse::<u32>().map(Node))
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("bad node id: {e}"))?;
+            if tuple.len() != q.arity() {
+                return Err(format!(
+                    "query has arity {}, {} nodes given",
+                    q.arity(),
+                    tuple.len()
+                ));
+            }
+            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", engine.test(&tuple)).map_err(w)?;
+            Ok(())
+        }
+        "enumerate" => {
+            let db = load(rest.first().ok_or_else(usage)?)?;
+            let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
+            let limit: usize = match rest.get(2) {
+                Some(s) => s.parse().map_err(|e| format!("bad limit: {e}"))?,
+                None => usize::MAX,
+            };
+            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            let mut emitted = 0usize;
+            for t in engine.enumerate().take(limit) {
+                let row: Vec<String> = t.iter().map(|n| n.to_string()).collect();
+                writeln!(out, "{}", row.join("\t")).map_err(w)?;
+                emitted += 1;
+            }
+            writeln!(out, "# {emitted} answers").map_err(w)?;
+            Ok(())
+        }
+        "generate" => {
+            let n: usize = parse_arg(&rest, 0, "n")?;
+            let degree: usize = parse_arg(&rest, 1, "degree")?;
+            let seed: u64 = parse_arg(&rest, 2, "seed")?;
+            let s = ColoredGraphSpec::balanced(n, DegreeClass::Bounded(degree)).generate(seed);
+            let text = write_structure(&s);
+            match rest.get(3) {
+                Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+                None => out.write_all(text.as_bytes()).map_err(w)?,
+            }
+            Ok(())
+        }
+        "import-edges" => {
+            // convert a SNAP-style edge list into the native text format
+            let src = rest.first().ok_or_else(usage)?;
+            let text = std::fs::read_to_string(src).map_err(|e| format!("reading {src}: {e}"))?;
+            let s = parse_edge_list(&text).map_err(|e| e.to_string())?;
+            let native = write_structure(&s);
+            match rest.get(1) {
+                Some(path) => std::fs::write(path, native).map_err(|e| e.to_string())?,
+                None => out.write_all(native.as_bytes()).map_err(w)?,
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn parse_arg<T: std::str::FromStr>(rest: &[String], i: usize, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    rest.get(i)
+        .ok_or_else(usage)?
+        .parse()
+        .map_err(|e| format!("bad {what}: {e}"))
+}
+
+fn extract_eps(args: &mut Vec<String>) -> Result<Epsilon, String> {
+    if let Some(i) = args.iter().position(|a| a == "--eps") {
+        if i + 1 >= args.len() {
+            return Err("--eps needs a value".into());
+        }
+        let v: f64 = args[i + 1]
+            .parse()
+            .map_err(|e| format!("bad --eps value: {e}"))?;
+        let eps = Epsilon::try_new(v).ok_or("--eps must satisfy 0 < eps <= 4")?;
+        args.drain(i..=i + 1);
+        Ok(eps)
+    } else {
+        Ok(Epsilon::default_eps())
+    }
+}
+
+fn load(path: &str) -> Result<Structure, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_structure(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn query(db: &Structure, src: &str) -> Result<lowdeg_logic::Query, String> {
+    parse_query(db.signature(), src).map_err(|e| e.to_string())
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "usage:
+  lowdeg stats        <db>
+  lowdeg check        <db> '<sentence>'
+  lowdeg explain      <db> '<query>'
+  lowdeg count        <db> '<query>'
+  lowdeg test         <db> '<query>' <node>...
+  lowdeg enumerate    <db> '<query>' [limit]
+  lowdeg generate     <n> <degree> <seed> [path]
+  lowdeg import-edges <edge-list> [path]
+options: --eps <x>   pseudo-linearity parameter (default 0.25)"
+        .into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp_db() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "lowdeg_cli_test_{}.db",
+            std::process::id()
+        ));
+        let text = "domain 5\nrel E 2\nrel B 1\nrel R 1\nE 0 1\nE 1 0\nB 0\nB 2\nR 1\nR 3\n";
+        std::fs::write(&path, text).expect("temp writable");
+        path
+    }
+
+    #[test]
+    fn stats_command() {
+        let db = temp_db();
+        let out = run_str(&["stats", db.to_str().unwrap()]).unwrap();
+        assert!(out.contains("domain:  5"));
+        assert!(out.contains("E: 2 facts"));
+        assert!(out.contains("components:"));
+    }
+
+    #[test]
+    fn count_and_enumerate_agree() {
+        let db = temp_db();
+        let q = "B(x) & R(y) & !E(x, y)";
+        let count: u64 = run_str(&["count", db.to_str().unwrap(), q])
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let enumerated = run_str(&["enumerate", db.to_str().unwrap(), q]).unwrap();
+        let rows = enumerated.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(rows as u64, count);
+        // blues {0,2} × reds {1,3} minus the (0,1) edge = 3
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn test_command() {
+        let db = temp_db();
+        let q = "B(x) & R(y) & !E(x, y)";
+        assert_eq!(
+            run_str(&["test", db.to_str().unwrap(), q, "0", "3"]).unwrap().trim(),
+            "true"
+        );
+        assert_eq!(
+            run_str(&["test", db.to_str().unwrap(), q, "0", "1"]).unwrap().trim(),
+            "false"
+        );
+        assert!(run_str(&["test", db.to_str().unwrap(), q, "0"]).is_err());
+    }
+
+    #[test]
+    fn check_command() {
+        let db = temp_db();
+        let out = run_str(&["check", db.to_str().unwrap(), "exists x. B(x) & R(x)"]).unwrap();
+        assert_eq!(out.trim(), "false");
+        // free variables rejected
+        assert!(run_str(&["check", db.to_str().unwrap(), "B(x)"]).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload() {
+        let out = run_str(&["generate", "50", "3", "7"]).unwrap();
+        let s = parse_structure(&out).unwrap();
+        assert_eq!(s.cardinality(), 50);
+        assert!(s.degree() <= 3);
+    }
+
+    #[test]
+    fn import_edges_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "lowdeg_cli_edges_{}.txt",
+            std::process::id()
+        ));
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let out = run_str(&["import-edges", path.to_str().unwrap()]).unwrap();
+        let s = parse_structure(&out).unwrap();
+        assert_eq!(s.cardinality(), 3);
+        let e = s.signature().rel("E").unwrap();
+        assert_eq!(s.relation(e).len(), 4); // symmetrized
+    }
+
+    #[test]
+    fn eps_flag_parsed_and_validated() {
+        let db = temp_db();
+        let ok = run_str(&["--eps", "0.3", "count", db.to_str().unwrap(), "B(x)"]).unwrap();
+        assert_eq!(ok.trim(), "2");
+        assert!(run_str(&["--eps", "0", "count", db.to_str().unwrap(), "B(x)"]).is_err());
+        assert!(run_str(&["--eps"]).is_err());
+    }
+
+    #[test]
+    fn explain_command() {
+        let db = temp_db();
+        let out = run_str(&["explain", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]).unwrap();
+        assert!(out.contains("arity: 2"));
+        assert!(out.contains("colored graph:"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_str(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("usage:"));
+    }
+}

@@ -1,0 +1,552 @@
+//! Counting answers: Lemma 3.5 and Proposition 3.6 (Theorem 2.5).
+//!
+//! The reduced query is a disjunction of mutually exclusive clauses, so
+//! `|ψ(G)| = Σ_j |θ_j(G)|`. Each clause is a *generalized conjunction*
+//! (colors per position plus pairwise `¬E`); its count is obtained by the
+//! paper's inclusion–exclusion on negated binary atoms —
+//! `|γ₁ ∧ ¬E| = |γ₁| − |γ₁ ∧ E|` — recursing until only positive atoms
+//! remain, at which point the query graph splits into connected components,
+//! each counted by Lemma 3.1 ([`crate::connected_cq`]) and multiplied.
+
+use crate::connected_cq::{count_connected, ConnectedError};
+use crate::graph_query::{GraphClause, GraphQuery};
+use lowdeg_logic::{DistCmp, Formula, Var};
+use lowdeg_storage::Structure;
+use std::collections::BTreeSet;
+
+/// Count the answers of a *generalized conjunction* (Lemma 3.5): conjuncts
+/// may be positive atoms, negated atoms of any arity, equalities and
+/// distance guards, over the answer variables `free` (no existentials).
+///
+/// Runtime `O(2^m · |γ| · n · d^h)` where `m` counts the negated non-unary
+/// conjuncts.
+pub fn count_conjunction(
+    structure: &Structure,
+    free: &[Var],
+    conjuncts: &[Formula],
+) -> Result<u64, ConnectedError> {
+    // find a negated binary-or-wider atom / negated equality / far-distance
+    // guard to eliminate
+    let target = conjuncts.iter().position(|c| match c {
+        Formula::Not(inner) => match &**inner {
+            Formula::Atom { args, .. } => args.len() >= 2,
+            Formula::Eq(..) => true,
+            _ => false,
+        },
+        Formula::Dist {
+            cmp: DistCmp::Greater,
+            ..
+        } => true,
+        _ => false,
+    });
+
+    match target {
+        Some(i) => {
+            // γ = γ₁ ∧ ¬α  ⇒  |γ| = |γ₁| − |γ₁ ∧ α|
+            let mut without: Vec<Formula> = conjuncts.to_vec();
+            let negated = without.remove(i);
+            let positive = match &negated {
+                Formula::Not(inner) => (**inner).clone(),
+                Formula::Dist { x, y, r, .. } => Formula::Dist {
+                    x: *x,
+                    y: *y,
+                    cmp: DistCmp::LessEq,
+                    r: *r,
+                },
+                _ => unreachable!("target matched a negated shape"),
+            };
+            let mut with: Vec<Formula> = without.clone();
+            with.push(positive);
+            let a = count_conjunction(structure, free, &without)?;
+            let b = count_conjunction(structure, free, &with)?;
+            debug_assert!(a >= b, "positive refinement cannot grow the count");
+            Ok(a - b)
+        }
+        None => count_positive(structure, free, conjuncts),
+    }
+}
+
+/// Base case: only positive atoms, (negated) unary atoms, equalities and
+/// `≤`-distance guards remain. Split into connected components of the query
+/// graph and multiply the per-component counts (Lemma 3.1 per component).
+fn count_positive(
+    structure: &Structure,
+    free: &[Var],
+    conjuncts: &[Formula],
+) -> Result<u64, ConnectedError> {
+    // constants short-circuit
+    if conjuncts.iter().any(|c| matches!(c, Formula::False)) {
+        return Ok(0);
+    }
+    let conjuncts: Vec<&Formula> = conjuncts
+        .iter()
+        .filter(|c| !matches!(c, Formula::True))
+        .collect();
+
+    // union-find over `free` using positive links
+    let idx_of = |v: Var| {
+        free.iter()
+            .position(|&w| w == v)
+            .expect("conjunct variables must be answer variables")
+    };
+    let mut parent: Vec<usize> = (0..free.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for c in &conjuncts {
+        let vars: Vec<Var> = c.free_vars();
+        for w in vars.windows(2) {
+            let (a, b) = (find(&mut parent, idx_of(w[0])), find(&mut parent, idx_of(w[1])));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+
+    // group positions and conjuncts by component
+    let mut roots: Vec<usize> = (0..free.len()).map(|i| find(&mut parent, i)).collect();
+    let distinct: BTreeSet<usize> = roots.iter().copied().collect();
+    let mut total: u64 = 1;
+    for root in distinct {
+        let comp_vars: Vec<Var> = (0..free.len())
+            .filter(|&i| roots[i] == root)
+            .map(|i| free[i])
+            .collect();
+        let comp_conjuncts: Vec<Formula> = conjuncts
+            .iter()
+            .filter(|c| {
+                c.free_vars()
+                    .first()
+                    .map(|&v| roots[idx_of(v)] == root)
+                    .unwrap_or(false)
+            })
+            .map(|c| (*c).clone())
+            .collect();
+        let count = if comp_conjuncts.is_empty() {
+            // unconstrained position: every node qualifies
+            debug_assert_eq!(comp_vars.len(), 1);
+            structure.cardinality() as u64
+        } else {
+            count_connected(structure, &comp_vars, &[], &comp_conjuncts)?
+        };
+        total = total.saturating_mul(count);
+        if total == 0 {
+            return Ok(0);
+        }
+    }
+    roots.clear();
+    Ok(total)
+}
+
+/// A bitset over graph vertices, used for constant-time color-list
+/// membership during clause counting.
+struct NodeSet {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl NodeSet {
+    fn from_sorted(n: usize, list: &[lowdeg_storage::Node]) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for v in list {
+            words[v.index() / 64] |= 1 << (v.index() % 64);
+        }
+        NodeSet {
+            words,
+            len: list.len() as u64,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: lowdeg_storage::Node) -> bool {
+        self.words[v.index() / 64] >> (v.index() % 64) & 1 == 1
+    }
+}
+
+/// Count the answers of one reduced clause `θ_j` over the colored graph:
+/// per-position colors plus the pairwise `¬E` of `ψ₁`.
+///
+/// This is Lemma 3.5 specialized to the reduced shape, with the base cases
+/// walking adjacency lists instead of materializing neighborhoods: after
+/// the inclusion–exclusion rewrites, each term's positive part is a set of
+/// `E`-edges; its connected components are counted by rooting at the
+/// position with the smallest candidate list and extending along adjacency.
+pub fn count_clause(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+) -> Result<u64, ConnectedError> {
+    let adjacency = crate::enumerate::EdgeAdjacency::build(graph, gq.edge);
+    Ok(count_clause_with(graph, gq, clause, &adjacency))
+}
+
+/// [`count_clause`] with a shared adjacency (avoids rebuilding it per
+/// clause).
+pub fn count_clause_with(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+) -> u64 {
+    let k = gq.k;
+    let n = graph.cardinality();
+    let lists: Vec<Vec<lowdeg_storage::Node>> = (0..k)
+        .map(|i| crate::graph_query::position_list(graph, &clause.colors[i]))
+        .collect();
+    let sets: Vec<NodeSet> = lists.iter().map(|l| NodeSet::from_sorted(n, l)).collect();
+
+    // all unordered position pairs start negated; inclusion–exclusion flips
+    // them to positive edges one by one
+    let neg: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+        .collect();
+    ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
+}
+
+fn ie_count(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    pos_edges: &mut Vec<(usize, usize)>,
+    neg: &[(usize, usize)],
+) -> u64 {
+    match neg.split_first() {
+        Some((&pair, rest)) => {
+            let without = ie_count(adjacency, lists, sets, pos_edges, rest);
+            pos_edges.push(pair);
+            let with = ie_count(adjacency, lists, sets, pos_edges, rest);
+            pos_edges.pop();
+            debug_assert!(without >= with);
+            without - with
+        }
+        None => count_positive_clause(adjacency, lists, sets, pos_edges),
+    }
+}
+
+/// Base case: per-position candidate sets plus positive `E`-edges. Split
+/// into connected components of the edge set; each component is counted by
+/// assigning its positions in a BFS order rooted at the smallest list, so
+/// every non-root position draws candidates from a neighbor's adjacency
+/// list.
+fn count_positive_clause(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    pos_edges: &[(usize, usize)],
+) -> u64 {
+    let k = lists.len();
+    // components over positions
+    let mut comp: Vec<usize> = (0..k).collect();
+    fn find(comp: &mut Vec<usize>, i: usize) -> usize {
+        if comp[i] != i {
+            let r = find(comp, comp[i]);
+            comp[i] = r;
+        }
+        comp[i]
+    }
+    for &(i, j) in pos_edges {
+        let (a, b) = (find(&mut comp, i), find(&mut comp, j));
+        if a != b {
+            comp[a] = b;
+        }
+    }
+    let roots: Vec<usize> = (0..k).map(|i| find(&mut comp, i)).collect();
+    let distinct: std::collections::BTreeSet<usize> = roots.iter().copied().collect();
+
+    let mut total: u64 = 1;
+    for root in distinct {
+        let members: Vec<usize> = (0..k).filter(|&i| roots[i] == root).collect();
+        let c = if members.len() == 1 {
+            sets[members[0]].len
+        } else {
+            count_component(adjacency, lists, sets, pos_edges, &members)
+        };
+        total = total.saturating_mul(c);
+        if total == 0 {
+            return 0;
+        }
+    }
+    total
+}
+
+fn count_component(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    pos_edges: &[(usize, usize)],
+    members: &[usize],
+) -> u64 {
+    // BFS order rooted at the member with the smallest list; each later
+    // member is edge-connected to some earlier one.
+    let root = *members
+        .iter()
+        .min_by_key(|&&i| lists[i].len())
+        .expect("non-empty component");
+    let mut order = vec![root];
+    // `anchor[i]` = an earlier member sharing a positive edge with order[i]
+    let mut anchor: Vec<Option<usize>> = vec![None];
+    while order.len() < members.len() {
+        let next = members
+            .iter()
+            .copied()
+            .find(|&m| {
+                !order.contains(&m)
+                    && pos_edges.iter().any(|&(a, b)| {
+                        (a == m && order.contains(&b)) || (b == m && order.contains(&a))
+                    })
+            })
+            .expect("component is edge-connected");
+        let a = pos_edges
+            .iter()
+            .find_map(|&(a, b)| {
+                if a == next && order.contains(&b) {
+                    Some(b)
+                } else if b == next && order.contains(&a) {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .expect("found above");
+        order.push(next);
+        anchor.push(Some(a));
+    }
+
+    let mut assigned: Vec<lowdeg_storage::Node> = vec![lowdeg_storage::Node(0); lists.len()];
+    let mut count = 0u64;
+    rec_count(
+        adjacency, lists, sets, pos_edges, &order, &anchor, 0, &mut assigned, &mut count,
+    );
+    count
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_count(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    pos_edges: &[(usize, usize)],
+    order: &[usize],
+    anchor: &[Option<usize>],
+    depth: usize,
+    assigned: &mut Vec<lowdeg_storage::Node>,
+    count: &mut u64,
+) {
+    if depth == order.len() {
+        *count += 1;
+        return;
+    }
+    let pos = order[depth];
+    let check = |v: lowdeg_storage::Node, assigned: &Vec<lowdeg_storage::Node>| -> bool {
+        if !sets[pos].contains(v) {
+            return false;
+        }
+        // all positive edges between `pos` and already-assigned positions
+        pos_edges.iter().all(|&(a, b)| {
+            let other = if a == pos {
+                b
+            } else if b == pos {
+                a
+            } else {
+                return true;
+            };
+            match order[..depth].iter().position(|&o| o == other) {
+                Some(_) => adjacency.adjacent(v, assigned[other]),
+                None => true,
+            }
+        })
+    };
+    match anchor[depth] {
+        None => {
+            for &v in &lists[pos] {
+                if check(v, assigned) {
+                    assigned[pos] = v;
+                    rec_count(
+                        adjacency, lists, sets, pos_edges, order, anchor, depth + 1, assigned,
+                        count,
+                    );
+                }
+            }
+        }
+        Some(a) => {
+            for &v in adjacency.neighbors(assigned[a]) {
+                if check(v, assigned) {
+                    assigned[pos] = v;
+                    rec_count(
+                        adjacency, lists, sets, pos_edges, order, anchor, depth + 1, assigned,
+                        count,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `|ψ(G)|`: sum over the mutually exclusive clauses.
+pub fn count_graph_query(graph: &Structure, gq: &GraphQuery) -> Result<u64, ConnectedError> {
+    let adjacency = crate::enumerate::EdgeAdjacency::build(graph, gq.edge);
+    let mut total = 0u64;
+    for clause in &gq.clauses {
+        total += count_clause_with(graph, gq, clause, &adjacency);
+    }
+    Ok(total)
+}
+
+/// Proposition 3.6's general path: count an arbitrary **quantifier-free**
+/// formula by rewriting into the mutually exclusive DNF (the `O(2^{|ψ|})`
+/// step the paper budgets) and summing the per-clause counts of
+/// Lemma 3.5.
+pub fn count_quantifier_free(
+    structure: &Structure,
+    free: &[Var],
+    formula: &Formula,
+) -> Result<u64, ConnectedError> {
+    let clauses = lowdeg_logic::dnf::exclusive_dnf(formula);
+    let mut total = 0u64;
+    for clause in clauses {
+        let conjuncts: Vec<Formula> = clause
+            .literals
+            .iter()
+            .map(|l| l.atom.to_formula(l.positive))
+            .collect();
+        total += count_conjunction(structure, free, &conjuncts)?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+    use lowdeg_logic::eval::count_naive;
+    use lowdeg_logic::parse_query;
+
+    fn check(structure: &Structure, src: &str) {
+        let q = parse_query(structure.signature(), src).unwrap();
+        let parts = match &q.formula {
+            Formula::And(parts) => parts.clone(),
+            other => vec![other.clone()],
+        };
+        let got = count_conjunction(structure, &q.free, &parts).unwrap();
+        let want = count_naive(structure, &q);
+        assert_eq!(got, want, "count mismatch for `{src}`");
+    }
+
+    #[test]
+    fn running_example_count() {
+        for seed in [1, 2, 3] {
+            let s = ColoredGraphSpec::balanced(30, DegreeClass::Bounded(3)).generate(seed);
+            check(&s, "B(x) & R(y) & !E(x, y)");
+        }
+    }
+
+    #[test]
+    fn multiple_negated_binaries() {
+        let s = ColoredGraphSpec::balanced(20, DegreeClass::Bounded(3)).generate(4);
+        check(&s, "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)");
+    }
+
+    #[test]
+    fn mixed_positive_and_negative() {
+        let s = ColoredGraphSpec::balanced(25, DegreeClass::Bounded(3)).generate(5);
+        check(&s, "E(x, y) & !E(y, z) & B(z)");
+    }
+
+    #[test]
+    fn negated_equality() {
+        let s = ColoredGraphSpec::balanced(20, DegreeClass::Bounded(3)).generate(6);
+        check(&s, "B(x) & B(y) & x != y");
+    }
+
+    #[test]
+    fn far_distance_guard() {
+        let s = ColoredGraphSpec::balanced(20, DegreeClass::Bounded(3)).generate(7);
+        check(&s, "B(x) & R(y) & dist(x, y) > 2");
+    }
+
+    #[test]
+    fn unconstrained_position() {
+        let s = ColoredGraphSpec::balanced(15, DegreeClass::Bounded(3)).generate(8);
+        check(&s, "B(x) & y = y");
+        // `y = y` mentions y so it lands in a component; also try the
+        // genuinely unconstrained case through an empty-conjunct component:
+        let q = parse_query(s.signature(), "B(x) & !E(x, y)").unwrap();
+        let parts = match &q.formula {
+            Formula::And(parts) => parts.clone(),
+            _ => unreachable!(),
+        };
+        let got = count_conjunction(&s, &q.free, &parts).unwrap();
+        assert_eq!(got, count_naive(&s, &q));
+    }
+
+    #[test]
+    fn contradiction_counts_zero() {
+        let s = ColoredGraphSpec::balanced(15, DegreeClass::Bounded(3)).generate(9);
+        check(&s, "B(x) & !B(x)");
+    }
+
+    #[test]
+    fn negated_unary_is_no_inclusion_exclusion() {
+        let s = ColoredGraphSpec::balanced(25, DegreeClass::Bounded(3)).generate(10);
+        check(&s, "B(x) & !R(x)");
+    }
+
+    fn check_qf(structure: &Structure, src: &str) {
+        let q = parse_query(structure.signature(), src).unwrap();
+        let got = count_quantifier_free(structure, &q.free, &q.formula).unwrap();
+        assert_eq!(got, count_naive(structure, &q), "qf count mismatch `{src}`");
+    }
+
+    #[test]
+    fn quantifier_free_disjunctions() {
+        let s = ColoredGraphSpec::balanced(22, DegreeClass::Bounded(3)).generate(11);
+        check_qf(&s, "B(x) | R(x)");
+        check_qf(&s, "(B(x) & R(y)) | (G(x) & B(y))");
+        check_qf(&s, "B(x) & (R(y) | !E(x, y))");
+        check_qf(&s, "B(x) -> R(x)");
+    }
+
+    #[test]
+    fn quantifier_free_exclusive_dnf_vs_clause_path() {
+        // the DNF path and the direct conjunction path must agree
+        let s = ColoredGraphSpec::balanced(22, DegreeClass::Bounded(3)).generate(12);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let via_dnf = count_quantifier_free(&s, &q.free, &q.formula).unwrap();
+        let parts = match &q.formula {
+            Formula::And(parts) => parts.clone(),
+            _ => unreachable!(),
+        };
+        let via_conj = count_conjunction(&s, &q.free, &parts).unwrap();
+        assert_eq!(via_dnf, via_conj);
+    }
+
+    #[test]
+    fn clause_counting_matches_brute_force() {
+        use crate::graph_query::{GraphClause, GraphQuery};
+        let s = ColoredGraphSpec::balanced(18, DegreeClass::Bounded(3)).generate(13);
+        let e = s.signature().rel("E").unwrap();
+        let b = s.signature().rel("B").unwrap();
+        let r = s.signature().rel("R").unwrap();
+        let gq = GraphQuery {
+            k: 2,
+            edge: e,
+            clauses: vec![GraphClause {
+                colors: vec![vec![b], vec![r]],
+            }],
+        };
+        let counted = count_graph_query(&s, &gq).unwrap();
+        let mut brute = 0u64;
+        for x in s.domain() {
+            for y in s.domain() {
+                if gq.accepts(&s, &[x, y]) {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(counted, brute);
+    }
+}

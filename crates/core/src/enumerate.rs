@@ -1,0 +1,902 @@
+//! Constant-delay enumeration: Proposition 3.9 (Theorem 2.7).
+//!
+//! Enumerates the reduced query `ψ = ψ₁ ∧ ψ₂` over the colored graph, clause
+//! by clause (clauses are mutually exclusive, so concatenation never
+//! repeats). Within a clause the positions are assigned nested-loop style,
+//! and the whole difficulty is the pairwise `¬E` guard of `ψ₁`: a naive walk
+//! over a position's candidate list can hit arbitrarily long runs of
+//! vertices adjacent to the already-fixed ones.
+//!
+//! The paper's machinery eliminates those runs:
+//!
+//! * every *large* position (candidate list longer than `(k−1)·maxdeg`)
+//!   walks its sorted list `P(G)` with the **`skip` function**:
+//!   `skip(y, V)` jumps, in one lookup, to the first `z ≥ y` in the list not
+//!   adjacent to any vertex of `V`;
+//! * `V` is the subset of already-fixed vertices related to `y` by the
+//!   relation **`E_k`** (the paper's inductively defined reachability
+//!   pattern through `E`-edges and the list's `next` pointers); the paper's
+//!   proof shows skipping w.r.t. this `V` never lands on a vertex adjacent
+//!   to *any* fixed vertex — this is the step that makes the delay constant;
+//! * a *small* position (list bounded by `(k−1)·maxdeg`, a pseudo-constant)
+//!   is hoisted outward and iterated directly; large positions below it
+//!   simply add its fixed value to their forbidden set.
+//!
+//! Large walks always produce at least one output for any forbidden set of
+//! size < k (counting: `|list| > (k−1)·maxdeg` candidates, at most
+//! `(k−1)·maxdeg` excluded), so once the iterator is inside the large
+//! levels, every step emits — the delay depends only on `k` and the skip
+//! lookup cost.
+//!
+//! The `skip` function is stored per the Storing Theorem
+//! ([`lowdeg_index::RadixFuncStore`]) when the eager table fits the paper's
+//! `d̂^{3k²}` budget ([`SkipMode::Eager`]), or memoized on demand
+//! ([`SkipMode::Lazy`] — the E10 ablation compares both).
+
+use crate::graph_query::{position_list, GraphClause, GraphQuery};
+use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore};
+use lowdeg_storage::{Node, Structure};
+
+/// How the `skip` function is materialized.
+///
+/// The paper keys `skip(y, V)` on sets `V` of `E_k`-related vertices so
+/// that the *precomputed* table has pseudo-linear domain. When the table is
+/// instead memoized on demand, that restriction is unnecessary: keying on
+/// the full forbidden set is correct outright (the jump target is, by
+/// definition, the next list vertex non-adjacent to every forbidden
+/// vertex), and no `E_k` relation is needed at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipMode {
+    /// Precompute `skip(y, V)` for every list node `y` and every subset
+    /// `V` (|V| < k) of its `E_k`-neighborhood, stored via the Storing
+    /// Theorem. Paper-faithful constant delay; preprocessing pays the
+    /// `d̂^{3k²}` factor, so levels exceeding [`EAGER_SKIP_LIMIT`] or
+    /// [`EK_COST_LIMIT`] degrade to lazy automatically.
+    Eager,
+    /// Compute skip values on first use and memoize, keyed on the full
+    /// forbidden set. Identical outputs; first-touch delay is
+    /// `O(k·maxdeg)` instead of `O(1)`.
+    Lazy,
+    /// As [`SkipMode::Eager`] but ignoring the cost gates — builds the full
+    /// `E_k` + table unconditionally. For experiments (E10) and tests; can
+    /// take `|E|·d̃²` time and memory.
+    EagerForce,
+}
+
+/// Hard cap on the eager skip table size; beyond it the level silently
+/// degrades to lazy (recorded in [`LevelPlan::eager_built`]).
+pub const EAGER_SKIP_LIMIT: u64 = 4_000_000;
+
+/// Hard cap on the estimated cost `|E₁| · d̃² · (k−1)` of materializing the
+/// `E_k` relation. The paper's table is pseudo-linear only when
+/// `n ≫ d̃^{3k}`; below that regime (i.e. on any practically dense
+/// instance) the level degrades to the lazy skip, which needs no `E_k` at
+/// all (see [`SkipMode::Lazy`]).
+pub const EK_COST_LIMIT: u64 = 50_000_000;
+
+/// Sentinel for `void` in skip stores.
+const VOID: u32 = u32::MAX;
+
+/// Symmetric `E`-adjacency of the colored graph as sorted neighbor lists.
+#[derive(Debug, Clone)]
+pub struct EdgeAdjacency {
+    neighbors: Vec<Vec<Node>>,
+    max_degree: usize,
+}
+
+impl EdgeAdjacency {
+    /// Build from the graph's `E` relation (assumed symmetric, as produced
+    /// by the reduction).
+    pub fn build(graph: &Structure, edge: lowdeg_storage::RelId) -> Self {
+        let n = graph.cardinality();
+        let mut neighbors: Vec<Vec<Node>> = vec![Vec::new(); n];
+        for t in graph.relation(edge).iter() {
+            neighbors[t[0].index()].push(t[1]);
+        }
+        for l in &mut neighbors {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let max_degree = neighbors.iter().map(|l| l.len()).max().unwrap_or(0);
+        EdgeAdjacency {
+            neighbors,
+            max_degree,
+        }
+    }
+
+    /// Sorted `E`-neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.neighbors[v.index()]
+    }
+
+    /// `E'(u, v)`?
+    #[inline]
+    pub fn adjacent(&self, u: Node, v: Node) -> bool {
+        self.neighbors[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Maximum `E`-degree (`d̃` in the delay threshold).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+}
+
+/// Per-position iteration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Long list: walk with the skip machinery; guaranteed productive.
+    Large,
+    /// Short list (≤ `(k−1)·maxdeg`): direct iteration with explicit checks.
+    Small,
+}
+
+/// Preprocessed machinery for one *large* position of one clause.
+#[derive(Debug)]
+pub struct LevelPlan {
+    /// The sorted candidate list `P(G)`.
+    pub list: Vec<Node>,
+    /// `node → index in list` (or `VOID`).
+    index_in_list: Vec<u32>,
+    /// The `E_k` relation restricted to pairs `(u, y)` with `y` in the list:
+    /// directed membership set. Only materialized when the eager table is
+    /// built (the lazy skip does not need it).
+    ek: Option<FxHashSet<(u32, u32)>>,
+    /// Eager skip table (when built): key = `(y, V padded)`, value = skip
+    /// result (`VOID` = none).
+    skip_store: Option<RadixFuncStore<u32>>,
+    /// Whether the eager table was actually built.
+    pub eager_built: bool,
+}
+
+impl LevelPlan {
+    fn build(
+        list: Vec<Node>,
+        adjacency: &EdgeAdjacency,
+        k: usize,
+        n_graph: usize,
+        mode: SkipMode,
+        eps: Epsilon,
+    ) -> Self {
+        let mut index_in_list = vec![VOID; n_graph];
+        for (i, &v) in list.iter().enumerate() {
+            index_in_list[v.index()] = i as u32;
+        }
+
+        // Decide whether the paper-faithful eager machinery is affordable:
+        // materializing E_k costs about |E_1| * maxdeg^2 per expansion round.
+        let e1_pairs: u64 = adjacency
+            .neighbors
+            .iter()
+            .map(|l| l.len() as u64)
+            .sum();
+        let dmax = adjacency.max_degree() as u64;
+        let ek_cost = e1_pairs
+            .saturating_mul(dmax.saturating_mul(dmax))
+            .saturating_mul(k as u64 - 1);
+        let try_eager = k >= 2
+            && match mode {
+                SkipMode::Eager => ek_cost <= EK_COST_LIMIT,
+                SkipMode::EagerForce => true,
+                SkipMode::Lazy => false,
+            };
+
+        let mut ek: Option<FxHashSet<(u32, u32)>> = None;
+        let mut skip_store = None;
+        let mut eager_built = false;
+
+        if try_eager {
+            // E_1 = E' ; E_{i+1}(u,y) = E_i(u,y) ∨ ∃ z z' v:
+            //    E'(z,u) ∧ next(z',z) ∧ E'(v,z') ∧ E_i(v,y)
+            let mut rel: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for (u, l) in adjacency.neighbors.iter().enumerate() {
+                for &y in l {
+                    rel.insert((u as u32, y.0));
+                }
+            }
+            for _ in 1..k {
+                let snapshot: Vec<(u32, u32)> = rel.iter().copied().collect();
+                for (v, y) in snapshot {
+                    for &zp in adjacency.neighbors(Node(v)) {
+                        // z' must be a non-final list element; z = next(z')
+                        let zi = index_in_list[zp.index()];
+                        if zi == VOID || (zi as usize) + 1 >= list.len() {
+                            continue;
+                        }
+                        let z = list[zi as usize + 1];
+                        for &u in adjacency.neighbors(z) {
+                            rel.insert((u.0, y));
+                        }
+                    }
+                }
+            }
+
+            // group E_k by the list-side endpoint
+            let mut rev: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            for &(u, y) in &rel {
+                if index_in_list[y as usize] != VOID {
+                    rev.entry(y).or_default().push(u);
+                }
+            }
+            // estimate table size: Σ_y Σ_{s<k} C(|U(y)|, s)
+            let mut est: u64 = 0;
+            for &y in &list {
+                let u_len = rev.get(&y.0).map(|v| v.len()).unwrap_or(0) as u64;
+                let mut binom: u64 = 1;
+                let mut sum: u64 = 1; // empty subset
+                for s in 1..k as u64 {
+                    binom = binom.saturating_mul(u_len.saturating_sub(s - 1)) / s;
+                    sum = sum.saturating_add(binom);
+                }
+                est = est.saturating_add(sum);
+            }
+            if est <= EAGER_SKIP_LIMIT || mode == SkipMode::EagerForce {
+                let mut store = RadixFuncStore::new(n_graph + 1, k, eps);
+                let sentinel = Node(n_graph as u32);
+                let mut key = vec![sentinel; k];
+                for &y in &list {
+                    let mut u_list: Vec<u32> =
+                        rev.get(&y.0).cloned().unwrap_or_default();
+                    u_list.sort_unstable();
+                    u_list.dedup();
+                    // all subsets of size < k
+                    let mut subset: Vec<u32> = Vec::new();
+                    enumerate_subsets(&u_list, k - 1, &mut subset, &mut |vset| {
+                        let z = walk_skip(
+                            &list,
+                            &index_in_list,
+                            adjacency,
+                            y,
+                            vset.iter().map(|&v| Node(v)),
+                        );
+                        key[0] = y;
+                        for slot in key.iter_mut().skip(1) {
+                            *slot = sentinel;
+                        }
+                        for (i, &v) in vset.iter().enumerate() {
+                            key[i + 1] = Node(v);
+                        }
+                        store.insert(&key, z.map(|n| n.0).unwrap_or(VOID));
+                    });
+                }
+                skip_store = Some(store);
+                ek = Some(rel);
+                eager_built = true;
+            }
+        }
+
+        LevelPlan {
+            list,
+            index_in_list,
+            ek,
+            skip_store,
+            eager_built,
+        }
+    }
+
+    #[inline]
+    fn index_of(&self, v: Node) -> Option<usize> {
+        let i = self.index_in_list[v.index()];
+        (i != VOID).then_some(i as usize)
+    }
+
+    /// Is `(u, y)` in `E_k`? Only callable on eager levels.
+    #[inline]
+    fn ek_related(&self, u: Node, y: Node) -> bool {
+        self.ek
+            .as_ref()
+            .expect("E_k only materialized for eager levels")
+            .contains(&(u.0, y.0))
+    }
+
+    /// Number of `E_k` pairs (diagnostics for E9/E10; 0 for lazy levels).
+    pub fn ek_len(&self) -> usize {
+        self.ek.as_ref().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Size of the eager skip table, when built.
+    pub fn skip_entries(&self) -> usize {
+        self.skip_store.as_ref().map(|s| s.len()).unwrap_or(0)
+    }
+}
+
+fn enumerate_subsets(
+    items: &[u32],
+    max_size: usize,
+    current: &mut Vec<u32>,
+    sink: &mut impl FnMut(&[u32]),
+) {
+    sink(current);
+    if current.len() == max_size {
+        return;
+    }
+    let start = current
+        .last()
+        .map(|&l| items.partition_point(|&x| x <= l))
+        .unwrap_or(0);
+    for i in start..items.len() {
+        current.push(items[i]);
+        enumerate_subsets(items, max_size, current, sink);
+        current.pop();
+    }
+}
+
+/// Linear skip walk (the fallback and the eager-table generator): first
+/// `z ≥ y` in the list not `E'`-adjacent to any element of `vs`.
+fn walk_skip(
+    list: &[Node],
+    index_in_list: &[u32],
+    adjacency: &EdgeAdjacency,
+    y: Node,
+    vs: impl Iterator<Item = Node> + Clone,
+) -> Option<Node> {
+    let start = index_in_list[y.index()];
+    debug_assert_ne!(start, VOID, "skip must start on a list node");
+    list[start as usize..]
+        .iter()
+        .copied()
+        .find(|&z| vs.clone().all(|v| !adjacency.adjacent(z, v)))
+}
+
+/// The preprocessed enumeration plan for one clause.
+#[derive(Debug)]
+pub struct ClausePlan {
+    k: usize,
+    /// Candidate lists per position.
+    lists: Vec<Vec<Node>>,
+    /// Strategy per position.
+    pub strategies: Vec<Strategy>,
+    /// Skip machinery per position (only for Large positions).
+    pub levels: Vec<Option<LevelPlan>>,
+    /// Iteration order: small positions first, then large, ascending.
+    order: Vec<usize>,
+}
+
+impl ClausePlan {
+    /// Preprocess one clause.
+    pub fn build(
+        graph: &Structure,
+        gq: &GraphQuery,
+        clause: &GraphClause,
+        adjacency: &EdgeAdjacency,
+        mode: SkipMode,
+        eps: Epsilon,
+    ) -> Self {
+        let k = gq.k;
+        let n_graph = graph.cardinality();
+        let threshold = (k - 1) * adjacency.max_degree();
+        let lists: Vec<Vec<Node>> = (0..k)
+            .map(|i| position_list(graph, &clause.colors[i]))
+            .collect();
+        let strategies: Vec<Strategy> = lists
+            .iter()
+            .map(|l| {
+                if l.len() > threshold {
+                    Strategy::Large
+                } else {
+                    Strategy::Small
+                }
+            })
+            .collect();
+        let levels: Vec<Option<LevelPlan>> = lists
+            .iter()
+            .zip(&strategies)
+            .map(|(l, s)| match s {
+                Strategy::Large => Some(LevelPlan::build(
+                    l.clone(),
+                    adjacency,
+                    k,
+                    n_graph,
+                    mode,
+                    eps,
+                )),
+                Strategy::Small => None,
+            })
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(k);
+        order.extend((0..k).filter(|&i| strategies[i] == Strategy::Small));
+        order.extend((0..k).filter(|&i| strategies[i] == Strategy::Large));
+        ClausePlan {
+            k,
+            lists,
+            strategies,
+            levels,
+            order,
+        }
+    }
+
+    /// Candidate-list length per position (diagnostics).
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(|l| l.len()).collect()
+    }
+
+    /// Iterate this clause's vertex tuples.
+    pub fn iter<'a>(&'a self, adjacency: &'a EdgeAdjacency) -> ClauseIter<'a> {
+        ClauseIter {
+            plan: self,
+            adjacency,
+            state: vec![LevelState::default(); self.k],
+            tuple: vec![Node(0); self.k],
+            started: false,
+            done: false,
+            lazy_skip: FxHashMap::default(),
+            ops: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct LevelState {
+    /// For Small: current index into the list. For Large: list index of the
+    /// currently emitted `z`.
+    cursor: usize,
+}
+
+/// Iterator over one clause's satisfying vertex tuples.
+pub struct ClauseIter<'a> {
+    plan: &'a ClausePlan,
+    adjacency: &'a EdgeAdjacency,
+    state: Vec<LevelState>,
+    tuple: Vec<Node>,
+    started: bool,
+    done: bool,
+    /// Memo table for lazy skip: `(position, y, sorted V) → result`.
+    lazy_skip: FxHashMap<(u32, u32, Vec<u32>), Option<Node>>,
+    /// RAM-operation counter: each skip lookup/walk step, adjacency test,
+    /// `E_k` membership test and cursor move counts as one operation. The
+    /// constant-delay claim of Theorem 2.7 is about *this* number per
+    /// output, so the E4 experiment reads it instead of (noisy) wall time.
+    ops: u64,
+}
+
+impl ClauseIter<'_> {
+    /// Fixed values at order-levels strictly before `depth`.
+    fn forbidden(&self, depth: usize) -> impl Iterator<Item = Node> + Clone + '_ {
+        self.plan.order[..depth]
+            .iter()
+            .map(move |&pos| self.tuple[pos])
+    }
+
+    /// skip(y, V) at large position `pos`, through the eager store or the
+    /// lazy memo.
+    fn skip(&mut self, pos: usize, depth: usize, y: Node) -> Option<Node> {
+        let level = self.plan.levels[pos].as_ref().expect("large level");
+        self.ops += depth as u64 + 1; // E_k membership tests + the lookup
+        // Eager levels restrict V to the E_k-related forbidden vertices (the
+        // table is keyed that way); lazy levels use the full forbidden set.
+        let mut v: Vec<u32> = if level.eager_built {
+            self.forbidden(depth)
+                .filter(|&u| level.ek_related(u, y))
+                .map(|u| u.0)
+                .collect()
+        } else {
+            self.forbidden(depth).map(|u| u.0).collect()
+        };
+        v.sort_unstable();
+        v.dedup();
+        debug_assert!(v.len() < self.plan.k);
+
+        if let Some(store) = &level.skip_store {
+            let n_graph = level.index_in_list.len();
+            let sentinel = Node(n_graph as u32);
+            let mut key = vec![sentinel; self.plan.k];
+            key[0] = y;
+            for (i, &u) in v.iter().enumerate() {
+                key[i + 1] = Node(u);
+            }
+            let raw = *store.get(&key).expect("eager table is total");
+            return (raw != VOID).then_some(Node(raw));
+        }
+        // lazy
+        let memo_key = (pos as u32, y.0, v.clone());
+        if let Some(&hit) = self.lazy_skip.get(&memo_key) {
+            return hit;
+        }
+        let start = level.index_in_list[y.index()] as usize;
+        let z = walk_skip(
+            &level.list,
+            &level.index_in_list,
+            self.adjacency,
+            y,
+            v.iter().map(|&u| Node(u)),
+        );
+        // charge the walk: distance travelled in the list (first touch only;
+        // memoized lookups afterwards cost the single op charged above)
+        let end = z
+            .and_then(|zz| level.index_of(zz))
+            .unwrap_or(level.list.len());
+        self.ops += (end.saturating_sub(start) as u64) * (v.len().max(1) as u64);
+        self.lazy_skip.insert(memo_key, z);
+        z
+    }
+
+    /// Position level `depth` on its first valid candidate; `false` when
+    /// none exists.
+    fn init_level(&mut self, depth: usize) -> bool {
+        let pos = self.plan.order[depth];
+        match self.plan.strategies[pos] {
+            Strategy::Small => {
+                self.state[pos].cursor = 0;
+                self.find_small(depth, pos)
+            }
+            Strategy::Large => {
+                let level = self.plan.levels[pos].as_ref().expect("large level");
+                let Some(&first) = level.list.first() else {
+                    return false;
+                };
+                match self.skip(pos, depth, first) {
+                    Some(z) => {
+                        let zi = self.plan.levels[pos]
+                            .as_ref()
+                            .expect("large level")
+                            .index_of(z)
+                            .expect("skip result is a list node");
+                        self.state[pos].cursor = zi;
+                        self.tuple[pos] = z;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Advance level `depth` to its next valid candidate.
+    fn advance_level(&mut self, depth: usize) -> bool {
+        let pos = self.plan.order[depth];
+        match self.plan.strategies[pos] {
+            Strategy::Small => {
+                self.state[pos].cursor += 1;
+                self.find_small(depth, pos)
+            }
+            Strategy::Large => {
+                let next_idx = self.state[pos].cursor + 1;
+                let level = self.plan.levels[pos].as_ref().expect("large level");
+                if next_idx >= level.list.len() {
+                    return false;
+                }
+                let y = level.list[next_idx];
+                match self.skip(pos, depth, y) {
+                    Some(z) => {
+                        let zi = self.plan.levels[pos]
+                            .as_ref()
+                            .expect("large level")
+                            .index_of(z)
+                            .expect("skip result is a list node");
+                        self.state[pos].cursor = zi;
+                        self.tuple[pos] = z;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Scan a small list from the cursor for a candidate non-adjacent to
+    /// every earlier fixed value.
+    fn find_small(&mut self, depth: usize, pos: usize) -> bool {
+        let list = &self.plan.lists[pos];
+        let mut cur = self.state[pos].cursor;
+        while cur < list.len() {
+            self.ops += depth as u64 + 1; // adjacency tests + cursor move
+            let cand = list[cur];
+            let ok = self
+                .forbidden(depth)
+                .all(|v| !self.adjacency.adjacent(cand, v));
+            if ok {
+                self.state[pos].cursor = cur;
+                self.tuple[pos] = cand;
+                return true;
+            }
+            cur += 1;
+        }
+        self.state[pos].cursor = cur;
+        false
+    }
+
+    /// Total RAM operations so far (see the `ops` field).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The backtracking engine. With `initializing`, levels `< depth` hold
+    /// valid values and levels `≥ depth` must be (re)initialized; without,
+    /// level `depth` must advance past its current value. Returns `true`
+    /// when a complete valid tuple is assembled.
+    fn run(&mut self, mut depth: usize, mut initializing: bool) -> bool {
+        loop {
+            self.ops += 1;
+            if initializing {
+                if depth == self.plan.k {
+                    return true;
+                }
+                if self.init_level(depth) {
+                    depth += 1;
+                    continue;
+                }
+                // no candidate at this level: advance the level above
+                initializing = false;
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            } else {
+                if self.advance_level(depth) {
+                    initializing = true;
+                    depth += 1;
+                    continue;
+                }
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            }
+        }
+    }
+}
+
+impl Iterator for ClauseIter<'_> {
+    type Item = Vec<Node>;
+
+    fn next(&mut self) -> Option<Vec<Node>> {
+        if self.done {
+            return None;
+        }
+        let found = if self.started {
+            self.run(self.plan.k - 1, false)
+        } else {
+            self.started = true;
+            self.run(0, true)
+        };
+        if found {
+            Some(self.tuple.clone())
+        } else {
+            self.done = true;
+            None
+        }
+    }
+}
+
+/// The full preprocessed enumerator: one plan per clause.
+#[derive(Debug)]
+pub struct Enumerator {
+    adjacency: EdgeAdjacency,
+    plans: Vec<ClausePlan>,
+}
+
+impl Enumerator {
+    /// Preprocess every clause of the reduced query.
+    pub fn build(graph: &Structure, gq: &GraphQuery, mode: SkipMode, eps: Epsilon) -> Self {
+        let adjacency = EdgeAdjacency::build(graph, gq.edge);
+        let plans = gq
+            .clauses
+            .iter()
+            .map(|c| ClausePlan::build(graph, gq, c, &adjacency, mode, eps))
+            .collect();
+        Enumerator { adjacency, plans }
+    }
+
+    /// Enumerate all vertex tuples of `ψ(G)`, clause by clause.
+    pub fn vertex_tuples(&self) -> impl Iterator<Item = Vec<Node>> + '_ {
+        self.plans
+            .iter()
+            .flat_map(move |p| p.iter(&self.adjacency))
+    }
+
+    /// As [`Enumerator::vertex_tuples`], also yielding the number of RAM
+    /// operations spent since the previous output — the quantity
+    /// Theorem 2.7 bounds by a constant. Clause-exhaustion costs are
+    /// charged to the next output.
+    pub fn vertex_tuples_with_ops(&self) -> OpsIter<'_> {
+        OpsIter {
+            enumerator: self,
+            clause_idx: 0,
+            current: None,
+            last_ops: 0,
+            carry: 0,
+        }
+    }
+
+    /// Per-clause plans (diagnostics).
+    pub fn plans(&self) -> &[ClausePlan] {
+        &self.plans
+    }
+
+    /// The worst observed per-output operation count of a full enumeration
+    /// (convenience for tests and the E4 experiment).
+    pub fn max_ops_per_output(&self) -> u64 {
+        self.vertex_tuples_with_ops()
+            .map(|(_, ops)| ops)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The shared adjacency (diagnostics).
+    pub fn adjacency(&self) -> &EdgeAdjacency {
+        &self.adjacency
+    }
+}
+
+/// Iterator pairing each output with its RAM-operation delay (see
+/// [`Enumerator::vertex_tuples_with_ops`]).
+pub struct OpsIter<'a> {
+    enumerator: &'a Enumerator,
+    clause_idx: usize,
+    current: Option<ClauseIter<'a>>,
+    last_ops: u64,
+    carry: u64,
+}
+
+impl Iterator for OpsIter<'_> {
+    type Item = (Vec<Node>, u64);
+
+    fn next(&mut self) -> Option<(Vec<Node>, u64)> {
+        loop {
+            if self.current.is_none() {
+                let plan = self.enumerator.plans.get(self.clause_idx)?;
+                self.current = Some(plan.iter(&self.enumerator.adjacency));
+                self.last_ops = 0;
+            }
+            let iter = self.current.as_mut().expect("just installed");
+            match iter.next() {
+                Some(tuple) => {
+                    let now = iter.ops();
+                    let delta = now - self.last_ops + self.carry;
+                    self.last_ops = now;
+                    self.carry = 0;
+                    return Some((tuple, delta));
+                }
+                None => {
+                    self.carry += iter.ops() - self.last_ops;
+                    self.current = None;
+                    self.clause_idx += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_storage::{node, RelId, Signature};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    /// Build a colored graph directly (vertices with colors A/B, symmetric
+    /// edges) and check that enumeration matches brute force, under both
+    /// skip modes.
+    fn check_graph(
+        n: usize,
+        edges: &[(u32, u32)],
+        color_a: &[u32],
+        color_b: &[u32],
+        k: usize,
+    ) {
+        let sig = Arc::new(Signature::new(&[("E", 2), ("A", 1), ("Bc", 1)]));
+        let e = sig.rel("E").unwrap();
+        let a_ = sig.rel("A").unwrap();
+        let b_ = sig.rel("Bc").unwrap();
+        let mut b = Structure::builder(sig, n);
+        for &(u, v) in edges {
+            b.undirected_edge(e, node(u), node(v)).unwrap();
+        }
+        for &u in color_a {
+            b.fact(a_, &[node(u)]).unwrap();
+        }
+        for &u in color_b {
+            b.fact(b_, &[node(u)]).unwrap();
+        }
+        let g = b.finish().unwrap();
+
+        // clause: alternate colors A, B, A, B, ...
+        let colors: Vec<Vec<RelId>> = (0..k)
+            .map(|i| vec![if i % 2 == 0 { a_ } else { b_ }])
+            .collect();
+        let gq = GraphQuery {
+            k,
+            edge: e,
+            clauses: vec![GraphClause { colors }],
+        };
+
+        // brute force
+        let mut expected: BTreeSet<Vec<Node>> = BTreeSet::new();
+        let mut counter = vec![0usize; k];
+        'outer: loop {
+            let tuple: Vec<Node> = counter.iter().map(|&i| node(i as u32)).collect();
+            if gq.accepts(&g, &tuple) {
+                expected.insert(tuple);
+            }
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    break 'outer;
+                }
+                pos -= 1;
+                counter[pos] += 1;
+                if counter[pos] < n {
+                    break;
+                }
+                counter[pos] = 0;
+            }
+        }
+
+        for mode in [SkipMode::Eager, SkipMode::Lazy] {
+            let en = Enumerator::build(&g, &gq, mode, Epsilon::new(0.5));
+            let got: Vec<Vec<Node>> = en.vertex_tuples().collect();
+            let got_set: BTreeSet<Vec<Node>> = got.iter().cloned().collect();
+            assert_eq!(got.len(), got_set.len(), "duplicates in {mode:?}");
+            assert_eq!(got_set, expected, "answer set mismatch in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_position() {
+        check_graph(6, &[(0, 1)], &[0, 2, 4], &[1, 3], 1);
+    }
+
+    #[test]
+    fn pairs_on_small_graph() {
+        // the running example shape: A×B non-adjacent pairs
+        check_graph(
+            8,
+            &[(0, 4), (1, 5), (2, 3)],
+            &[0, 1, 2],
+            &[3, 4, 5, 6],
+            2,
+        );
+    }
+
+    #[test]
+    fn pairs_with_dense_adjacency() {
+        // node 0 adjacent to every B node: forces real skipping
+        check_graph(
+            10,
+            &[(0, 5), (0, 6), (0, 7), (0, 8), (1, 5)],
+            &[0, 1, 2],
+            &[5, 6, 7, 8, 9],
+            2,
+        );
+    }
+
+    #[test]
+    fn triples() {
+        check_graph(
+            9,
+            &[(0, 3), (3, 6), (1, 4)],
+            &[0, 1, 2, 6, 7],
+            &[3, 4, 5],
+            3,
+        );
+    }
+
+    #[test]
+    fn empty_color_list() {
+        check_graph(5, &[(0, 1)], &[], &[1, 2], 2);
+    }
+
+    #[test]
+    fn overlapping_colors_and_self_pairs() {
+        // nodes carrying both colors: (v, v) pairs are legal (no self loops)
+        check_graph(6, &[(0, 1), (2, 3)], &[0, 2, 4], &[0, 2, 5], 2);
+    }
+
+    #[test]
+    fn isolated_vertices_everywhere() {
+        check_graph(12, &[], &[0, 1, 2, 3, 4, 5], &[6, 7, 8, 9, 10, 11], 2);
+    }
+
+    #[test]
+    fn subset_enumeration_is_sorted_and_bounded() {
+        let items = vec![1u32, 2, 3, 4];
+        let mut seen = Vec::new();
+        let mut cur = Vec::new();
+        enumerate_subsets(&items, 2, &mut cur, &mut |s| seen.push(s.to_vec()));
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11
+        assert_eq!(seen.len(), 11);
+        assert!(seen.iter().all(|s| s.len() <= 2));
+        assert!(seen.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+    }
+}

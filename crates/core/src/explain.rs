@@ -1,0 +1,163 @@
+//! `EXPLAIN` for the preprocessing pipeline: a structured report of what
+//! the reduction built and what the enumerator will do — the observability
+//! surface a user consults when a query preprocesses slowly or the
+//! combination budget trips.
+
+use crate::enumerate::Strategy;
+use crate::Engine;
+use std::fmt;
+
+/// A structured description of a built [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// Query arity.
+    pub arity: usize,
+    /// `None` for sentences (decided at build time).
+    pub reduction: Option<ReductionReport>,
+    /// Precomputed answer count.
+    pub count: u64,
+}
+
+/// What Proposition 3.3 produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionReport {
+    /// Certified locality radius `r` of the matrix.
+    pub radius: usize,
+    /// Cluster-separation distance `2r + 1`.
+    pub separation: usize,
+    /// `|dom(G)|`.
+    pub graph_nodes: usize,
+    /// Tuples of `G`'s `E` relation.
+    pub graph_edges: usize,
+    /// Number of cluster vertices `|V|`.
+    pub clusters: usize,
+    /// Number of exclusive clauses of `ψ₂`.
+    pub clauses: usize,
+    /// Per clause: the per-position iteration strategy and whether the
+    /// paper's eager skip table was built for its large positions.
+    pub clause_plans: Vec<ClauseReport>,
+}
+
+/// Enumeration plan of one clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseReport {
+    /// Candidate-list length per position.
+    pub list_sizes: Vec<usize>,
+    /// Strategy per position.
+    pub strategies: Vec<Strategy>,
+    /// Eager skip entries across the clause's large positions (0 = lazy).
+    pub skip_entries: usize,
+}
+
+impl Engine {
+    /// Describe what the preprocessing built.
+    pub fn explain(&self) -> Explain {
+        let reduction = self.reduction().map(|red| {
+            let edges = red.graph().relation(red.query().edge).len();
+            let clause_plans = self
+                .enumerator()
+                .map(|en| {
+                    en.plans()
+                        .iter()
+                        .map(|p| ClauseReport {
+                            list_sizes: p.list_sizes(),
+                            strategies: p.strategies.clone(),
+                            skip_entries: p
+                                .levels
+                                .iter()
+                                .flatten()
+                                .map(|l| l.skip_entries())
+                                .sum(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            ReductionReport {
+                radius: red.radius(),
+                separation: red.separation(),
+                graph_nodes: red.graph().cardinality(),
+                graph_edges: edges,
+                clusters: red.cluster_count(),
+                clauses: red.query().clauses.len(),
+                clause_plans,
+            }
+        });
+        Explain {
+            arity: self.arity(),
+            reduction,
+            count: self.count(),
+        }
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "arity: {}", self.arity)?;
+        writeln!(f, "answers: {}", self.count)?;
+        match &self.reduction {
+            None => writeln!(f, "sentence: decided during preprocessing")?,
+            Some(r) => {
+                writeln!(f, "locality radius: {} (separation {})", r.radius, r.separation)?;
+                writeln!(
+                    f,
+                    "colored graph: {} nodes ({} clusters), {} E-tuples",
+                    r.graph_nodes, r.clusters, r.graph_edges
+                )?;
+                writeln!(f, "exclusive clauses: {}", r.clauses)?;
+                let large = r
+                    .clause_plans
+                    .iter()
+                    .flat_map(|c| &c.strategies)
+                    .filter(|&&s| s == Strategy::Large)
+                    .count();
+                let eager: usize = r.clause_plans.iter().map(|c| c.skip_entries).sum();
+                writeln!(
+                    f,
+                    "enumeration: {large} large position(s) across clauses, \
+                     {eager} eager skip entries (0 = lazy skip)"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+    use lowdeg_index::Epsilon;
+    use lowdeg_logic::parse_query;
+
+    #[test]
+    fn explain_reduced_query() {
+        let s = ColoredGraphSpec::balanced(40, DegreeClass::Bounded(3)).generate(61);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let engine = Engine::build(&s, &q, Epsilon::new(0.5)).unwrap();
+        let ex = engine.explain();
+        assert_eq!(ex.arity, 2);
+        let r = ex.reduction.as_ref().expect("reduced");
+        assert_eq!(r.radius, 0);
+        assert_eq!(r.separation, 1);
+        assert!(r.clusters > 0);
+        assert_eq!(r.clause_plans.len(), r.clauses);
+        for c in &r.clause_plans {
+            assert_eq!(c.list_sizes.len(), 2);
+            assert_eq!(c.strategies.len(), 2);
+        }
+        let rendered = ex.to_string();
+        assert!(rendered.contains("locality radius: 0"));
+        assert!(rendered.contains("exclusive clauses:"));
+    }
+
+    #[test]
+    fn explain_sentence() {
+        let s = ColoredGraphSpec::balanced(20, DegreeClass::Bounded(3)).generate(62);
+        let q = parse_query(s.signature(), "exists x. B(x)").unwrap();
+        let engine = Engine::build(&s, &q, Epsilon::new(0.5)).unwrap();
+        let ex = engine.explain();
+        assert_eq!(ex.arity, 0);
+        assert!(ex.reduction.is_none());
+        assert!(ex.to_string().contains("sentence"));
+    }
+}

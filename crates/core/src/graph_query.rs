@@ -1,0 +1,163 @@
+//! Quantifier-free queries over the reduced colored graph.
+//!
+//! Proposition 3.3 guarantees the reduced formula has the shape
+//! `ψ = ψ₁ ∧ ψ₂` where `ψ₁` forbids `E`-edges between distinct answer
+//! components and `ψ₂` is a positive boolean combination of unary atoms.
+//! We keep `ψ₂` in the *mutually exclusive clause form* that Propositions
+//! 3.6 and 3.9 normalize into: a disjunction of clauses, each fixing a
+//! conjunction of required colors per position; distinct clauses have
+//! disjoint answer sets because every vertex carries exactly one `C_ι` color
+//! and exactly one type color.
+
+use lowdeg_storage::{Node, RelId, Structure};
+
+/// The reduced query `ψ` over the colored graph: `k` positions, an edge
+/// relation whose absence is required pairwise (`ψ₁`), and exclusive color
+/// clauses (`ψ₂`).
+#[derive(Clone, Debug)]
+pub struct GraphQuery {
+    /// Arity.
+    pub k: usize,
+    /// The `E` relation of the colored graph.
+    pub edge: RelId,
+    /// Mutually exclusive clauses.
+    pub clauses: Vec<GraphClause>,
+}
+
+/// One clause `θ_j`: per position, the conjunction of unary colors the
+/// vertex must carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphClause {
+    /// `colors[i]` = unary relations required at position `i`.
+    pub colors: Vec<Vec<RelId>>,
+}
+
+impl GraphClause {
+    /// Does `v` satisfy the color requirements of position `i`?
+    pub fn position_accepts(&self, graph: &Structure, i: usize, v: Node) -> bool {
+        self.colors[i].iter().all(|&c| graph.holds(c, &[v]))
+    }
+
+    /// Does the whole tuple satisfy this clause (colors only — `ψ₁` is
+    /// checked separately)?
+    pub fn accepts_colors(&self, graph: &Structure, tuple: &[Node]) -> bool {
+        tuple
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| self.position_accepts(graph, i, v))
+    }
+}
+
+impl GraphQuery {
+    /// Symmetric adjacency in the `E` relation (`E'` of the paper).
+    pub fn adjacent(&self, graph: &Structure, u: Node, v: Node) -> bool {
+        graph.holds(self.edge, &[u, v]) || graph.holds(self.edge, &[v, u])
+    }
+
+    /// Full semantic check of `ψ` on a tuple of graph vertices.
+    pub fn accepts(&self, graph: &Structure, tuple: &[Node]) -> bool {
+        debug_assert_eq!(tuple.len(), self.k);
+        for i in 0..tuple.len() {
+            for j in (i + 1)..tuple.len() {
+                if self.adjacent(graph, tuple[i], tuple[j]) {
+                    return false;
+                }
+            }
+        }
+        self.clauses.iter().any(|c| c.accepts_colors(graph, tuple))
+    }
+}
+
+/// The sorted list of vertices carrying *all* of `colors` — the `P(G)` list
+/// of Proposition 3.9. Intersection of sorted relation columns.
+pub fn position_list(graph: &Structure, colors: &[RelId]) -> Vec<Node> {
+    let Some((&first, rest)) = colors.split_first() else {
+        // no color constraint: every vertex qualifies
+        return graph.domain().collect();
+    };
+    let mut acc: Vec<Node> = graph.relation(first).iter().map(|t| t[0]).collect();
+    for &c in rest {
+        let other: Vec<Node> = graph.relation(c).iter().map(|t| t[0]).collect();
+        acc = intersect_sorted(&acc, &other);
+    }
+    acc
+}
+
+fn intersect_sorted(a: &[Node], b: &[Node]) -> Vec<Node> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_storage::{node, Signature};
+    use std::sync::Arc;
+
+    fn graph() -> (Structure, RelId, RelId, RelId) {
+        let sig = Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]));
+        let e = sig.rel("E").unwrap();
+        let b_ = sig.rel("B").unwrap();
+        let r_ = sig.rel("R").unwrap();
+        let mut b = Structure::builder(sig, 6);
+        b.edge(e, node(0), node(3)).unwrap();
+        for i in [0u32, 1] {
+            b.fact(b_, &[node(i)]).unwrap();
+        }
+        for i in [3u32, 4] {
+            b.fact(r_, &[node(i)]).unwrap();
+        }
+        b.fact(b_, &[node(4)]).unwrap(); // 4 is blue AND red
+        let s = b.finish().unwrap();
+        (s, e, b_, r_)
+    }
+
+    #[test]
+    fn position_lists_intersect() {
+        let (g, _, b_, r_) = graph();
+        assert_eq!(position_list(&g, &[b_]), vec![node(0), node(1), node(4)]);
+        assert_eq!(position_list(&g, &[b_, r_]), vec![node(4)]);
+        assert_eq!(position_list(&g, &[]).len(), 6);
+    }
+
+    #[test]
+    fn clause_acceptance() {
+        let (g, e, b_, r_) = graph();
+        let q = GraphQuery {
+            k: 2,
+            edge: e,
+            clauses: vec![GraphClause {
+                colors: vec![vec![b_], vec![r_]],
+            }],
+        };
+        assert!(q.accepts(&g, &[node(1), node(3)]));
+        assert!(!q.accepts(&g, &[node(0), node(3)])); // edge violates ψ₁
+        assert!(!q.accepts(&g, &[node(3), node(1)])); // wrong colors
+        assert!(q.accepts(&g, &[node(4), node(4)])); // same node twice, no self edge
+    }
+
+    #[test]
+    fn adjacency_is_symmetrized() {
+        let (g, e, _, _) = graph();
+        let q = GraphQuery {
+            k: 2,
+            edge: e,
+            clauses: vec![],
+        };
+        assert!(q.adjacent(&g, node(0), node(3)));
+        assert!(q.adjacent(&g, node(3), node(0)));
+        assert!(!q.adjacent(&g, node(1), node(2)));
+    }
+}

@@ -1,0 +1,865 @@
+//! Proposition 3.3: quantifier elimination onto a colored graph.
+//!
+//! Given a structure `A` and a localizable FO query `φ(x̄)` of arity `k ≥ 1`,
+//! builds
+//!
+//! * a colored graph `G` over a binary signature `τ`,
+//! * a quantifier-free `ψ = ψ₁ ∧ ψ₂` in exclusive clause form
+//!   ([`crate::GraphQuery`]), and
+//! * an injective `f : dom(A)^k → dom(G)^k` restricting to a bijection
+//!   `φ(A) → ψ(G)`, with `f` and `f⁻¹` computable in `O(k²)` after the
+//!   preprocessing.
+//!
+//! Following the paper's Steps 1–5:
+//!
+//! 1. **localize** `φ` to an `r`-local matrix `φ'` (basic-local sentences
+//!    evaluated and replaced by constants) — `lowdeg-locality`;
+//! 2. enumerate the **partitions** `P ∈ 𝒫` of the answer positions;
+//! 3. build the **cluster vertices** `v_(b̄, ι)`: all connected (w.r.t.
+//!    distance ≤ 2r+1) ordered tuples `b̄` with an injection `ι` recording
+//!    which answer positions the components fill;
+//! 4. color each cluster vertex with its injection `C_ι` **and with the
+//!    canonical isomorphism type of `(𝒩_r(b̄), b̄)`** — the semantic
+//!    realization of the Feferman–Vaught predicates `C_{P,j,t}` (DESIGN.md
+//!    §3); put `E`-edges between cluster vertices whose elements come within
+//!    distance `2r+1`; add `F_i`-edges back to `dom(A)` for `f⁻¹`;
+//! 5. decide, once per partition and realized type combination, whether such
+//!    answers satisfy `φ'` — by evaluating `φ'` on the disjoint union of
+//!    type representatives (sound because `φ'` is `r`-local and the clusters
+//!    of an answer are pairwise `> 2r+1` apart, so `𝒩_r(ā)` *is* that
+//!    disjoint union up to isomorphism). Accepted combinations become the
+//!    exclusive clauses of `ψ₂`; `ψ₁` is the pairwise `¬E` guard.
+
+use crate::graph_query::{GraphClause, GraphQuery};
+use crate::EngineError;
+use lowdeg_index::{Epsilon, FxHashMap, RadixFuncStore};
+use lowdeg_locality::{localize, LocalQuery, TypeId, TypeInterner};
+use lowdeg_logic::eval::{eval, Assignment};
+use lowdeg_logic::Query;
+use lowdeg_storage::{Node, RelId, Signature, Structure};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Default budget for the type-combination table (`Σ_P Π_j |types|`).
+pub const DEFAULT_COMBINATION_BUDGET: u64 = 1_000_000;
+
+/// One cluster vertex `v_(b̄, ι)`.
+#[derive(Clone, Debug)]
+struct VertexInfo {
+    /// The underlying tuple `b̄` of `A`-elements (may contain repeats).
+    tuple: Vec<Node>,
+    /// Injection id into [`Reduction::iotas`].
+    iota: u16,
+    /// Canonical neighborhood type.
+    ty: TypeId,
+}
+
+/// The output of the Proposition 3.3 preprocessing.
+#[derive(Debug)]
+pub struct Reduction {
+    /// The colored graph `G`.
+    graph: Structure,
+    /// The reduced quantifier-free query `ψ` over `G`.
+    query: GraphQuery,
+    /// Locality radius `r` of the matrix.
+    radius: usize,
+    /// `2r + 1` — the cluster-separation distance.
+    two_r1: usize,
+    /// Query arity.
+    k: usize,
+    /// `|dom(A)|`.
+    base_n: usize,
+    /// The dummy vertex `v_⊥`.
+    dummy: Node,
+    /// Cluster vertices; vertex id = `base_n + 1 + index`.
+    vertices: Vec<VertexInfo>,
+    /// `(b̄, ι) → vertex id`.
+    lookup: FxHashMap<(Vec<Node>, u16), Node>,
+    /// Pairs of `A`-nodes within distance `2r+1` (the paper's relation `R`
+    /// in Step 5, stored per the Storing Theorem).
+    near: RadixFuncStore<()>,
+    /// All injections `{1..s} → {1..k}`, 0-based; `iotas[id]` lists target
+    /// positions.
+    iotas: Vec<Vec<u8>>,
+    /// The localized matrix (kept for diagnostics and tests).
+    local: LocalQuery,
+    /// Accepted clause signatures for O(k) testing: per answer position the
+    /// `(ι, type)` of the cluster vertex, or `None` for the dummy. Exactly
+    /// one clause matches any signature (clauses are mutually exclusive).
+    accepted: lowdeg_index::FxHashSet<Vec<Option<(u16, u32)>>>,
+}
+
+impl Reduction {
+    /// Run the full preprocessing. `φ` must have arity ≥ 1 and be
+    /// localizable.
+    pub fn build(structure: &Structure, query: &Query, eps: Epsilon) -> Result<Self, EngineError> {
+        Self::build_with_budget(structure, query, eps, DEFAULT_COMBINATION_BUDGET)
+    }
+
+    /// As [`Reduction::build`], with an explicit type-combination budget.
+    pub fn build_with_budget(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        budget: u64,
+    ) -> Result<Self, EngineError> {
+        let k = query.arity();
+        assert!(k >= 1, "Reduction requires arity >= 1 (use model checking for sentences)");
+        let local = localize(structure, query)?;
+        let r = local.radius;
+        let two_r1 = 2 * r + 1;
+        let rhat = k * two_r1;
+        let n = structure.cardinality();
+        let g = structure.gaifman();
+
+        // --- Step 5's relation R: pairs within 2r+1, via the Storing Theorem.
+        let mut near = RadixFuncStore::new(n, 2, eps);
+        for a in structure.domain() {
+            for b in g.ball(a, two_r1) {
+                near.insert(&[a, b], ());
+            }
+        }
+
+        // --- injections ι : {1..s} → {1..k}
+        let iotas = all_injections(k);
+        let iota_id = |positions: &[u8]| -> u16 {
+            iotas
+                .iter()
+                .position(|io| io.as_slice() == positions)
+                .expect("every injection enumerated") as u16
+        };
+
+        // --- Step 3/4: cluster vertices with canonical types.
+        //
+        // The two expensive phases — connected-tuple enumeration per anchor
+        // and the canonical encoding of each tuple's neighborhood — are
+        // pure per item, so they fan out over scoped threads. Interning
+        // stays sequential (in anchor order), which keeps type-id
+        // assignment deterministic.
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16);
+        let anchors: Vec<Node> = structure.domain().collect();
+
+        // Phase A: connected cluster tuples, per anchor (parallel).
+        let tuples: Vec<Vec<Node>> = parallel_flat_map(&anchors, threads, |&a| {
+            let ball = g.ball(a, rhat);
+            let mut local: Vec<Vec<Node>> = Vec::new();
+            let mut tuple: Vec<Node> = Vec::with_capacity(k);
+            tuple.push(a);
+            enumerate_cluster_tuples(&ball, k, &near, &mut tuple, &mut |t: &[Node]| {
+                local.push(t.to_vec());
+            });
+            local
+        });
+
+        // Phase B: canonical encodings (parallel), then deterministic
+        // sequential interning; representatives are recomputed only for the
+        // first occurrence of each type.
+        let encodings: Vec<Vec<u8>> = parallel_flat_map(&tuples, threads, |t| {
+            let nb = structure.neighborhood_of_tuple(t, r);
+            let local_tuple: Vec<Node> = t
+                .iter()
+                .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+                .collect();
+            vec![lowdeg_locality::types::canonical_encoding(
+                nb.structure(),
+                &local_tuple,
+            )]
+        });
+
+        let mut interner = TypeInterner::new();
+        let mut vertices: Vec<VertexInfo> = Vec::new();
+        let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
+        for (t, enc) in tuples.iter().zip(encodings) {
+            let ty = interner.intern_encoded(enc, || {
+                let nb = structure.neighborhood_of_tuple(t, r);
+                let local_tuple: Vec<Node> = t
+                    .iter()
+                    .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+                    .collect();
+                (nb.structure().clone(), local_tuple)
+            });
+            types_by_size[t.len()].insert(ty);
+            for (id, io) in iotas.iter().enumerate() {
+                if io.len() == t.len() {
+                    vertices.push(VertexInfo {
+                        tuple: t.clone(),
+                        iota: id as u16,
+                        ty,
+                    });
+                }
+            }
+        }
+
+        // --- Step 5: acceptance per partition × type combination.
+        let partitions = all_partitions(k);
+        let mut clauses: Vec<GraphClause> = Vec::new();
+        // Color naming scheme below; remember ids once the signature exists.
+        let mut combo_total: u64 = 0;
+        for p in &partitions {
+            let mut c: u64 = 1;
+            for part in p {
+                c = c.saturating_mul(types_by_size[part.len()].len() as u64);
+            }
+            combo_total = combo_total.saturating_add(c);
+        }
+        if combo_total > budget {
+            return Err(EngineError::CombinationBudget {
+                needed: combo_total,
+                budget,
+            });
+        }
+
+        // --- signature of G
+        let mut sigb = Signature::builder();
+        let e_decl = sigb.relation("E", 2).expect("fresh signature");
+        for i in 0..k {
+            sigb.relation(&format!("F{}", i + 1), 2).expect("fresh");
+        }
+        sigb.relation("Cbot", 1).expect("fresh");
+        for (id, io) in iotas.iter().enumerate() {
+            let name = format!(
+                "CI{id}_{}",
+                io.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("_")
+            );
+            sigb.relation(&name, 1).expect("fresh");
+        }
+        for t in 0..interner.len() {
+            sigb.relation(&format!("CT{t}"), 1).expect("fresh");
+        }
+        let tau = Arc::new(sigb.finish());
+        let e = e_decl;
+        let f_rel = |i: usize| RelId((1 + i) as u32);
+        let cbot = RelId((1 + k) as u32);
+        let ci = |id: u16| RelId((2 + k + id as usize) as u32);
+        let ct = |t: TypeId| RelId((2 + k + iotas.len() + t.index()) as u32);
+
+        // --- build G
+        let dummy = Node(n as u32);
+        let vertex_node = |idx: usize| Node((n + 1 + idx) as u32);
+        let total = n + 1 + vertices.len();
+        let mut gb = Structure::builder(tau.clone(), total);
+        gb.fact(cbot, &[dummy]).expect("in range");
+
+        // element → incident vertices
+        let mut incidence: FxHashMap<Node, Vec<u32>> = FxHashMap::default();
+        let mut lookup: FxHashMap<(Vec<Node>, u16), Node> = FxHashMap::default();
+        for (idx, v) in vertices.iter().enumerate() {
+            let vn = vertex_node(idx);
+            gb.fact(ci(v.iota), &[vn]).expect("in range");
+            gb.fact(ct(v.ty), &[vn]).expect("in range");
+            let io = &iotas[v.iota as usize];
+            for (j, &b) in v.tuple.iter().enumerate() {
+                gb.fact(f_rel(io[j] as usize), &[vn, b]).expect("in range");
+            }
+            let mut seen = BTreeSet::new();
+            for &b in &v.tuple {
+                if seen.insert(b) {
+                    incidence.entry(b).or_default().push(idx as u32);
+                }
+            }
+            lookup.insert((v.tuple.clone(), v.iota), vn);
+        }
+
+        // E-edges: vertices whose elements come within 2r+1. Computed per
+        // source vertex (parallel), deduped per vertex, collected flat
+        // (this relation dominates the memory footprint of G) and handed to
+        // the builder's bulk path.
+        let indexed: Vec<(usize, &VertexInfo)> = vertices.iter().enumerate().collect();
+        let edges: Vec<(Node, Node)> = parallel_flat_map(&indexed, threads, |&(idx, v)| {
+            let mut reached: Vec<Node> = Vec::new();
+            for &b in &v.tuple {
+                reached.extend(g.ball_unsorted(b, two_r1));
+            }
+            reached.sort_unstable();
+            reached.dedup();
+            let mut targets: Vec<u32> = Vec::new();
+            for &c in &reached {
+                if let Some(ws) = incidence.get(&c) {
+                    targets.extend(ws.iter().copied());
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            let vn = vertex_node(idx);
+            targets
+                .into_iter()
+                .filter(|&w| w as usize != idx)
+                .map(|w| (vn, vertex_node(w as usize)))
+                .collect()
+        });
+        gb.bulk_binary(e, edges).expect("in range");
+
+        let graph = gb.finish().expect("non-empty");
+
+        // --- acceptance clauses
+        let mut accepted: lowdeg_index::FxHashSet<Vec<Option<(u16, u32)>>> =
+            lowdeg_index::FxHashSet::default();
+        for p in &partitions {
+            let ell = p.len();
+            // iota of each part: its (sorted) position list
+            let part_iotas: Vec<u16> = p.iter().map(|part| iota_id(part)).collect();
+            let size_types: Vec<Vec<TypeId>> = p
+                .iter()
+                .map(|part| types_by_size[part.len()].iter().copied().collect())
+                .collect();
+            let mut combo: Vec<usize> = vec![0; ell];
+            if size_types.iter().any(|ts| ts.is_empty()) {
+                continue;
+            }
+            loop {
+                let tys: Vec<TypeId> = combo
+                    .iter()
+                    .zip(&size_types)
+                    .map(|(&i, ts)| ts[i])
+                    .collect();
+                if accepts_combo(&local, query, &interner, p, &tys) {
+                    let mut colors: Vec<Vec<RelId>> = Vec::with_capacity(k);
+                    let mut signature: Vec<Option<(u16, u32)>> = Vec::with_capacity(k);
+                    for j in 0..ell {
+                        colors.push(vec![ci(part_iotas[j]), ct(tys[j])]);
+                        signature.push(Some((part_iotas[j], tys[j].0)));
+                    }
+                    for _ in ell..k {
+                        colors.push(vec![cbot]);
+                        signature.push(None);
+                    }
+                    clauses.push(GraphClause { colors });
+                    accepted.insert(signature);
+                }
+                // odometer
+                let mut pos = ell;
+                loop {
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= 1;
+                    combo[pos] += 1;
+                    if combo[pos] < size_types[pos].len() {
+                        break;
+                    }
+                    combo[pos] = 0;
+                }
+                if combo.iter().all(|&c| c == 0) {
+                    break;
+                }
+            }
+        }
+
+        let query_out = GraphQuery {
+            k,
+            edge: e,
+            clauses,
+        };
+
+        Ok(Reduction {
+            graph,
+            query: query_out,
+            radius: r,
+            two_r1,
+            k,
+            base_n: n,
+            dummy,
+            vertices,
+            lookup,
+            near,
+            iotas,
+            local,
+            accepted,
+        })
+    }
+
+    /// The colored graph `G`.
+    pub fn graph(&self) -> &Structure {
+        &self.graph
+    }
+
+    /// The reduced query `ψ`.
+    pub fn query(&self) -> &GraphQuery {
+        &self.query
+    }
+
+    /// The locality radius `r` the reduction ran with.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The cluster-separation distance `2r + 1`.
+    pub fn separation(&self) -> usize {
+        self.two_r1
+    }
+
+    /// Query arity `k`.
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// The localized matrix used for the reduction.
+    pub fn local_query(&self) -> &LocalQuery {
+        &self.local
+    }
+
+    /// Number of cluster vertices (the `|V|` of Step 3).
+    pub fn cluster_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `f(ā)`: map a tuple of `A`-elements to graph vertices, in `O(k²)`
+    /// near-pair lookups.
+    pub fn forward(&self, tuple: &[Node]) -> Result<Vec<Node>, EngineError> {
+        if tuple.len() != self.k {
+            return Err(EngineError::Arity {
+                expected: self.k,
+                got: tuple.len(),
+            });
+        }
+        if let Some(&bad) = tuple.iter().find(|c| c.index() >= self.base_n) {
+            return Err(EngineError::NodeOutOfDomain {
+                node: bad.0,
+                domain: self.base_n,
+            });
+        }
+        // union-find over positions via the near-pair store
+        let mut parent: Vec<usize> = (0..self.k).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                if self.near.contains_key(&[tuple[i], tuple[j]]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        // parts ordered by min position
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        let mut root_part: FxHashMap<usize, usize> = FxHashMap::default();
+        for i in 0..self.k {
+            let r = find(&mut parent, i);
+            match root_part.get(&r) {
+                Some(&pi) => parts[pi].push(i as u8),
+                None => {
+                    root_part.insert(r, parts.len());
+                    parts.push(vec![i as u8]);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.k);
+        for part in &parts {
+            let b: Vec<Node> = part.iter().map(|&i| tuple[i as usize]).collect();
+            let io = self
+                .iotas
+                .iter()
+                .position(|io| io.as_slice() == part.as_slice())
+                .expect("part is an injection") as u16;
+            let v = self
+                .lookup
+                .get(&(b, io))
+                .copied()
+                .expect("every connected tuple has a cluster vertex");
+            out.push(v);
+        }
+        out.resize(self.k, self.dummy);
+        Ok(out)
+    }
+
+    /// `f⁻¹(v̄)`: recover the `A`-tuple from graph vertices. Returns `None`
+    /// when the tuple is not in the image of `f` (e.g. overlapping clusters
+    /// or a dummy in a cluster position).
+    pub fn backward(&self, vertices: &[Node]) -> Option<Vec<Node>> {
+        if vertices.len() != self.k {
+            return None;
+        }
+        let mut out: Vec<Option<Node>> = vec![None; self.k];
+        for &v in vertices {
+            if v == self.dummy {
+                continue;
+            }
+            let idx = (v.index()).checked_sub(self.base_n + 1)?;
+            let info = self.vertices.get(idx)?;
+            let io = &self.iotas[info.iota as usize];
+            for (j, &b) in info.tuple.iter().enumerate() {
+                let pos = io[j] as usize;
+                if out[pos].replace(b).is_some() {
+                    return None; // two clusters claim one position
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Whether `ā ∈ φ(A)`, decided through the reduction (`f` + `ψ`). Used
+    /// by tests; [`crate::TestIndex`] provides the constant-time variant.
+    pub fn test_via_graph(&self, tuple: &[Node]) -> Result<bool, EngineError> {
+        let v = self.forward(tuple)?;
+        Ok(self.query.accepts(&self.graph, &v))
+    }
+
+    /// The `(ι, type)` signature of a graph vertex (`None` for the dummy
+    /// and for base `A`-nodes).
+    pub fn vertex_signature(&self, v: Node) -> Option<(u16, u32)> {
+        let idx = v.index().checked_sub(self.base_n + 1)?;
+        self.vertices.get(idx).map(|info| (info.iota, info.ty.0))
+    }
+
+    /// O(k²) membership test through the accepted-signature set.
+    ///
+    /// `f(ā)`'s cluster vertices are pairwise non-`E`-adjacent *by
+    /// construction* (the partition is the transitive closure of the
+    /// ≤ 2r+1 nearness relation, so distinct parts share no near pair),
+    /// hence `ψ₁` always holds on images of `f` and membership reduces to a
+    /// single hash probe of the `(ι, type)` signature.
+    pub fn test_signature(&self, tuple: &[Node]) -> Result<bool, EngineError> {
+        let v = self.forward(tuple)?;
+        let signature: Vec<Option<(u16, u32)>> =
+            v.iter().map(|&u| self.vertex_signature(u)).collect();
+        Ok(self.accepted.contains(&signature))
+    }
+}
+
+/// Decide acceptance of a partition + type combination by evaluating the
+/// local matrix on the disjoint union of type representatives.
+fn accepts_combo(
+    local: &LocalQuery,
+    query: &Query,
+    interner: &TypeInterner,
+    partition: &[Vec<u8>],
+    tys: &[TypeId],
+) -> bool {
+    // assemble the disjoint union
+    let sig = query.signature.clone();
+    let mut total = 0usize;
+    let reps: Vec<(&Structure, &[Node])> = tys.iter().map(|&t| interner.representative(t)).collect();
+    for (s, _) in &reps {
+        total += s.cardinality();
+    }
+    let mut b = Structure::builder(sig, total.max(1));
+    let mut offsets = Vec::with_capacity(reps.len());
+    let mut off = 0usize;
+    for (s, _) in &reps {
+        offsets.push(off);
+        for rel in s.signature().rel_ids() {
+            for t in s.relation(rel).iter() {
+                let shifted: Vec<Node> =
+                    t.iter().map(|&c| Node((c.index() + off) as u32)).collect();
+                b.fact(rel, &shifted).expect("in range");
+            }
+        }
+        off += s.cardinality();
+    }
+    let assembled = b.finish().expect("non-empty");
+
+    // place the distinguished tuples at their answer positions
+    let k = query.arity();
+    let mut assignment_nodes: Vec<Option<Node>> = vec![None; k];
+    for ((part, (_, dist)), &offset) in partition.iter().zip(&reps).zip(&offsets) {
+        debug_assert_eq!(part.len(), dist.len());
+        for (&pos, &d) in part.iter().zip(dist.iter()) {
+            assignment_nodes[pos as usize] = Some(Node((d.index() + offset) as u32));
+        }
+    }
+
+    let mut asg = Assignment::default();
+    for (i, &v) in local.free.iter().enumerate() {
+        asg.bind(v, assignment_nodes[i].expect("partition covers all positions"));
+    }
+    eval(&assembled, &local.matrix, &mut asg)
+}
+
+/// Order-preserving parallel flat-map over scoped threads. Falls back to
+/// sequential for small inputs. The closure must be pure (it runs
+/// concurrently over disjoint chunks).
+fn parallel_flat_map<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> Vec<U> + Sync,
+) -> Vec<U> {
+    if threads <= 1 || items.len() < 256 {
+        return items.iter().flat_map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut per_chunk: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().flat_map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("reduction worker panicked"));
+        }
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// All injections `{0..s-1} → {0..k-1}` for `s = 1..=k`, each as its list of
+/// target positions.
+fn all_injections(k: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for s in 1..=k {
+        let mut current: Vec<u8> = Vec::with_capacity(s);
+        fn rec(k: usize, s: usize, current: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+            if current.len() == s {
+                out.push(current.clone());
+                return;
+            }
+            for p in 0..k as u8 {
+                if !current.contains(&p) {
+                    current.push(p);
+                    rec(k, s, current, out);
+                    current.pop();
+                }
+            }
+        }
+        rec(k, s, &mut current, &mut out);
+    }
+    out
+}
+
+/// All partitions of `{0..k-1}` with parts ordered by minimum element and
+/// each part sorted ascending (the paper's canonical form).
+fn all_partitions(k: usize) -> Vec<Vec<Vec<u8>>> {
+    let mut out = Vec::new();
+    let mut parts: Vec<Vec<u8>> = Vec::new();
+    fn rec(k: usize, next: u8, parts: &mut Vec<Vec<u8>>, out: &mut Vec<Vec<Vec<u8>>>) {
+        if next as usize == k {
+            out.push(parts.clone());
+            return;
+        }
+        for i in 0..parts.len() {
+            parts[i].push(next);
+            rec(k, next + 1, parts, out);
+            parts[i].pop();
+        }
+        parts.push(vec![next]);
+        rec(k, next + 1, parts, out);
+        parts.pop();
+    }
+    rec(k, 0, &mut parts, &mut out);
+    out
+}
+
+/// Enumerate all ordered tuples (with repetition) of sizes `2..=k` over
+/// `ball` whose first component is `tuple[0]` and which are connected with
+/// respect to the near-pair store; invoke `sink` on each (and on the
+/// singleton).
+fn enumerate_cluster_tuples(
+    ball: &[Node],
+    k: usize,
+    near: &RadixFuncStore<()>,
+    tuple: &mut Vec<Node>,
+    sink: &mut impl FnMut(&[Node]),
+) {
+    // the singleton is always connected
+    sink(tuple);
+    if tuple.len() == k {
+        return;
+    }
+    for &b in ball {
+        tuple.push(b);
+        if is_connected(tuple, near) {
+            sink(tuple);
+        }
+        // continue extending even through disconnected prefixes: a later
+        // element may bridge them
+        if tuple.len() < k {
+            extend_rest(ball, k, near, tuple, sink);
+        }
+        tuple.pop();
+    }
+}
+
+fn extend_rest(
+    ball: &[Node],
+    k: usize,
+    near: &RadixFuncStore<()>,
+    tuple: &mut Vec<Node>,
+    sink: &mut impl FnMut(&[Node]),
+) {
+    for &b in ball {
+        tuple.push(b);
+        if is_connected(tuple, near) {
+            sink(tuple);
+        }
+        if tuple.len() < k {
+            extend_rest(ball, k, near, tuple, sink);
+        }
+        tuple.pop();
+    }
+}
+
+fn is_connected(tuple: &[Node], near: &RadixFuncStore<()>) -> bool {
+    let s = tuple.len();
+    if s <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; s];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..s {
+            if !seen[j]
+                && (tuple[i] == tuple[j] || near.contains_key(&[tuple[i], tuple[j]]))
+            {
+                seen[j] = true;
+                count += 1;
+                stack.push(j);
+            }
+        }
+    }
+    count == s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+    use lowdeg_logic::eval::answers_naive;
+    use lowdeg_logic::parse_query;
+
+    fn eps() -> Epsilon {
+        Epsilon::new(0.5)
+    }
+
+    fn small(seed: u64) -> Structure {
+        ColoredGraphSpec::balanced(18, DegreeClass::Bounded(3)).generate(seed)
+    }
+
+    /// The fundamental invariant: `f` restricts to a bijection between
+    /// `φ(A)` and `ψ(G)`.
+    fn assert_bijection(structure: &Structure, src: &str) {
+        let q = parse_query(structure.signature(), src).unwrap();
+        let red = Reduction::build(structure, &q, eps()).unwrap();
+        let oracle = answers_naive(structure, &q);
+        let oracle_set: BTreeSet<Vec<Node>> = oracle.iter().cloned().collect();
+
+        // every tuple decides correctly through the graph
+        let k = q.arity();
+        let n = structure.cardinality();
+        let mut idx = vec![0usize; k];
+        loop {
+            let tuple: Vec<Node> = idx.iter().map(|&i| Node(i as u32)).collect();
+            let via_graph = red.test_via_graph(&tuple).unwrap();
+            assert_eq!(
+                via_graph,
+                oracle_set.contains(&tuple),
+                "`{src}` disagrees on {tuple:?}"
+            );
+            // f is invertible on answers
+            if via_graph {
+                let v = red.forward(&tuple).unwrap();
+                assert_eq!(red.backward(&v), Some(tuple.clone()));
+            }
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < n {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn running_example_bijection() {
+        for seed in [1, 2] {
+            let s = small(seed);
+            assert_bijection(&s, "B(x) & R(y) & !E(x, y)");
+        }
+    }
+
+    #[test]
+    fn unary_query_bijection() {
+        let s = small(3);
+        assert_bijection(&s, "B(x) & !R(x)");
+    }
+
+    #[test]
+    fn quantified_query_bijection() {
+        let s = small(4);
+        assert_bijection(&s, "exists z. E(x, z) & E(z, y)");
+    }
+
+    #[test]
+    fn dist_guard_bijection() {
+        let s = small(5);
+        assert_bijection(&s, "B(x) & R(y) & dist(x, y) > 2");
+    }
+
+    #[test]
+    fn ternary_query_bijection() {
+        let s = ColoredGraphSpec::balanced(10, DegreeClass::Bounded(2)).generate(6);
+        assert_bijection(&s, "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)");
+    }
+
+    #[test]
+    fn forward_is_total_and_injective() {
+        let s = small(7);
+        let q = parse_query(s.signature(), "B(x) & R(y)").unwrap();
+        let red = Reduction::build(&s, &q, eps()).unwrap();
+        let mut images = BTreeSet::new();
+        for a in s.domain() {
+            for b in s.domain() {
+                let img = red.forward(&[a, b]).unwrap();
+                assert!(images.insert(img), "f not injective at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_binary_signature() {
+        let s = small(8);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let red = Reduction::build(&s, &q, eps()).unwrap();
+        assert!(red.graph().signature().is_binary());
+        assert!(red.cluster_count() > 0);
+        assert_eq!(red.arity(), 2);
+        // radius 0 for a quantifier-free query
+        assert_eq!(red.radius(), 0);
+    }
+
+    #[test]
+    fn partitions_enumeration() {
+        assert_eq!(all_partitions(1).len(), 1);
+        assert_eq!(all_partitions(2).len(), 2);
+        assert_eq!(all_partitions(3).len(), 5); // Bell(3)
+        assert_eq!(all_partitions(4).len(), 15); // Bell(4)
+        for p in all_partitions(3) {
+            // parts ordered by min, each sorted
+            let mins: Vec<u8> = p.iter().map(|part| part[0]).collect();
+            assert!(mins.windows(2).all(|w| w[0] < w[1]));
+            for part in p {
+                assert!(part.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn injections_enumeration() {
+        // k=3: s=1 → 3, s=2 → 6, s=3 → 6
+        assert_eq!(all_injections(3).len(), 15);
+        assert_eq!(all_injections(1), vec![vec![0]]);
+    }
+
+    #[test]
+    fn budget_violation_reported() {
+        let s = small(9);
+        let q = parse_query(s.signature(), "B(x) & R(y)").unwrap();
+        let err = Reduction::build_with_budget(&s, &q, eps(), 0).unwrap_err();
+        assert!(matches!(err, EngineError::CombinationBudget { .. }));
+    }
+}

@@ -1,0 +1,125 @@
+//! Random colored graphs: the workloads of the paper's running example
+//! (blue/red non-adjacent pairs) and of most experiments.
+
+use crate::random::DegreeClass;
+use lowdeg_storage::{Node, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Color relation names available in [`crate::colored_graph_signature`].
+pub const COLOR_NAMES: [&str; 3] = ["B", "R", "G"];
+
+/// Specification of a random colored graph over `{E/2, B/1, R/1, G/1}`.
+#[derive(Clone, Debug)]
+pub struct ColoredGraphSpec {
+    /// Domain size.
+    pub n: usize,
+    /// Degree regime of the edge relation.
+    pub degree: DegreeClass,
+    /// Probability that a node is blue.
+    pub blue: f64,
+    /// Probability that a node is red.
+    pub red: f64,
+    /// Probability that a node is green.
+    pub green: f64,
+}
+
+impl ColoredGraphSpec {
+    /// A balanced default: ~30% blue, ~30% red, ~20% green.
+    pub fn balanced(n: usize, degree: DegreeClass) -> Self {
+        ColoredGraphSpec {
+            n,
+            degree,
+            blue: 0.3,
+            red: 0.3,
+            green: 0.2,
+        }
+    }
+
+    /// Generate the structure. Deterministic in `seed`. Colors are assigned
+    /// independently (a node may carry several colors, matching the paper's
+    /// "colored graph" = arbitrary unary predicates).
+    pub fn generate(&self, seed: u64) -> Structure {
+        assert!(self.n >= 1);
+        let sig = crate::colored_graph_signature();
+        let e = sig.rel("E").expect("E in colored signature");
+        let max_degree = self.degree.cap(self.n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut degree = vec![0usize; self.n];
+        let mut b = Structure::builder(sig.clone(), self.n);
+
+        if self.n >= 2 {
+            let target = self.n * max_degree / 2;
+            let attempts = target.saturating_mul(3).max(16);
+            let mut added = 0usize;
+            for _ in 0..attempts {
+                if added >= target {
+                    break;
+                }
+                let u = rng.gen_range(0..self.n);
+                let v = rng.gen_range(0..self.n);
+                if u == v || degree[u] >= max_degree || degree[v] >= max_degree {
+                    continue;
+                }
+                b.undirected_edge(e, Node(u as u32), Node(v as u32))
+                    .expect("in range");
+                degree[u] += 1;
+                degree[v] += 1;
+                added += 1;
+            }
+        }
+
+        for (name, p) in COLOR_NAMES
+            .iter()
+            .zip([self.blue, self.red, self.green])
+        {
+            let rel = sig.rel(name).expect("color in signature");
+            for i in 0..self.n {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    b.fact(rel, &[Node(i as u32)]).expect("in range");
+                }
+            }
+        }
+        b.finish().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_degree_cap() {
+        let spec = ColoredGraphSpec::balanced(300, DegreeClass::Bounded(5));
+        let s = spec.generate(1);
+        assert!(s.degree() <= 5);
+        let b = s.signature().rel("B").unwrap();
+        let r = s.signature().rel("R").unwrap();
+        assert!(s.relation(b).len() > 30);
+        assert!(s.relation(r).len() > 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = ColoredGraphSpec::balanced(100, DegreeClass::Bounded(4));
+        assert_eq!(spec.generate(9), spec.generate(9));
+    }
+
+    #[test]
+    fn colors_can_overlap() {
+        let spec = ColoredGraphSpec {
+            n: 50,
+            degree: DegreeClass::Bounded(2),
+            blue: 1.0,
+            red: 1.0,
+            green: 0.0,
+        };
+        let s = spec.generate(2);
+        let b = s.signature().rel("B").unwrap();
+        let r = s.signature().rel("R").unwrap();
+        assert_eq!(s.relation(b).len(), 50);
+        assert_eq!(s.relation(r).len(), 50);
+        let g = s.signature().rel("G").unwrap();
+        assert_eq!(s.relation(g).len(), 0);
+    }
+}

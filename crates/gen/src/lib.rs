@@ -1,0 +1,46 @@
+//! # lowdeg-gen
+//!
+//! Seeded workload generators for the degree classes the paper discusses:
+//!
+//! * bounded degree (`d` constant) — the classic setting of [5, 14],
+//! * degree `(log n)^c` — the canonical low-degree class (Section 2.3),
+//! * degree `n^δ` — the edge of the low-degree regime,
+//! * padded cliques — the Section 2.3 example of a low-degree class that is
+//!   *not* nowhere dense and not closed under substructures,
+//! * grids, paths, cycles — deterministic topologies for exact-answer tests,
+//! * a small social-network workload used by the examples.
+//!
+//! All random generators take an explicit seed and are deterministic across
+//! runs (they use `StdRng`), so experiments are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod colored;
+mod padded;
+mod random;
+mod social;
+mod topology;
+
+pub use colored::{ColoredGraphSpec, COLOR_NAMES};
+pub use padded::padded_clique;
+pub use random::{
+    bounded_degree_graph, log_degree_graph, poly_degree_graph, random_structure_spec,
+    DegreeClass, RandomStructureSpec,
+};
+pub use social::{social_network, social_signature, SocialSpec};
+pub use topology::{cycle_graph, forest_graph, grid_graph, path_graph, star_graph};
+
+use lowdeg_storage::Signature;
+use std::sync::Arc;
+
+/// The signature of a plain (directed-symmetric) graph: `{E/2}`.
+pub fn graph_signature() -> Arc<Signature> {
+    Arc::new(Signature::new(&[("E", 2)]))
+}
+
+/// The signature of colored graphs used across examples and experiments:
+/// `{E/2, B/1, R/1, G/1}` (edge, blue, red, green).
+pub fn colored_graph_signature() -> Arc<Signature> {
+    Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1), ("G", 1)]))
+}

@@ -1,0 +1,68 @@
+//! Padded cliques — Section 2.3's example of a class of low degree that is
+//! *not* nowhere dense and not closed under substructures.
+
+use lowdeg_storage::{Node, Structure};
+
+/// A `k`-clique embedded in an `n`-element domain whose remaining `n − k`
+/// elements are isolated.
+///
+/// Choosing `k = k(n)` with `k(n) ≤ n^δ` eventually for every `δ > 0`
+/// (e.g. `k = ⌈log₂ n⌉`) makes the family `{padded_clique(k(n), n)}` a class
+/// of low degree even though it contains arbitrarily large cliques — which
+/// places it outside every nowhere-dense class. Experiment E11 runs the full
+/// pipeline on this family.
+pub fn padded_clique(clique: usize, n: usize) -> Structure {
+    assert!(clique <= n, "clique cannot exceed the domain");
+    assert!(n >= 1);
+    let sig = crate::graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.undirected_edge(e, Node(i as u32), Node(j as u32))
+                .expect("in range");
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_degree() {
+        let s = padded_clique(5, 100);
+        assert_eq!(s.degree(), 4);
+        assert_eq!(s.cardinality(), 100);
+        let e = s.signature().rel("E").unwrap();
+        assert_eq!(s.relation(e).len(), 5 * 4); // directed pairs
+    }
+
+    #[test]
+    fn padding_isolated() {
+        let s = padded_clique(3, 10);
+        for i in 3..10 {
+            assert_eq!(s.gaifman().degree(Node(i as u32)), 0);
+        }
+    }
+
+    #[test]
+    fn log_clique_family_is_low_degree() {
+        // degree of padded_clique(log n, n) is log n − 1 ≤ n^δ for large n
+        for &n in &[64usize, 256, 1024] {
+            let k = (n as f64).log2().ceil() as usize;
+            let s = padded_clique(k, n);
+            assert_eq!(s.degree(), k - 1);
+            assert!((s.degree() as f64) < (n as f64).powf(0.5));
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = padded_clique(0, 4);
+        assert_eq!(s.degree(), 0);
+        let t = padded_clique(1, 1);
+        assert_eq!(t.degree(), 0);
+    }
+}

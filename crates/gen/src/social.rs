@@ -1,0 +1,128 @@
+//! A small social-network workload used by the example binaries.
+//!
+//! People know a bounded number of other people (degree stays low even as
+//! the network grows — the "low degree" modeling assumption is natural
+//! here), some are flagged as moderators, some as new members, and some
+//! accounts are suspended.
+
+use lowdeg_storage::{Node, Signature, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the social-network generator.
+#[derive(Clone, Debug)]
+pub struct SocialSpec {
+    /// Number of people.
+    pub people: usize,
+    /// Maximum acquaintance degree.
+    pub max_friends: usize,
+    /// Fraction of moderators.
+    pub moderator_rate: f64,
+    /// Fraction of new members.
+    pub newbie_rate: f64,
+    /// Fraction of suspended accounts.
+    pub suspended_rate: f64,
+}
+
+impl Default for SocialSpec {
+    fn default() -> Self {
+        SocialSpec {
+            people: 1000,
+            max_friends: 8,
+            moderator_rate: 0.05,
+            newbie_rate: 0.2,
+            suspended_rate: 0.02,
+        }
+    }
+}
+
+/// The social-network signature:
+/// `Knows/2` (symmetric), `Moderator/1`, `Newbie/1`, `Suspended/1`.
+pub fn social_signature() -> Arc<Signature> {
+    Arc::new(Signature::new(&[
+        ("Knows", 2),
+        ("Moderator", 1),
+        ("Newbie", 1),
+        ("Suspended", 1),
+    ]))
+}
+
+/// Generate a network per `spec`, deterministic in `seed`.
+pub fn social_network(spec: &SocialSpec, seed: u64) -> Structure {
+    assert!(spec.people >= 1);
+    let sig = social_signature();
+    let knows = sig.rel("Knows").expect("Knows");
+    let moderator = sig.rel("Moderator").expect("Moderator");
+    let newbie = sig.rel("Newbie").expect("Newbie");
+    let suspended = sig.rel("Suspended").expect("Suspended");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = spec.people;
+    let mut degree = vec![0usize; n];
+    let mut b = Structure::builder(sig, n);
+
+    if n >= 2 {
+        let target = n * spec.max_friends / 2;
+        let attempts = target.saturating_mul(3).max(16);
+        let mut added = 0usize;
+        for _ in 0..attempts {
+            if added >= target {
+                break;
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || degree[u] >= spec.max_friends || degree[v] >= spec.max_friends {
+                continue;
+            }
+            b.undirected_edge(knows, Node(u as u32), Node(v as u32))
+                .expect("in range");
+            degree[u] += 1;
+            degree[v] += 1;
+            added += 1;
+        }
+    }
+
+    for (rel, rate) in [
+        (moderator, spec.moderator_rate),
+        (newbie, spec.newbie_rate),
+        (suspended, spec.suspended_rate),
+    ] {
+        for i in 0..n {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                b.fact(rel, &[Node(i as u32)]).expect("in range");
+            }
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_friend_cap() {
+        let s = social_network(&SocialSpec::default(), 3);
+        assert!(s.degree() <= 8);
+        assert_eq!(s.cardinality(), 1000);
+    }
+
+    #[test]
+    fn roles_populated() {
+        let s = social_network(&SocialSpec::default(), 3);
+        let m = s.signature().rel("Moderator").unwrap();
+        let nb = s.signature().rel("Newbie").unwrap();
+        assert!(s.relation(m).len() > 10);
+        assert!(s.relation(nb).len() > 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = SocialSpec {
+            people: 50,
+            ..SocialSpec::default()
+        };
+        assert_eq!(social_network(&spec, 1), social_network(&spec, 1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic graph topologies for exact-answer tests.
+
+use crate::graph_signature;
+use lowdeg_storage::{Node, Structure};
+
+/// The path `0 — 1 — … — (n−1)` with symmetric `E` edges. Degree 2.
+pub fn path_graph(n: usize) -> Structure {
+    assert!(n >= 1);
+    let sig = graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    for i in 0..n.saturating_sub(1) {
+        b.undirected_edge(e, Node(i as u32), Node(i as u32 + 1))
+            .expect("in range");
+    }
+    b.finish().expect("non-empty")
+}
+
+/// The cycle on `n ≥ 3` nodes with symmetric `E` edges. Degree 2.
+pub fn cycle_graph(n: usize) -> Structure {
+    assert!(n >= 3, "cycles need at least 3 nodes");
+    let sig = graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    for i in 0..n {
+        b.undirected_edge(e, Node(i as u32), Node(((i + 1) % n) as u32))
+            .expect("in range");
+    }
+    b.finish().expect("non-empty")
+}
+
+/// The `w × h` grid with symmetric `E` edges. Degree ≤ 4; node `(x, y)` is
+/// `y·w + x`.
+pub fn grid_graph(w: usize, h: usize) -> Structure {
+    assert!(w >= 1 && h >= 1);
+    let n = w * h;
+    let sig = graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    let id = |x: usize, y: usize| Node((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.undirected_edge(e, id(x, y), id(x + 1, y)).expect("in range");
+            }
+            if y + 1 < h {
+                b.undirected_edge(e, id(x, y), id(x, y + 1)).expect("in range");
+            }
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+/// A balanced forest: `trees` complete binary trees of equal size covering
+/// `n` nodes (the last tree absorbs the remainder). Degree ≤ 3; trees are
+/// a classic bounded-degree class and the disjoint components exercise the
+/// per-component counting of Lemma 3.5.
+pub fn forest_graph(n: usize, trees: usize) -> Structure {
+    assert!(n >= 1 && trees >= 1 && trees <= n);
+    let sig = graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    let per = n / trees;
+    for t in 0..trees {
+        let start = t * per;
+        let end = if t + 1 == trees { n } else { start + per };
+        // heap-shaped binary tree over [start, end)
+        for i in start..end {
+            let local = i - start;
+            for child in [2 * local + 1, 2 * local + 2] {
+                let c = start + child;
+                if c < end {
+                    b.undirected_edge(e, Node(i as u32), Node(c as u32))
+                        .expect("in range");
+                }
+            }
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+/// The star with center `0` and `n−1` leaves. Center degree `n−1` — useful
+/// as a *high*-degree control workload.
+pub fn star_graph(n: usize) -> Structure {
+    assert!(n >= 1);
+    let sig = graph_signature();
+    let e = sig.rel("E").expect("graph signature has E");
+    let mut b = Structure::builder(sig, n);
+    for i in 1..n {
+        b.undirected_edge(e, Node(0), Node(i as u32)).expect("in range");
+    }
+    b.finish().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_properties() {
+        let p = path_graph(10);
+        assert_eq!(p.cardinality(), 10);
+        assert_eq!(p.degree(), 2);
+        let e = p.signature().rel("E").unwrap();
+        assert_eq!(p.relation(e).len(), 18); // 9 undirected edges × 2
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let c = cycle_graph(7);
+        assert_eq!(c.degree(), 2);
+        let e = c.signature().rel("E").unwrap();
+        assert_eq!(c.relation(e).len(), 14);
+    }
+
+    #[test]
+    fn grid_properties() {
+        let g = grid_graph(4, 3);
+        assert_eq!(g.cardinality(), 12);
+        assert_eq!(g.degree(), 4);
+        // interior node (1,1) = 5 has 4 neighbors
+        assert_eq!(g.gaifman().degree(Node(5)), 4);
+        // corner 0 has 2
+        assert_eq!(g.gaifman().degree(Node(0)), 2);
+    }
+
+    #[test]
+    fn star_properties() {
+        let s = star_graph(6);
+        assert_eq!(s.degree(), 5);
+        assert_eq!(s.gaifman().degree(Node(3)), 1);
+    }
+
+    #[test]
+    fn forest_components_and_degree() {
+        let f = forest_graph(30, 3);
+        assert!(f.degree() <= 3);
+        let (_, count) = f.gaifman().components();
+        assert_eq!(count, 3);
+        // single tree
+        let t = forest_graph(15, 1);
+        let (_, one) = t.gaifman().components();
+        assert_eq!(one, 1);
+        assert!(t.degree() <= 3);
+    }
+
+    #[test]
+    fn singleton_path() {
+        let p = path_graph(1);
+        assert_eq!(p.cardinality(), 1);
+        assert_eq!(p.degree(), 0);
+    }
+}

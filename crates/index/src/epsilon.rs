@@ -1,0 +1,105 @@
+//! The `ε` parameter of pseudo-linear algorithms.
+
+use std::fmt;
+
+/// The `ε > 0` of a pseudo-linear `O(n^{1+ε})` bound (Section 2.2).
+///
+/// Every preprocessing entry point in the workspace takes an `Epsilon`; it
+/// trades space/preprocessing (`n^ε` factors) against nothing else — lookups
+/// stay constant-time for every value. Smaller ε means less space but deeper
+/// radix tries (more — still constantly many — steps per lookup).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Construct a valid ε. Panics unless `0 < eps ≤ 4`.
+    ///
+    /// ε above 4 is clamped out because it buys nothing: a fanout of `n^4`
+    /// already stores any binary function in a flat array.
+    pub fn new(eps: f64) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0 && eps <= 4.0,
+            "epsilon must satisfy 0 < eps <= 4, got {eps}"
+        );
+        Epsilon(eps)
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(eps: f64) -> Option<Self> {
+        (eps.is_finite() && eps > 0.0 && eps <= 4.0).then_some(Epsilon(eps))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// A sensible default for examples and tests: ε = 0.25.
+    pub fn default_eps() -> Self {
+        Epsilon(0.25)
+    }
+
+    /// Half of this ε — the `ε/2` trick the paper uses when an algorithm
+    /// needs to spend the budget twice (e.g. the proofs of Thm 2.6, 2.7).
+    pub fn half(self) -> Self {
+        Epsilon(self.0 / 2.0)
+    }
+
+    /// Number of bits `c ≈ ε·log₂(n)` a radix-trie level may consume so that
+    /// its fanout `2^c` stays ≤ `max(2, n^ε)`. Always ≥ 1 so progress is
+    /// guaranteed.
+    pub fn chunk_bits(self, n: usize) -> u32 {
+        let n = n.max(2) as f64;
+        let bits = (self.0 * n.log2()).floor() as u32;
+        bits.max(1)
+    }
+}
+
+impl Default for Epsilon {
+    fn default() -> Self {
+        Self::default_eps()
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        assert_eq!(Epsilon::new(0.5).value(), 0.5);
+        assert!(Epsilon::try_new(0.0).is_none());
+        assert!(Epsilon::try_new(-1.0).is_none());
+        assert!(Epsilon::try_new(f64::NAN).is_none());
+        assert!(Epsilon::try_new(5.0).is_none());
+        assert!(Epsilon::try_new(4.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must satisfy")]
+    fn panics_on_zero() {
+        let _ = Epsilon::new(0.0);
+    }
+
+    #[test]
+    fn chunk_bits_scales_with_n() {
+        let e = Epsilon::new(0.5);
+        // n = 2^16 → 0.5 * 16 = 8 bits
+        assert_eq!(e.chunk_bits(1 << 16), 8);
+        // tiny n still progresses
+        assert_eq!(e.chunk_bits(2), 1);
+        assert_eq!(Epsilon::new(0.01).chunk_bits(1 << 10), 1);
+    }
+
+    #[test]
+    fn half_halves() {
+        assert_eq!(Epsilon::new(0.5).half().value(), 0.25);
+    }
+}

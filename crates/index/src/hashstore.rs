@@ -1,0 +1,117 @@
+//! Hash-map baseline with the same interface as [`RadixFuncStore`].
+//!
+//! Used by the E6 experiment to compare the Storing Theorem's deterministic
+//! structure against expected-constant hashing, and internally wherever a
+//! key is not a fixed-arity node tuple.
+
+use crate::{FxHashMap, RadixFuncStore};
+use lowdeg_storage::Node;
+
+/// A `f : [n]^k ⇀ V` store backed by an Fx-hashed map.
+///
+/// Same observable behaviour as [`RadixFuncStore`]; lookups are
+/// expected-O(1) rather than worst-case constant.
+#[derive(Clone, Debug)]
+pub struct HashFuncStore<V> {
+    arity: usize,
+    map: FxHashMap<Box<[Node]>, V>,
+}
+
+impl<V> HashFuncStore<V> {
+    /// Create an empty store for `arity`-ary keys.
+    pub fn new(arity: usize) -> Self {
+        HashFuncStore {
+            arity,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Build from entries, mirroring [`RadixFuncStore::build`].
+    pub fn build<I, K>(arity: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: AsRef<[Node]>,
+    {
+        let mut s = Self::new(arity);
+        for (k, v) in entries {
+            s.insert(k.as_ref(), v);
+        }
+        s
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Insert, returning the replaced value if any.
+    pub fn insert(&mut self, key: &[Node], value: V) -> Option<V> {
+        assert_eq!(key.len(), self.arity, "key arity mismatch");
+        self.map.insert(key.into(), value)
+    }
+
+    /// Lookup.
+    pub fn get(&self, key: &[Node]) -> Option<&V> {
+        if key.len() != self.arity {
+            return None;
+        }
+        self.map.get(key)
+    }
+
+    /// Membership.
+    #[inline]
+    pub fn contains_key(&self, key: &[Node]) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<V: Clone> HashFuncStore<V> {
+    /// Convert into a [`RadixFuncStore`] over `[n]^k` (for experiments that
+    /// build via hashing and then freeze into the deterministic structure).
+    pub fn freeze(&self, n: usize, eps: crate::Epsilon) -> RadixFuncStore<V> {
+        RadixFuncStore::build(
+            n,
+            self.arity,
+            eps,
+            self.map.iter().map(|(k, v)| (k.clone(), v.clone())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Epsilon;
+    use lowdeg_storage::node;
+
+    #[test]
+    fn mirror_of_radix_semantics() {
+        let mut s = HashFuncStore::new(2);
+        assert_eq!(s.insert(&[node(1), node(2)], "x"), None);
+        assert_eq!(s.insert(&[node(1), node(2)], "y"), Some("x"));
+        assert_eq!(s.get(&[node(1), node(2)]), Some(&"y"));
+        assert_eq!(s.get(&[node(2), node(1)]), None);
+        assert_eq!(s.get(&[node(1)]), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn freeze_preserves_content() {
+        let mut s = HashFuncStore::new(2);
+        for i in 0..20u32 {
+            s.insert(&[node(i), node(i + 1)], i);
+        }
+        let frozen = s.freeze(32, Epsilon::new(0.5));
+        assert_eq!(frozen.len(), 20);
+        for i in 0..20u32 {
+            assert_eq!(frozen.get(&[node(i), node(i + 1)]), Some(&i));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # lowdeg-index
+//!
+//! RAM-model index substrates for the `lowdeg` engine:
+//!
+//! * [`RadixFuncStore`] — the **Storing Theorem** (Theorem 2.1 of
+//!   Durand–Schweikardt–Segoufin): a k-ary partial function with domain
+//!   `dom(f) ⊆ [n]^k` stored in space `O(|dom(f)| · n^ε)` with lookup time
+//!   depending only on `k` and `ε` (never on `n`).
+//! * [`FactIndex`] — **Corollary 2.2**: after pseudo-linear preprocessing,
+//!   test `A ⊨ R(ā)` in constant time.
+//! * [`FxHashMap`] / [`HashFuncStore`] — a fast hash-map baseline used by the
+//!   E6 ablation experiment (expected-constant lookups vs. the Storing
+//!   Theorem's deterministic worst-case lookups).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epsilon;
+mod fact_index;
+mod fxhash;
+mod hashstore;
+mod radix;
+
+pub use epsilon::Epsilon;
+pub use fact_index::FactIndex;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hashstore::HashFuncStore;
+pub use radix::RadixFuncStore;

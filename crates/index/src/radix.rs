@@ -1,0 +1,318 @@
+//! The Storing Theorem (Theorem 2.1): deterministic k-ary function storage
+//! with `O(|dom f| · n^ε)` space and lookups whose cost depends only on
+//! `k` and `ε`.
+
+use crate::Epsilon;
+use lowdeg_storage::Node;
+
+/// Deterministic store for a partial function `f : [n]^k ⇀ V`.
+///
+/// **Construction** (the proof idea behind Theorem 2.1, cf. the paper's reference \[20\]): each of
+/// the `k` coordinates is a `B = ⌈log₂ n⌉`-bit string; the concatenated key
+/// is consumed in chunks of `c = max(1, ⌊ε·log₂ n⌋)` bits by a trie whose
+/// nodes are flat arrays of fanout `2^c ≤ max(2, n^ε)`.
+///
+/// * **Space / build time**: the trie has depth `k·⌈B/c⌉`, so at most
+///   `|dom f| · k·⌈B/c⌉` nodes of `2^c` words each — `O(|dom f| · n^ε)`
+///   words with the constant depending on `k` and `ε` only.
+/// * **Lookup**: exactly `depth` array indexings — a function of `k` and `ε`,
+///   independent of `n` and of `|dom f|`. This is the property Corollary 2.2
+///   and the `skip`-function of Proposition 3.9 rely on.
+///
+/// Keys are tuples of [`Node`]; inserting the same key twice replaces the
+/// value (last write wins).
+#[derive(Clone, Debug)]
+pub struct RadixFuncStore<V> {
+    arity: usize,
+    n: usize,
+    bits_per_coord: u32,
+    chunk_bits: u32,
+    chunks_per_coord: u32,
+    fanout: usize,
+    /// Flattened trie nodes: slot `node*fanout + chunk` holds `0` (absent) or
+    /// `child_id + 1`. At the last level the "child id" indexes `values`.
+    slots: Vec<u32>,
+    values: Vec<V>,
+    len: usize,
+}
+
+impl<V> RadixFuncStore<V> {
+    /// Create an empty store for functions over `[n]^arity`.
+    ///
+    /// `n` must be ≥ 1 and `arity` ≥ 1.
+    pub fn new(n: usize, arity: usize, eps: Epsilon) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(arity >= 1, "arity must be at least 1");
+        let bits_per_coord = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
+        // Fanout capped at 2^12: the theorem allows n^eps, but a node is a
+        // flat array, and beyond 16 KiB per node sparse key sets pay the
+        // full n^eps space bound with no lookup benefit.
+        let chunk_bits = eps.chunk_bits(n).min(bits_per_coord).min(12);
+        let chunks_per_coord = bits_per_coord.div_ceil(chunk_bits);
+        let fanout = 1usize << chunk_bits;
+        RadixFuncStore {
+            arity,
+            n,
+            bits_per_coord,
+            chunk_bits,
+            chunks_per_coord,
+            fanout,
+            slots: vec![0u32; fanout], // root node
+            values: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build a store from `(key, value)` entries.
+    pub fn build<I, K>(n: usize, arity: usize, eps: Epsilon, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: AsRef<[Node]>,
+    {
+        let mut store = Self::new(n, arity, eps);
+        for (k, v) in entries {
+            store.insert(k.as_ref(), v);
+        }
+        store
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The trie depth: the exact number of array indexings per lookup.
+    /// Depends only on `k` and `ε` (via the chunking), not on `|dom f|`.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.chunks_per_coord * self.arity as u32
+    }
+
+    /// Fanout of every trie node (`2^c ≤ max(2, n^ε)`, capped at 2¹²).
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Total space in `u32` slot words (for the E6 space experiment).
+    pub fn space_words(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Decompose `key` into trie chunks, most significant chunk of the first
+    /// coordinate first.
+    #[inline]
+    fn chunk(&self, key: &[Node], step: u32) -> usize {
+        let coord = (step / self.chunks_per_coord) as usize;
+        let within = step % self.chunks_per_coord;
+        // Chunks are taken from the high bits down so sibling keys share
+        // prefixes exactly when their coordinates share high bits.
+        let shift_top = self.bits_per_coord - (within * self.chunk_bits).min(self.bits_per_coord);
+        let taken = self.chunk_bits.min(shift_top);
+        let shift = shift_top - taken;
+        let mask = (1u64 << taken) - 1;
+        (((key[coord].0 as u64) >> shift) & mask) as usize
+    }
+
+    /// Insert `key → value`; returns the previous value when replacing.
+    ///
+    /// Panics when `key` has the wrong arity or a coordinate is outside
+    /// `[n]`.
+    pub fn insert(&mut self, key: &[Node], value: V) -> Option<V> {
+        self.check_key(key);
+        let depth = self.depth();
+        let mut node = 0usize;
+        for step in 0..depth - 1 {
+            let c = self.chunk(key, step);
+            let slot = node * self.fanout + c;
+            let next = self.slots[slot];
+            if next == 0 {
+                let new_node = self.slots.len() / self.fanout;
+                self.slots.resize(self.slots.len() + self.fanout, 0);
+                self.slots[slot] = new_node as u32 + 1;
+                node = new_node;
+            } else {
+                node = (next - 1) as usize;
+            }
+        }
+        let c = self.chunk(key, depth - 1);
+        let slot = node * self.fanout + c;
+        let cur = self.slots[slot];
+        if cur == 0 {
+            self.values.push(value);
+            self.slots[slot] = self.values.len() as u32;
+            self.len += 1;
+            None
+        } else {
+            let old = std::mem::replace(&mut self.values[(cur - 1) as usize], value);
+            Some(old)
+        }
+    }
+
+    /// Constant-time lookup: `Some(&v)` when `key ∈ dom(f)`, else `None`
+    /// (the paper's `void`).
+    pub fn get(&self, key: &[Node]) -> Option<&V> {
+        if key.len() != self.arity || key.iter().any(|c| c.index() >= self.n) {
+            return None;
+        }
+        let depth = self.depth();
+        let mut node = 0usize;
+        for step in 0..depth - 1 {
+            let c = self.chunk(key, step);
+            let next = self.slots[node * self.fanout + c];
+            if next == 0 {
+                return None;
+            }
+            node = (next - 1) as usize;
+        }
+        let c = self.chunk(key, depth - 1);
+        let v = self.slots[node * self.fanout + c];
+        if v == 0 {
+            None
+        } else {
+            Some(&self.values[(v - 1) as usize])
+        }
+    }
+
+    /// Whether `key ∈ dom(f)`.
+    #[inline]
+    pub fn contains_key(&self, key: &[Node]) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn check_key(&self, key: &[Node]) {
+        assert_eq!(key.len(), self.arity, "key arity mismatch");
+        for c in key {
+            assert!(
+                c.index() < self.n,
+                "coordinate {} outside domain of size {}",
+                c.0,
+                self.n
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_storage::node;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v)
+    }
+
+    #[test]
+    fn insert_get_roundtrip_binary() {
+        let mut s = RadixFuncStore::new(100, 2, eps(0.5));
+        assert!(s.is_empty());
+        s.insert(&[node(3), node(7)], "a");
+        s.insert(&[node(3), node(8)], "b");
+        s.insert(&[node(99), node(0)], "c");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(&[node(3), node(7)]), Some(&"a"));
+        assert_eq!(s.get(&[node(3), node(8)]), Some(&"b"));
+        assert_eq!(s.get(&[node(99), node(0)]), Some(&"c"));
+        assert_eq!(s.get(&[node(7), node(3)]), None);
+        assert_eq!(s.get(&[node(0), node(0)]), None);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut s = RadixFuncStore::new(10, 1, eps(1.0));
+        assert_eq!(s.insert(&[node(5)], 1), None);
+        assert_eq!(s.insert(&[node(5)], 2), Some(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[node(5)]), Some(&2));
+    }
+
+    #[test]
+    fn wrong_arity_lookup_is_none() {
+        let s = RadixFuncStore::<u8>::new(10, 2, eps(0.5));
+        assert_eq!(s.get(&[node(1)]), None);
+        assert_eq!(s.get(&[node(1), node(1), node(1)]), None);
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_none() {
+        let mut s = RadixFuncStore::new(10, 1, eps(0.5));
+        s.insert(&[node(9)], ());
+        assert_eq!(s.get(&[node(10)]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_range_insert_panics() {
+        let mut s = RadixFuncStore::new(10, 1, eps(0.5));
+        s.insert(&[node(10)], ());
+    }
+
+    #[test]
+    fn depth_independent_of_content() {
+        let mut s = RadixFuncStore::new(1 << 16, 3, eps(0.25));
+        let d0 = s.depth();
+        for i in 0..1000u32 {
+            s.insert(&[node(i), node(i / 2), node(i / 3)], i);
+        }
+        assert_eq!(s.depth(), d0);
+        // ε=0.25 over 16-bit coords → chunk of 4 bits → 4 chunks per coord,
+        // 3 coords → depth 12.
+        assert_eq!(d0, 12);
+    }
+
+    #[test]
+    fn bigger_epsilon_means_shallower() {
+        let s1 = RadixFuncStore::<()>::new(1 << 16, 2, eps(0.25));
+        let s2 = RadixFuncStore::<()>::new(1 << 16, 2, eps(1.0));
+        assert!(s2.depth() < s1.depth());
+        assert!(s2.fanout() > s1.fanout());
+    }
+
+    #[test]
+    fn dense_exhaustive_small_domain() {
+        // every pair over [6]^2
+        let mut s = RadixFuncStore::new(6, 2, eps(0.5));
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                s.insert(&[node(a), node(b)], a * 10 + b);
+            }
+        }
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(s.get(&[node(a), node(b)]), Some(&(a * 10 + b)));
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_iterator() {
+        let entries = (0..50u32).map(|i| (vec![node(i), node(49 - i)], i as u64));
+        let s = RadixFuncStore::build(50, 2, eps(0.5), entries);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.get(&[node(10), node(39)]), Some(&10));
+    }
+
+    #[test]
+    fn unit_domain() {
+        let mut s = RadixFuncStore::new(1, 2, eps(0.5));
+        s.insert(&[node(0), node(0)], 42);
+        assert_eq!(s.get(&[node(0), node(0)]), Some(&42));
+    }
+
+    #[test]
+    fn space_grows_with_content_not_domain() {
+        let mut small = RadixFuncStore::new(1 << 20, 2, eps(0.25));
+        for i in 0..10u32 {
+            small.insert(&[node(i), node(i)], ());
+        }
+        // 10 keys in a 2^20 domain: space must be far below n.
+        assert!(small.space_words() < 1 << 14);
+    }
+}

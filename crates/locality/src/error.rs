@@ -1,0 +1,38 @@
+//! Errors of the localization pass.
+
+use std::fmt;
+
+/// Why a formula could not be brought into local normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// A quantified variable relates to the free variables only through
+    /// negated atoms, so no distance guard can be synthesized. This is the
+    /// fragment boundary documented in DESIGN.md §3: handling it in general
+    /// requires the full (non-elementary) Gaifman transformation.
+    NotLocalizable {
+        /// Human-readable description of the offending subformula.
+        detail: String,
+    },
+    /// A conjunct links two closed clusters in a shape the scattered-
+    /// sentence evaluator does not support (supported: `dist(u,v) > s`,
+    /// negated binary atoms, `u ≠ v`).
+    UnsupportedCross {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalizeError::NotLocalizable { detail } => {
+                write!(f, "formula is outside the localizable fragment: {detail}")
+            }
+            LocalizeError::UnsupportedCross { detail } => {
+                write!(f, "unsupported cross-cluster constraint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}

@@ -1,0 +1,702 @@
+//! The constructive localization pass — Step 1 of Proposition 3.3.
+//!
+//! Rewrites a supported FO query into an equivalent (over the given
+//! structure) formula that is `r`-local around its free variables, with the
+//! radius certified by [`crate::radius::certified_radius`]:
+//!
+//! 1. NNF + standardize-apart (variable hygiene);
+//! 2. for each existential block, distribute the body into top-level
+//!    disjuncts and analyze each conjunction:
+//!    * quantified variables **positively linked** to the outer variables get
+//!      synthesized distance guards `dist(v, u) ≤ D` (implied by the
+//!      conjunction, so the rewrite is an equivalence);
+//!    * the part **not linked** to outer variables is a closed scattered
+//!      sentence — it is decided right away by
+//!      [`crate::scattered::check_scattered`] and replaced by `true`/`false`,
+//!      exactly as the paper replaces basic-local sentences;
+//!    * a conjunct straddling the two (reachable ↔ far, linked only through
+//!      negation) cannot be guarded — the query is outside the fragment and
+//!      is rejected (DESIGN.md §3);
+//! 3. universal blocks are handled by duality.
+
+use crate::radius::{certified_radius, implied_links, insert_min, transitive_closure};
+use crate::scattered::{
+    check_scattered, Cluster, CrossConstraint, CrossKind, ScatteredSentence,
+};
+use crate::LocalizeError;
+use lowdeg_logic::simplify::simplify;
+use lowdeg_logic::transform::{nnf, standardize_apart};
+use lowdeg_logic::{DistCmp, Formula, Query, Var, VarAlloc};
+use lowdeg_storage::Structure;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A localized query: `matrix` is equivalent to the original formula *over
+/// the structure it was localized against* and is `radius`-local around
+/// `free`.
+#[derive(Clone, Debug)]
+pub struct LocalQuery {
+    /// Free variables in answer order (same as the source query).
+    pub free: Vec<Var>,
+    /// The `radius`-local matrix.
+    pub matrix: Formula,
+    /// Certified locality radius.
+    pub radius: usize,
+    /// Variable table (extended with synthesized variables).
+    pub vars: VarAlloc,
+}
+
+/// Localize `query` against `structure`.
+///
+/// Closed subformulas are *evaluated during the pass* (they are part of the
+/// preprocessing, as in the paper), so the result is only valid for this
+/// structure.
+pub fn localize(structure: &Structure, query: &Query) -> Result<LocalQuery, LocalizeError> {
+    let mut alloc = query.vars.clone();
+    // simplification first: smaller formulas mean exponentially smaller
+    // DNF / partition / type tables downstream
+    let hygienic = standardize_apart(&nnf(&simplify(&query.formula)), &mut alloc);
+    let matrix = loc(structure, &hygienic)?;
+    let radius = certified_radius(&matrix).unwrap_or_else(|| {
+        unreachable!("localization output must be certified: {matrix:?}")
+    });
+    Ok(LocalQuery {
+        free: query.free.clone(),
+        matrix,
+        radius,
+        vars: alloc,
+    })
+}
+
+/// Theorem 2.4: pseudo-linear model checking of a supported FO sentence.
+///
+/// Localizing a sentence evaluates every closed part, so the matrix folds to
+/// a constant.
+pub fn model_check(structure: &Structure, query: &Query) -> Result<bool, LocalizeError> {
+    assert!(query.is_sentence(), "model_check needs a sentence");
+    let lq = localize(structure, query)?;
+    match lq.matrix {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        other => unreachable!("sentence matrix must fold to a constant, got {other:?}"),
+    }
+}
+
+fn loc(structure: &Structure, f: &Formula) -> Result<Formula, LocalizeError> {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom { .. }
+        | Formula::Eq(..)
+        | Formula::Dist { .. } => Ok(f.clone()),
+        Formula::Not(g) => Ok(Formula::not(loc(structure, g)?)),
+        Formula::And(gs) => Ok(Formula::and(
+            gs.iter()
+                .map(|g| loc(structure, g))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Or(gs) => Ok(Formula::or(
+            gs.iter()
+                .map(|g| loc(structure, g))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Exists(vs, body) => {
+            let body = loc(structure, body)?;
+            let body = nnf(&body); // expose the Or/And skeleton
+            let branches = top_dnf(&body);
+            let mut out = Vec::with_capacity(branches.len());
+            for conjuncts in branches {
+                out.push(localize_branch(structure, vs, conjuncts)?);
+            }
+            Ok(Formula::or(out))
+        }
+        Formula::Forall(vs, body) => {
+            let dual = Formula::exists(vs.clone(), nnf(&Formula::not((**body).clone())));
+            Ok(Formula::not(loc(structure, &dual)?))
+        }
+    }
+}
+
+/// Distribute the top-level ∨/∧ skeleton into disjuncts of conjunct lists;
+/// quantified subformulas and literals are opaque leaves.
+fn top_dnf(f: &Formula) -> Vec<Vec<Formula>> {
+    match f {
+        Formula::Or(parts) => parts.iter().flat_map(top_dnf).collect(),
+        Formula::And(parts) => {
+            let mut acc: Vec<Vec<Formula>> = vec![Vec::new()];
+            for p in parts {
+                let branches = top_dnf(p);
+                let mut next = Vec::with_capacity(acc.len() * branches.len());
+                for a in &acc {
+                    for b in &branches {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        other => vec![vec![other.clone()]],
+    }
+}
+
+fn localize_branch(
+    structure: &Structure,
+    vs: &[Var],
+    conjuncts: Vec<Formula>,
+) -> Result<Formula, LocalizeError> {
+    let quantified: BTreeSet<Var> = vs.iter().copied().collect();
+
+    // Variables per conjunct, and the union of positive links.
+    let conjunct_vars: Vec<BTreeSet<Var>> = conjuncts
+        .iter()
+        .map(|c| c.free_vars().into_iter().collect())
+        .collect();
+    let mut links: BTreeMap<(Var, Var), usize> = BTreeMap::new();
+    for c in &conjuncts {
+        for ((u, v), d) in implied_links(c) {
+            insert_min(&mut links, u, v, d);
+        }
+    }
+    let links = transitive_closure(links);
+
+    let branch_vars: BTreeSet<Var> = conjunct_vars.iter().flatten().copied().collect();
+    let outer: BTreeSet<Var> = branch_vars
+        .iter()
+        .copied()
+        .filter(|v| !quantified.contains(v))
+        .collect();
+
+    // Guard every quantified variable that is positively linked to an outer
+    // variable.
+    let mut guards: Vec<Formula> = Vec::new();
+    let mut reach: BTreeSet<Var> = outer.clone();
+    let mut guarded_vs: Vec<Var> = Vec::new();
+    for &v in vs {
+        if !branch_vars.contains(&v) {
+            continue; // vacuous: drop
+        }
+        let best = outer
+            .iter()
+            .filter_map(|&u| link_of(&links, v, u).map(|d| (d, u)))
+            .min();
+        if let Some((d, u)) = best {
+            guards.push(Formula::Dist {
+                x: v,
+                y: u,
+                cmp: DistCmp::LessEq,
+                r: d,
+            });
+            reach.insert(v);
+            guarded_vs.push(v);
+        }
+    }
+
+    let far: BTreeSet<Var> = branch_vars
+        .iter()
+        .copied()
+        .filter(|v| !reach.contains(v))
+        .collect();
+
+    // Classify conjuncts.
+    let mut local_parts: Vec<Formula> = Vec::new();
+    let mut far_parts: Vec<(Formula, BTreeSet<Var>)> = Vec::new();
+    let mut spanning: Vec<(Formula, BTreeSet<Var>)> = Vec::new();
+    for (c, cv) in conjuncts.into_iter().zip(conjunct_vars) {
+        let touches_far = cv.iter().any(|v| far.contains(v));
+        let touches_reach = cv.iter().any(|v| reach.contains(v));
+        match (touches_far, touches_reach) {
+            (false, _) => local_parts.push(c),
+            (true, false) => far_parts.push((c, cv)),
+            (true, true) => spanning.push((c, cv)),
+        }
+    }
+
+    // Far-witness rewrite (the single-link Gaifman case, see
+    // `rewrite_far_witness`): a far variable whose only connection to the
+    // reachable scope is one `dist(y, u) > r` guard folds into local pieces
+    // plus sentences decided here.
+    let mut far = far;
+    if !spanning.is_empty() {
+        let pieces =
+            rewrite_far_witnesses(structure, &mut far, &mut far_parts, spanning)?;
+        local_parts.extend(pieces);
+    }
+
+    // Decide the closed (far) part, if any.
+    if !far_parts.is_empty() {
+        let truth = decide_far_part(structure, &far, &far_parts, &links)?;
+        if !truth {
+            return Ok(Formula::False);
+        }
+    }
+
+    // Reassemble the guarded local part.
+    let local = Formula::and(guards.into_iter().chain(local_parts));
+    Ok(Formula::exists(guarded_vs, local))
+}
+
+/// The far-witness rewrite: for each far variable `y` whose conjuncts are
+/// `θ(y)` (certified-local, `y` its only variable) and whose *single*
+/// spanning conjunct is `dist(y, u) > r` with `u` in the reachable scope,
+/// apply the classical Gaifman case split (soundness proof in the match
+/// arms below):
+///
+/// ```text
+/// ∃y (θ(y) ∧ dist(y,u) > r)
+///   ≡  [two θ-nodes pairwise > 2r apart]                 -- sentence
+///   ∨  ∃y (dist(y,u) ≤ 3r ∧ θ(y) ∧ dist(y,u) > r)        -- local around u
+///   ∨  [some θ-node exists] ∧ ¬∃y (dist(y,u) ≤ r ∧ θ(y)) -- sentence ∧ local
+/// ```
+///
+/// * (⇐) the middle clause exhibits a witness; in the last clause any
+///   θ-node works (none is within `r` of `u`); in the first, two θ-nodes
+///   more than `2r` apart cannot both be within `r` of `u`.
+/// * (⇒) let `y*` witness the left side. If the first clause fails, all
+///   θ-nodes are pairwise ≤ 2r apart; if some θ-node is within `r` of `u`
+///   then `y*` is within `3r` of `u` (middle clause), otherwise the last
+///   clause holds.
+///
+/// Sentences are decided immediately (they are closed); the local clauses
+/// are certified by construction. Far variables with multiple spanning
+/// links, or non-distance spanning conjuncts, remain outside the fragment.
+fn rewrite_far_witnesses(
+    structure: &Structure,
+    far: &mut BTreeSet<Var>,
+    far_parts: &mut Vec<(Formula, BTreeSet<Var>)>,
+    spanning: Vec<(Formula, BTreeSet<Var>)>,
+) -> Result<Vec<Formula>, LocalizeError> {
+    // group spanning conjuncts by the far variables they touch
+    let mut by_far: BTreeMap<Var, Vec<&Formula>> = BTreeMap::new();
+    for (c, cv) in &spanning {
+        for v in cv {
+            if far.contains(v) {
+                by_far.entry(*v).or_default().push(c);
+            }
+        }
+    }
+
+    let mut pieces = Vec::new();
+    for (y, cs) in by_far {
+        // exactly one spanning conjunct, of the supported shape
+        let [single] = cs.as_slice() else {
+            return Err(LocalizeError::NotLocalizable {
+                detail: format!(
+                    "far variable has multiple links to the outer scope: {cs:?}"
+                ),
+            });
+        };
+        let Formula::Dist {
+            x,
+            y: dy,
+            cmp: DistCmp::Greater,
+            r,
+        } = single
+        else {
+            return Err(LocalizeError::NotLocalizable {
+                detail: format!(
+                    "conjunct relates quantified variables to the outer scope only \
+                     through negation: {single:?}"
+                ),
+            });
+        };
+        let (u, yy) = if *x == y { (*dy, *x) } else { (*x, *dy) };
+        if yy != y || far.contains(&u) {
+            return Err(LocalizeError::NotLocalizable {
+                detail: format!("unsupported far link shape: {single:?}"),
+            });
+        }
+        let r = *r;
+
+        // θ(y): the far conjuncts mentioning only y
+        let mut theta_parts = Vec::new();
+        far_parts.retain(|(c, cv)| {
+            if cv.iter().all(|v| *v == y) && !cv.is_empty() {
+                theta_parts.push(c.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let theta = Formula::and(theta_parts);
+        let rho = certified_radius(&theta).ok_or_else(|| LocalizeError::NotLocalizable {
+            detail: format!("far-witness constraints not certified: {theta:?}"),
+        })?;
+
+        // sentence: two θ-nodes pairwise more than 2r apart
+        let scattered2 =
+            crate::scattered::check_basic_local(structure, 2, 2 * r, y, &theta, rho);
+        // sentence: some θ-node exists
+        let nonempty =
+            crate::scattered::check_basic_local(structure, 1, 0, y, &theta, rho);
+
+        // local: a witness within the (r, 3r] band around u
+        let band = Formula::exists(
+            vec![y],
+            Formula::and([
+                Formula::Dist {
+                    x: y,
+                    y: u,
+                    cmp: DistCmp::LessEq,
+                    r: 3 * r,
+                },
+                Formula::Dist {
+                    x: y,
+                    y: u,
+                    cmp: DistCmp::Greater,
+                    r,
+                },
+                theta.clone(),
+            ]),
+        );
+        // local: no θ-node within r of u
+        let none_near = Formula::not(Formula::exists(
+            vec![y],
+            Formula::and([
+                Formula::Dist {
+                    x: y,
+                    y: u,
+                    cmp: DistCmp::LessEq,
+                    r,
+                },
+                theta,
+            ]),
+        ));
+
+        let constant = |b: bool| if b { Formula::True } else { Formula::False };
+        pieces.push(Formula::or([
+            constant(scattered2),
+            band,
+            Formula::and([constant(nonempty), none_near]),
+        ]));
+        far.remove(&y);
+    }
+
+    // A remaining far conjunct referencing a rewritten variable (e.g. a
+    // dist(y1, y2) constraint between two far-witness variables) would be
+    // silently dropped — reject instead.
+    for (c, cv) in far_parts.iter() {
+        if cv.iter().any(|v| !far.contains(v)) {
+            return Err(LocalizeError::NotLocalizable {
+                detail: format!(
+                    "constraint couples far-witness variables: {c:?}"
+                ),
+            });
+        }
+    }
+    Ok(pieces)
+}
+
+fn link_of(links: &BTreeMap<(Var, Var), usize>, u: Var, v: Var) -> Option<usize> {
+    if u == v {
+        return Some(0);
+    }
+    let k = if u <= v { (u, v) } else { (v, u) };
+    links.get(&k).copied()
+}
+
+/// Build and decide the scattered sentence formed by the far conjuncts.
+fn decide_far_part(
+    structure: &Structure,
+    far: &BTreeSet<Var>,
+    far_parts: &[(Formula, BTreeSet<Var>)],
+    links: &BTreeMap<(Var, Var), usize>,
+) -> Result<bool, LocalizeError> {
+    // Positive-link components of the far variables = clusters.
+    let far_list: Vec<Var> = far.iter().copied().collect();
+    let mut comp: BTreeMap<Var, usize> = BTreeMap::new();
+    let mut n_comp = 0usize;
+    for &v in &far_list {
+        if comp.contains_key(&v) {
+            continue;
+        }
+        let id = n_comp;
+        n_comp += 1;
+        // BFS over linked vars
+        let mut stack = vec![v];
+        comp.insert(v, id);
+        while let Some(u) = stack.pop() {
+            for &w in &far_list {
+                if !comp.contains_key(&w) && link_of(links, u, w).is_some() {
+                    comp.insert(w, id);
+                    stack.push(w);
+                }
+            }
+        }
+    }
+
+    let mut cluster_vars: Vec<Vec<Var>> = vec![Vec::new(); n_comp];
+    for &v in &far_list {
+        cluster_vars[comp[&v]].push(v);
+    }
+
+    let mut cluster_conjuncts: Vec<Vec<Formula>> = vec![Vec::new(); n_comp];
+    let mut constraints: Vec<CrossConstraint> = Vec::new();
+    for (c, cv) in far_parts {
+        let comps: BTreeSet<usize> = cv.iter().map(|v| comp[v]).collect();
+        if comps.len() <= 1 {
+            let target = comps.into_iter().next().unwrap_or(0);
+            cluster_conjuncts[target].push(c.clone());
+            continue;
+        }
+        // Cross-cluster conjunct: must be a supported negative shape.
+        let cross = as_cross_constraint(c, &comp);
+        match cross {
+            Some((a, b, kind, ordered)) => constraints.push(CrossConstraint {
+                a,
+                b,
+                kind,
+                ordered,
+            }),
+            None => {
+                return Err(LocalizeError::UnsupportedCross {
+                    detail: format!("{c:?}"),
+                })
+            }
+        }
+    }
+
+    let mut clusters = Vec::with_capacity(n_comp);
+    for (vars, parts) in cluster_vars.into_iter().zip(cluster_conjuncts) {
+        if vars.is_empty() {
+            // no variables in this component (can only happen when far_parts
+            // contains variable-free conjuncts; they were classified local)
+            continue;
+        }
+        let anchor = vars[0];
+        let anchor_radius = vars
+            .iter()
+            .map(|&v| link_of(links, anchor, v).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        let formula = Formula::and(parts);
+        let radius = certified_radius(&formula).ok_or_else(|| LocalizeError::NotLocalizable {
+            detail: format!("far cluster formula not certified: {formula:?}"),
+        })?;
+        clusters.push(Cluster {
+            vars,
+            formula,
+            anchor_radius,
+            radius,
+        });
+    }
+
+    // Re-index constraints after the cluster list was built (cluster order
+    // equals component id order; empty components never own constraints).
+    Ok(check_scattered(
+        structure,
+        &ScatteredSentence {
+            clusters,
+            constraints,
+        },
+    ))
+}
+
+/// Recognize a supported cross-cluster conjunct; returns
+/// `((cluster, var), (cluster, var), kind, ordered)`.
+#[allow(clippy::type_complexity)]
+fn as_cross_constraint(
+    c: &Formula,
+    comp: &BTreeMap<Var, usize>,
+) -> Option<((usize, Var), (usize, Var), CrossKind, bool)> {
+    match c {
+        Formula::Dist {
+            x,
+            y,
+            cmp: DistCmp::Greater,
+            r,
+        } => Some((
+            (*comp.get(x)?, *x),
+            (*comp.get(y)?, *y),
+            CrossKind::DistGreater(*r),
+            false,
+        )),
+        Formula::Not(inner) => match &**inner {
+            Formula::Atom { rel, args } if args.len() == 2 && args[0] != args[1] => Some((
+                (*comp.get(&args[0])?, args[0]),
+                (*comp.get(&args[1])?, args[1]),
+                CrossKind::NotRel(*rel),
+                true,
+            )),
+            Formula::Eq(x, y) => Some((
+                (*comp.get(x)?, *x),
+                (*comp.get(y)?, *y),
+                CrossKind::NotEq,
+                false,
+            )),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_local;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+    use lowdeg_logic::eval::answers_naive;
+    use lowdeg_logic::parse_query;
+
+    fn spec(n: usize) -> Structure {
+        ColoredGraphSpec::balanced(n, DegreeClass::Bounded(3)).generate(7)
+    }
+
+    /// Cross-check: localized matrix evaluated on neighborhoods must agree
+    /// with the naive oracle on every candidate tuple.
+    fn assert_equivalent(structure: &Structure, src: &str) {
+        let q = parse_query(structure.signature(), src).unwrap();
+        let lq = localize(structure, &q).unwrap();
+        let oracle: std::collections::BTreeSet<Vec<lowdeg_storage::Node>> =
+            answers_naive(structure, &q).into_iter().collect();
+        let k = q.arity();
+        let n = structure.cardinality();
+        let mut tuple = vec![lowdeg_storage::Node(0); k];
+        let mut idx = vec![0usize; k];
+        loop {
+            for (t, &i) in tuple.iter_mut().zip(&idx) {
+                *t = lowdeg_storage::Node(i as u32);
+            }
+            let local = eval_local(structure, &lq.matrix, &lq.free, lq.radius, &tuple);
+            assert_eq!(
+                local,
+                oracle.contains(&tuple),
+                "disagreement on {tuple:?} for `{src}`"
+            );
+            // increment odometer
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < n {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn quantifier_free_passthrough() {
+        let s = spec(14);
+        assert_equivalent(&s, "B(x) & R(y) & !E(x, y)");
+        assert_equivalent(&s, "B(x) | (R(x) & !G(x))");
+    }
+
+    #[test]
+    fn connected_exists_gets_guard() {
+        let s = spec(14);
+        let q = parse_query(s.signature(), "exists z. E(x, z) & E(z, y)").unwrap();
+        let lq = localize(&s, &q).unwrap();
+        assert_eq!(lq.radius, 1);
+        assert_equivalent(&s, "exists z. E(x, z) & E(z, y)");
+    }
+
+    #[test]
+    fn two_hop_chain() {
+        let s = spec(12);
+        assert_equivalent(&s, "exists z w. E(x, z) & E(z, w) & B(w)");
+    }
+
+    #[test]
+    fn forall_via_duality() {
+        let s = spec(12);
+        assert_equivalent(&s, "forall z. E(x, z) -> B(z)");
+    }
+
+    #[test]
+    fn closed_component_evaluated() {
+        let s = spec(12);
+        // "x is blue and some edge exists somewhere"
+        assert_equivalent(&s, "B(x) & exists u v. E(u, v)");
+        // against a constant-false closed part
+        assert_equivalent(&s, "B(x) & exists u. B(u) & R(u) & G(u) & E(u, u)");
+    }
+
+    #[test]
+    fn disjunction_of_branches() {
+        let s = spec(12);
+        assert_equivalent(&s, "exists z. (E(x, z) & B(z)) | (E(z, x) & R(z))");
+    }
+
+    #[test]
+    fn sentence_model_check_agrees_with_oracle() {
+        for seed in [1u64, 2, 3] {
+            let s = ColoredGraphSpec::balanced(30, DegreeClass::Bounded(3)).generate(seed);
+            for src in [
+                "exists x y. E(x, y) & B(x) & R(y)",
+                "exists x. B(x) & R(x)",
+                "exists x y. dist(x, y) > 4 & B(x) & B(y)",
+            ] {
+                let q = parse_query(s.signature(), src).unwrap();
+                let expected = lowdeg_logic::eval::model_check_naive(&s, &q);
+                assert_eq!(model_check(&s, &q).unwrap(), expected, "{src} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_witness_rewrite_matches_oracle() {
+        for seed in [31u64, 32, 33] {
+            let s = ColoredGraphSpec::balanced(18, DegreeClass::Bounded(3)).generate(seed);
+            assert_equivalent(&s, "R(x) & exists z. B(z) & dist(z, x) > 2");
+            assert_equivalent(&s, "exists z. dist(z, x) > 3");
+            assert_equivalent(&s, "B(x) & exists z. G(z) & dist(z, x) > 1");
+            // inside a universal, via duality: every far node is blue
+            assert_equivalent(&s, "forall z. dist(z, x) <= 2 | B(z)");
+        }
+    }
+
+    #[test]
+    fn far_witness_multi_link_still_rejected() {
+        let s = spec(12);
+        let q = parse_query(
+            s.signature(),
+            "exists z. B(z) & dist(z, x) > 2 & dist(z, y) > 2",
+        )
+        .unwrap();
+        assert!(matches!(
+            localize(&s, &q),
+            Err(LocalizeError::NotLocalizable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_link_to_free() {
+        let s = spec(10);
+        let q = parse_query(s.signature(), "exists z. R(z) & !E(x, z)").unwrap();
+        assert!(matches!(
+            localize(&s, &q),
+            Err(LocalizeError::NotLocalizable { .. })
+        ));
+    }
+
+    #[test]
+    fn scattered_sentence_inside_query() {
+        let s = spec(16);
+        // two blue nodes far apart (a genuine basic-local sentence) and x red
+        assert_equivalent(&s, "R(x) & exists u v. B(u) & B(v) & dist(u, v) > 2");
+    }
+
+    #[test]
+    fn explicit_dist_guard_respected() {
+        let s = spec(14);
+        assert_equivalent(&s, "exists z. dist(z, x) <= 2 & B(z)");
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        let s = spec(12);
+        assert_equivalent(&s, "exists z. E(x, z) & (exists w. E(z, w) & B(w))");
+    }
+
+    #[test]
+    fn vacuous_quantifier_dropped() {
+        let s = spec(10);
+        assert_equivalent(&s, "exists z. B(x)");
+    }
+}

@@ -1,0 +1,360 @@
+//! Certified locality radii and implied distance links.
+//!
+//! A formula `φ(x̄)` is *r-local around `x̄`* when for every structure `A`
+//! and tuple `ā`:  `A ⊨ φ(ā)  ⟺  𝒩_r(ā) ⊨ φ(ā)` (truth is determined by the
+//! induced `r`-neighborhood of the tuple). [`certified_radius`] proves
+//! r-locality by structural rules:
+//!
+//! * atoms, negated atoms, equalities — 0-local (facts survive induction);
+//! * `dist(x,y) ⋈ r` — r-local (shortest paths within `N_r(x)` survive, and
+//!   induced distances never shrink);
+//! * `¬φ` — same radius as `φ`;
+//! * `φ ∧ ψ`, `φ ∨ ψ` — `max` of the radii (the key fact: induced r-balls
+//!   around a sub-tuple agree between `A` and any induced superstructure of
+//!   `𝒩_r(sub-tuple)`);
+//! * `∃y (dist(y, u) ≤ s ∧ ψ)` with `u` bound outside — `s + radius(body)`;
+//! * `∀y (dist(y, u) > s ∨ ψ)` — dually.
+//!
+//! Unguarded quantifiers are not certifiable; the [`crate::localize()`] pass
+//! synthesizes the guards.
+
+use lowdeg_logic::{DistCmp, Formula, Var};
+use std::collections::BTreeMap;
+
+/// Certify a locality radius for `f` around its free variables, or `None`
+/// when some quantifier lacks a recognizable distance guard.
+///
+/// The returned radius may over-approximate the optimal one (locality is
+/// upward-monotone in the radius, so over-approximation is sound — it only
+/// enlarges the neighborhoods later stages brute-force over).
+pub fn certified_radius(f: &Formula) -> Option<usize> {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => Some(0),
+        Formula::Dist { r, .. } => Some(*r),
+        Formula::Not(g) => certified_radius(g),
+        Formula::And(gs) | Formula::Or(gs) => {
+            let mut m = 0;
+            for g in gs {
+                m = m.max(certified_radius(g)?);
+            }
+            Some(m)
+        }
+        Formula::Exists(vs, body) => guarded_radius(vs, body, true),
+        Formula::Forall(vs, body) => guarded_radius(vs, body, false),
+    }
+}
+
+/// Certify `∃vs (And parts)` (existential=true) or `∀vs (Or parts)`
+/// (existential=false). Every quantified variable needs a guard
+/// `dist(v, u) ≤ s` (resp. `dist(v, u) > s`) whose other endpoint `u` is
+/// outside the still-unguarded set; guard radii compound additively.
+fn guarded_radius(vs: &[Var], body: &Formula, existential: bool) -> Option<usize> {
+    let parts: Vec<&Formula> = match (body, existential) {
+        (Formula::And(parts), true) => parts.iter().collect(),
+        (Formula::Or(parts), false) => parts.iter().collect(),
+        // single-conjunct bodies: treat the body as a one-element list
+        (other, _) => vec![other],
+    };
+    let want_cmp = if existential {
+        DistCmp::LessEq
+    } else {
+        DistCmp::Greater
+    };
+
+    let mut remaining: Vec<Var> = vs.to_vec();
+    // A quantified variable with no occurrence at all is vacuous
+    // (non-empty domains), so guard-free.
+    let body_vars = body.all_vars();
+    remaining.retain(|v| body_vars.contains(v));
+
+    // Consume one guard per quantified variable. Consumed guards contribute
+    // their radius to the additive total and are *excluded* from the body
+    // maximum (their own evaluation is covered by the total — see module
+    // docs); everything else contributes to the body maximum as usual.
+    let mut consumed = vec![false; parts.len()];
+    let mut total = 0usize;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        'search: for i in 0..remaining.len() {
+            let v = remaining[i];
+            for (pi, p) in parts.iter().enumerate() {
+                if consumed[pi] {
+                    continue;
+                }
+                if let Formula::Dist { x, y, cmp, r } = p {
+                    if *cmp != want_cmp {
+                        continue;
+                    }
+                    let other = if *x == v {
+                        Some(*y)
+                    } else if *y == v {
+                        Some(*x)
+                    } else {
+                        None
+                    };
+                    if let Some(u) = other {
+                        if u != v && !remaining.contains(&u) {
+                            total = total.checked_add(*r)?;
+                            consumed[pi] = true;
+                            remaining.swap_remove(i);
+                            progressed = true;
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return None;
+        }
+    }
+
+    let mut body_radius = 0usize;
+    for (pi, p) in parts.iter().enumerate() {
+        if !consumed[pi] {
+            body_radius = body_radius.max(certified_radius(p)?);
+        }
+    }
+    total.checked_add(body_radius)
+}
+
+/// Distance bounds *implied* by a formula: pairs `(u, v) → D` such that
+/// whenever the formula holds of an assignment, `dist(u, v) ≤ D` in the
+/// Gaifman graph. Used by the localization pass to synthesize guards.
+///
+/// Sound rules:
+/// * a positive relational atom puts all its argument pairs at distance ≤ 1;
+/// * `x = y` gives distance 0; `dist(x,y) ≤ s` gives `s`;
+/// * conjunction unions links (then the caller closes transitively);
+/// * disjunction intersects them (keeping the max bound);
+/// * quantifiers: links of the body closed transitively, then restricted to
+///   the unquantified variables;
+/// * negations contribute nothing.
+pub fn implied_links(f: &Formula) -> BTreeMap<(Var, Var), usize> {
+    match f {
+        Formula::True | Formula::False => BTreeMap::new(),
+        Formula::Atom { args, .. } => {
+            let mut out = BTreeMap::new();
+            for i in 0..args.len() {
+                for j in (i + 1)..args.len() {
+                    if args[i] != args[j] {
+                        insert_min(&mut out, args[i], args[j], 1);
+                    }
+                }
+            }
+            out
+        }
+        Formula::Eq(x, y) => {
+            let mut out = BTreeMap::new();
+            if x != y {
+                insert_min(&mut out, *x, *y, 0);
+            }
+            out
+        }
+        Formula::Dist {
+            x,
+            y,
+            cmp: DistCmp::LessEq,
+            r,
+        } => {
+            let mut out = BTreeMap::new();
+            if x != y {
+                insert_min(&mut out, *x, *y, *r);
+            }
+            out
+        }
+        Formula::Dist { .. } | Formula::Not(_) => BTreeMap::new(),
+        Formula::And(gs) => {
+            let mut out = BTreeMap::new();
+            for g in gs {
+                for ((u, v), d) in implied_links(g) {
+                    insert_min(&mut out, u, v, d);
+                }
+            }
+            out
+        }
+        Formula::Or(gs) => {
+            let mut iter = gs.iter();
+            let Some(first) = iter.next() else {
+                return BTreeMap::new(); // empty Or = false: no models, vacuous
+            };
+            let mut acc = transitive_closure(implied_links(first));
+            for g in iter {
+                let links = transitive_closure(implied_links(g));
+                acc.retain(|k, _| links.contains_key(k));
+                for (k, d) in &mut acc {
+                    *d = (*d).max(links[k]);
+                }
+            }
+            acc
+        }
+        Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
+            // ∀: sound too — if the (non-vacuous) formula holds, the body
+            // holds for *every* value, in particular some value, but links
+            // involving quantified vars are dropped anyway; links among the
+            // free variables implied by every instantiation are implied by
+            // any one, so keep them only for Exists; for Forall, the body
+            // holding for all instantiations still implies free-pair links
+            // whenever the domain is non-empty (it always is).
+            let closed = transitive_closure(implied_links(body));
+            closed
+                .into_iter()
+                .filter(|((u, v), _)| !vs.contains(u) && !vs.contains(v))
+                .collect()
+        }
+    }
+}
+
+/// Floyd–Warshall over the (tiny) variable set.
+pub(crate) fn transitive_closure(
+    links: BTreeMap<(Var, Var), usize>,
+) -> BTreeMap<(Var, Var), usize> {
+    let mut vars: Vec<Var> = links
+        .keys()
+        .flat_map(|&(u, v)| [u, v])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    vars.dedup();
+    let mut out = links;
+    for &k in &vars {
+        for &i in &vars {
+            for &j in &vars {
+                if i == j {
+                    continue;
+                }
+                let (Some(&a), Some(&b)) = (get(&out, i, k), get(&out, k, j)) else {
+                    continue;
+                };
+                if let Some(sum) = a.checked_add(b) {
+                    insert_min(&mut out, i, j, sum);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn key(u: Var, v: Var) -> (Var, Var) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+fn get(map: &BTreeMap<(Var, Var), usize>, u: Var, v: Var) -> Option<&usize> {
+    map.get(&key(u, v))
+}
+
+pub(crate) fn insert_min(map: &mut BTreeMap<(Var, Var), usize>, u: Var, v: Var, d: usize) {
+    let k = key(u, v);
+    match map.get_mut(&k) {
+        Some(cur) => *cur = (*cur).min(d),
+        None => {
+            map.insert(k, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_logic::parse_query;
+    use lowdeg_storage::Signature;
+    use std::sync::Arc;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1), ("T", 3)]))
+    }
+
+    fn parse(src: &str) -> Formula {
+        parse_query(&sig(), src).unwrap().formula
+    }
+
+    #[test]
+    fn quantifier_free_is_zero_local_except_dist() {
+        assert_eq!(certified_radius(&parse("B(x) & R(y) & !E(x, y)")), Some(0));
+        assert_eq!(certified_radius(&parse("dist(x, y) > 4 & B(x)")), Some(4));
+        assert_eq!(certified_radius(&parse("dist(x, y) <= 2 | B(x)")), Some(2));
+    }
+
+    #[test]
+    fn guarded_exists_certifies() {
+        let f = parse("exists z. dist(z, x) <= 3 & B(z)");
+        assert_eq!(certified_radius(&f), Some(3));
+        let g = parse("exists z. dist(z, x) <= 3 & dist(w, z) <= 2 & B(w)");
+        // wait: w is free here — only z is quantified
+        assert_eq!(certified_radius(&g), Some(3 + 2));
+    }
+
+    #[test]
+    fn chained_guards_certify() {
+        let f = parse("exists z w. dist(z, x) <= 1 & dist(w, z) <= 1 & E(z, w)");
+        // z guarded by x (free), then w guarded by z: 1 + 1 + body-max(0)
+        assert_eq!(certified_radius(&f), Some(2));
+    }
+
+    #[test]
+    fn unguarded_exists_fails() {
+        assert_eq!(certified_radius(&parse("exists z. B(z) & !E(x, z)")), None);
+        assert_eq!(certified_radius(&parse("exists z. E(x, z)")), None);
+    }
+
+    #[test]
+    fn guarded_forall_certifies() {
+        let f = parse("forall z. dist(z, x) > 2 | B(z)");
+        assert_eq!(certified_radius(&f), Some(2));
+        assert_eq!(certified_radius(&parse("forall z. B(z)")), None);
+    }
+
+    #[test]
+    fn vacuous_quantifier_is_free() {
+        // z does not occur in the body
+        let f = Formula::exists(vec![Var(9)], parse("B(x)"));
+        assert_eq!(certified_radius(&f), Some(0));
+    }
+
+    #[test]
+    fn links_of_atoms() {
+        let links = implied_links(&parse("E(x, y) & B(x)"));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links.values().next(), Some(&1));
+        let links3 = implied_links(&parse("T(x, y, z)"));
+        assert_eq!(links3.len(), 3); // all pairs at ≤ 1
+    }
+
+    #[test]
+    fn links_of_or_intersect() {
+        let links = implied_links(&parse("E(x, y) | dist(x, y) <= 5"));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links.values().next(), Some(&5)); // max across branches
+        let none = implied_links(&parse("E(x, y) | B(x)"));
+        assert!(none.is_empty()); // second branch implies nothing about (x,y)
+    }
+
+    #[test]
+    fn links_propagate_through_exists() {
+        let links = implied_links(&parse("exists z. E(x, z) & E(z, y)"));
+        let (&(u, v), &d) = links.iter().next().unwrap();
+        assert_eq!(d, 2);
+        assert_ne!(u, v);
+        assert_eq!(links.len(), 1);
+    }
+
+    #[test]
+    fn negation_gives_no_links() {
+        assert!(implied_links(&parse("!E(x, y)")).is_empty());
+        assert!(implied_links(&parse("dist(x, y) > 3")).is_empty());
+    }
+
+    #[test]
+    fn closure_is_shortest_path() {
+        let mut m = BTreeMap::new();
+        insert_min(&mut m, Var(0), Var(1), 1);
+        insert_min(&mut m, Var(1), Var(2), 2);
+        insert_min(&mut m, Var(0), Var(2), 10);
+        let c = transitive_closure(m);
+        assert_eq!(c[&(Var(0), Var(2))], 3);
+    }
+}

@@ -1,0 +1,377 @@
+//! Canonical forms of small structures with distinguished tuples.
+//!
+//! The reduction of Proposition 3.3 colors each cluster vertex `v_(b̄,ι)`
+//! with unary predicates `C_{P,j,t}` obtained from the Feferman–Vaught
+//! decomposition. We realize those predicates *semantically*: the color of a
+//! cluster is the **isomorphism type of its neighborhood with the cluster
+//! tuple distinguished** — a strictly finer invariant than any FO type, so
+//! every FV predicate is a union of our types (DESIGN.md §3).
+//!
+//! Canonicalization is classic individualization–refinement:
+//! 1. initial colors = (position among the distinguished nodes, unary-
+//!    relation membership);
+//! 2. refine by the multiset of `(relation, position, colors of co-occurring
+//!    nodes)` signals until stable;
+//! 3. if cells remain, individualize each member of the first non-singleton
+//!    cell and take the lexicographically least resulting encoding.
+//!
+//! Worst-case exponential (canonical labeling is not known to be polynomial)
+//! but the inputs are `r`-neighborhoods of low-degree structures — a handful
+//! of nodes — and refinement from the distinguished tuple almost always
+//! discretizes immediately.
+
+use lowdeg_storage::{Node, Structure};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifier of a canonical type within a [`TypeInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns canonical encodings to dense [`TypeId`]s and remembers a
+/// representative for each type (used to assemble representative structures
+/// when deciding type-combination acceptance).
+#[derive(Default, Debug)]
+pub struct TypeInterner {
+    map: HashMap<Vec<u8>, TypeId>,
+    /// A representative `(structure, distinguished)` per type.
+    representatives: Vec<(Structure, Vec<Node>)>,
+}
+
+impl TypeInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct types seen.
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Whether no type has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.representatives.is_empty()
+    }
+
+    /// Intern the type of `(structure, distinguished)`.
+    pub fn intern(&mut self, structure: &Structure, distinguished: &[Node]) -> TypeId {
+        let enc = canonical_encoding(structure, distinguished);
+        self.intern_encoded(enc, || (structure.clone(), distinguished.to_vec()))
+    }
+
+    /// Intern a precomputed canonical encoding; `make_rep` supplies the
+    /// representative only when the type is new. This is the hook for
+    /// parallel pipelines: encodings are computed concurrently (the
+    /// expensive part), interning stays sequential and therefore assigns
+    /// ids deterministically in call order.
+    pub fn intern_encoded(
+        &mut self,
+        enc: Vec<u8>,
+        make_rep: impl FnOnce() -> (Structure, Vec<Node>),
+    ) -> TypeId {
+        if let Some(&id) = self.map.get(&enc) {
+            return id;
+        }
+        let id = TypeId(self.representatives.len() as u32);
+        self.map.insert(enc, id);
+        self.representatives.push(make_rep());
+        id
+    }
+
+    /// The stored representative of a type.
+    pub fn representative(&self, id: TypeId) -> (&Structure, &[Node]) {
+        let (s, d) = &self.representatives[id.index()];
+        (s, d)
+    }
+}
+
+/// Compute the canonical byte encoding of a structure with a distinguished
+/// tuple: two inputs get equal encodings **iff** there is an isomorphism
+/// between them mapping the distinguished tuples pointwise.
+pub fn canonical_encoding(structure: &Structure, distinguished: &[Node]) -> Vec<u8> {
+    let init = initial_colors(structure, distinguished);
+    let mut best: Option<Vec<u8>> = None;
+    search(structure, distinguished, init, &mut best);
+    best.expect("search always produces an encoding")
+}
+
+/// Colors are dense `u32`s; smaller is "earlier".
+type Coloring = Vec<u32>;
+
+fn initial_colors(structure: &Structure, distinguished: &[Node]) -> Coloring {
+    let n = structure.cardinality();
+    // signal per node: (distinguished position or MAX, unary membership)
+    let mut signals: Vec<(u32, Vec<bool>)> = Vec::with_capacity(n);
+    let sig = structure.signature();
+    let unary: Vec<_> = sig.rel_ids().filter(|&r| sig.arity(r) == 1).collect();
+    for v in structure.domain() {
+        let dpos = distinguished
+            .iter()
+            .position(|&d| d == v)
+            .map(|p| p as u32)
+            .unwrap_or(u32::MAX);
+        let membership = unary
+            .iter()
+            .map(|&r| structure.holds(r, &[v]))
+            .collect::<Vec<_>>();
+        signals.push((dpos, membership));
+    }
+    compact(&signals)
+}
+
+/// Map arbitrary ordered signals to dense color ids preserving order.
+fn compact<T: Ord + Clone>(signals: &[T]) -> Coloring {
+    let mut sorted: Vec<&T> = signals.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let index: BTreeMap<&T, u32> = sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    signals.iter().map(|s| index[s]).collect()
+}
+
+/// One round of color refinement; returns the new coloring.
+fn refine_once(structure: &Structure, colors: &Coloring) -> Coloring {
+    let n = structure.cardinality();
+    let sig = structure.signature();
+    // signal: (old color, sorted list of (rel, position, colors of tuple))
+    type RefineSignal = (u32, Vec<(u32, u32, Vec<u32>)>);
+    let mut signals: Vec<RefineSignal> = (0..n)
+        .map(|i| (colors[i], Vec::new()))
+        .collect();
+    for rel in sig.rel_ids() {
+        if sig.arity(rel) < 2 {
+            continue;
+        }
+        for t in structure.relation(rel).iter() {
+            let tuple_colors: Vec<u32> = t.iter().map(|&c| colors[c.index()]).collect();
+            for (pos, &c) in t.iter().enumerate() {
+                signals[c.index()].1.push((rel.0, pos as u32, tuple_colors.clone()));
+            }
+        }
+    }
+    for s in &mut signals {
+        s.1.sort();
+    }
+    compact(&signals)
+}
+
+fn refine_to_fixpoint(structure: &Structure, mut colors: Coloring) -> Coloring {
+    loop {
+        let next = refine_once(structure, &colors);
+        let classes =
+            |c: &Coloring| c.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        if classes(&next) == classes(&colors) {
+            return next;
+        }
+        colors = next;
+    }
+}
+
+fn search(
+    structure: &Structure,
+    distinguished: &[Node],
+    colors: Coloring,
+    best: &mut Option<Vec<u8>>,
+) {
+    let colors = refine_to_fixpoint(structure, colors);
+    let n = structure.cardinality();
+
+    // find the first (lowest-color) non-singleton cell
+    let mut count: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, &c) in colors.iter().enumerate() {
+        count.entry(c).or_default().push(i);
+    }
+    let target = count.values().find(|cell| cell.len() > 1);
+
+    match target {
+        None => {
+            // discrete: read off the encoding
+            let enc = encode(structure, distinguished, &colors);
+            match best {
+                Some(b) if *b <= enc => {}
+                _ => *best = Some(enc),
+            }
+        }
+        Some(cell) => {
+            let fresh = n as u32; // larger than every existing color
+            for &member in cell {
+                let mut branched = colors.clone();
+                branched[member] = fresh;
+                search(structure, distinguished, compact(&branched), best);
+            }
+        }
+    }
+}
+
+/// Encode under a discrete coloring: node of color `c` gets canonical rank
+/// `c`; relations are emitted as sorted rank-tuples.
+fn encode(structure: &Structure, distinguished: &[Node], colors: &Coloring) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, structure.cardinality() as u32);
+    push_u32(&mut out, distinguished.len() as u32);
+    for &d in distinguished {
+        push_u32(&mut out, colors[d.index()]);
+    }
+    let sig = structure.signature();
+    for rel in sig.rel_ids() {
+        let r = structure.relation(rel);
+        let mut tuples: Vec<Vec<u32>> = r
+            .iter()
+            .map(|t| t.iter().map(|&c| colors[c.index()]).collect())
+            .collect();
+        tuples.sort();
+        push_u32(&mut out, rel.0);
+        push_u32(&mut out, tuples.len() as u32);
+        for t in tuples {
+            for c in t {
+                push_u32(&mut out, c);
+            }
+        }
+    }
+    out
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_storage::{node, Signature};
+    use std::sync::Arc;
+
+    fn colored_sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1)]))
+    }
+
+    /// Build a small colored graph from edges and blue nodes.
+    fn build(n: usize, edges: &[(u32, u32)], blue: &[u32]) -> Structure {
+        let sig = colored_sig();
+        let e = sig.rel("E").unwrap();
+        let b_ = sig.rel("B").unwrap();
+        let mut b = Structure::builder(sig, n);
+        for &(u, v) in edges {
+            b.undirected_edge(e, node(u), node(v)).unwrap();
+        }
+        for &u in blue {
+            b.fact(b_, &[node(u)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn isomorphic_structures_same_encoding() {
+        // path 0-1-2 with 0 blue  vs  path 2-1-0 with 2 blue
+        let a = build(3, &[(0, 1), (1, 2)], &[0]);
+        let b = build(3, &[(2, 1), (1, 0)], &[2]);
+        assert_eq!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&b, &[node(2)])
+        );
+    }
+
+    #[test]
+    fn distinguished_position_matters() {
+        let a = build(3, &[(0, 1), (1, 2)], &[]);
+        // distinguishing an end vs the middle of the path
+        assert_ne!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&a, &[node(1)])
+        );
+        // but the two ends are isomorphic
+        assert_eq!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&a, &[node(2)])
+        );
+    }
+
+    #[test]
+    fn color_breaks_symmetry() {
+        let a = build(2, &[(0, 1)], &[0]);
+        let b = build(2, &[(0, 1)], &[1]);
+        // as abstract structures these are isomorphic
+        assert_eq!(canonical_encoding(&a, &[]), canonical_encoding(&b, &[]));
+        // distinguishing the blue node keeps them equal too
+        assert_eq!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&b, &[node(1)])
+        );
+        // distinguishing blue in one and non-blue in the other differs
+        assert_ne!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&b, &[node(0)])
+        );
+    }
+
+    #[test]
+    fn non_isomorphic_differ() {
+        let path = build(4, &[(0, 1), (1, 2), (2, 3)], &[]);
+        let star = build(4, &[(0, 1), (0, 2), (0, 3)], &[]);
+        assert_ne!(canonical_encoding(&path, &[]), canonical_encoding(&star, &[]));
+    }
+
+    #[test]
+    fn highly_symmetric_cycle_canonicalizes() {
+        // 6-cycle: color refinement alone cannot discretize; backtracking must
+        let mk = |rot: u32| {
+            build(
+                6,
+                &(0..6)
+                    .map(|i| ((i + rot) % 6, (i + 1 + rot) % 6))
+                    .collect::<Vec<_>>(),
+                &[],
+            )
+        };
+        let a = mk(0);
+        let b = mk(2);
+        assert_eq!(canonical_encoding(&a, &[]), canonical_encoding(&b, &[]));
+        assert_eq!(
+            canonical_encoding(&a, &[node(0)]),
+            canonical_encoding(&b, &[node(3)])
+        );
+    }
+
+    #[test]
+    fn random_permutation_invariance() {
+        use std::collections::BTreeMap;
+        // fixed permutation applied to a small irregular graph
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let a = build(5, &edges, &[4]);
+        let perm: BTreeMap<u32, u32> =
+            [(0, 3), (1, 0), (2, 4), (3, 1), (4, 2)].into_iter().collect();
+        let p_edges: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (perm[&u], perm[&v])).collect();
+        let b = build(5, &p_edges, &[perm[&4]]);
+        assert_eq!(
+            canonical_encoding(&a, &[node(0), node(2)]),
+            canonical_encoding(&b, &[node(perm[&0]), node(perm[&2])])
+        );
+    }
+
+    #[test]
+    fn interner_dedups_and_keeps_representatives() {
+        let mut interner = TypeInterner::new();
+        let a = build(3, &[(0, 1), (1, 2)], &[0]);
+        let b = build(3, &[(2, 1), (1, 0)], &[2]);
+        let t1 = interner.intern(&a, &[node(0)]);
+        let t2 = interner.intern(&b, &[node(2)]);
+        assert_eq!(t1, t2);
+        assert_eq!(interner.len(), 1);
+        let t3 = interner.intern(&a, &[node(1)]);
+        assert_ne!(t1, t3);
+        assert_eq!(interner.len(), 2);
+        let (rep, dist) = interner.representative(t1);
+        assert_eq!(rep.cardinality(), 3);
+        assert_eq!(dist.len(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Disjunctive normal forms of quantifier-free formulas.
+//!
+//! Proposition 3.6 and Proposition 3.9 both start by rewriting a
+//! quantifier-free formula into a disjunction of conjunctive clauses that
+//! **mutually exclude** each other (every satisfying assignment satisfies
+//! exactly one clause). [`exclusive_dnf`] produces that form by enumerating
+//! truth assignments of the atom set — the `O(2^{|ψ|})` step the paper
+//! explicitly budgets for.
+
+use crate::ast::{DistCmp, Formula, Var};
+
+/// An atomic proposition of a quantifier-free formula (polarity lives in
+/// [`Literal`]; distance guards are normalized to their `≤` form).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum QfAtom {
+    /// Relational atom.
+    Rel {
+        /// Relation symbol.
+        rel: lowdeg_storage::RelId,
+        /// Arguments.
+        args: Vec<Var>,
+    },
+    /// Equality.
+    Eq(Var, Var),
+    /// `dist(x, y) ≤ r` (the negation is `> r`).
+    DistLe(Var, Var, usize),
+}
+
+impl QfAtom {
+    /// Variables of the atom.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            QfAtom::Rel { args, .. } => args.clone(),
+            QfAtom::Eq(x, y) | QfAtom::DistLe(x, y, _) => vec![*x, *y],
+        }
+    }
+
+    /// Back to a [`Formula`] with the given polarity.
+    pub fn to_formula(&self, positive: bool) -> Formula {
+        let f = match self {
+            QfAtom::Rel { rel, args } => Formula::Atom {
+                rel: *rel,
+                args: args.clone(),
+            },
+            QfAtom::Eq(x, y) => Formula::Eq(*x, *y),
+            QfAtom::DistLe(x, y, r) => Formula::Dist {
+                x: *x,
+                y: *y,
+                cmp: DistCmp::LessEq,
+                r: *r,
+            },
+        };
+        if positive {
+            f
+        } else if let Formula::Dist { x, y, r, .. } = f {
+            Formula::Dist {
+                x,
+                y,
+                cmp: DistCmp::Greater,
+                r,
+            }
+        } else {
+            Formula::not(f)
+        }
+    }
+}
+
+/// A signed atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Literal {
+    /// The atom.
+    pub atom: QfAtom,
+    /// Polarity.
+    pub positive: bool,
+}
+
+/// A conjunctive clause.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Conjunct {
+    /// Conjoined literals.
+    pub literals: Vec<Literal>,
+}
+
+impl Conjunct {
+    /// As a [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::and(self.literals.iter().map(|l| l.atom.to_formula(l.positive)))
+    }
+}
+
+/// Collect the distinct atoms of a quantifier-free formula, in first-seen
+/// order.
+pub fn atoms(f: &Formula) -> Vec<QfAtom> {
+    let mut out = Vec::new();
+    collect_atoms(f, &mut out);
+    out
+}
+
+fn collect_atoms(f: &Formula, out: &mut Vec<QfAtom>) {
+    let mut push = |a: QfAtom| {
+        if !out.contains(&a) {
+            out.push(a);
+        }
+    };
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom { rel, args } => push(QfAtom::Rel {
+            rel: *rel,
+            args: args.clone(),
+        }),
+        Formula::Eq(x, y) => push(QfAtom::Eq(*x, *y)),
+        Formula::Dist { x, y, r, .. } => push(QfAtom::DistLe(*x, *y, *r)),
+        Formula::Not(g) => collect_atoms(g, out),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| collect_atoms(g, out)),
+        Formula::Exists(..) | Formula::Forall(..) => {
+            panic!("atoms() requires a quantifier-free formula")
+        }
+    }
+}
+
+/// Evaluate a quantifier-free formula under a truth assignment to its atoms.
+fn eval_under(f: &Formula, atom_list: &[QfAtom], truth: u64) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { rel, args } => lookup(
+            atom_list,
+            truth,
+            &QfAtom::Rel {
+                rel: *rel,
+                args: args.clone(),
+            },
+        ),
+        Formula::Eq(x, y) => lookup(atom_list, truth, &QfAtom::Eq(*x, *y)),
+        Formula::Dist { x, y, cmp, r } => {
+            let v = lookup(atom_list, truth, &QfAtom::DistLe(*x, *y, *r));
+            match cmp {
+                DistCmp::LessEq => v,
+                DistCmp::Greater => !v,
+            }
+        }
+        Formula::Not(g) => !eval_under(g, atom_list, truth),
+        Formula::And(gs) => gs.iter().all(|g| eval_under(g, atom_list, truth)),
+        Formula::Or(gs) => gs.iter().any(|g| eval_under(g, atom_list, truth)),
+        Formula::Exists(..) | Formula::Forall(..) => unreachable!("checked quantifier-free"),
+    }
+}
+
+fn lookup(atom_list: &[QfAtom], truth: u64, atom: &QfAtom) -> bool {
+    let i = atom_list
+        .iter()
+        .position(|a| a == atom)
+        .expect("atom collected");
+    truth >> i & 1 == 1
+}
+
+/// Maximum number of distinct atoms [`exclusive_dnf`] will expand
+/// (2⁶⁴ assignments is the hard representational limit; 24 keeps the
+/// expansion in the millions).
+pub const MAX_EXCLUSIVE_ATOMS: usize = 24;
+
+/// Rewrite a quantifier-free formula into a **mutually exclusive** DNF:
+/// every clause fixes the truth value of *every* atom of the formula, so
+/// distinct clauses have disjoint answer sets and
+/// `|ψ(G)| = Σ_i |γ_i(G)|` — exactly the normal form Proposition 3.6 counts
+/// with and Proposition 3.9 enumerates with.
+///
+/// Cost `O(2^m)` for `m` atoms, as budgeted by the paper. Panics when the
+/// formula has quantifiers or more than [`MAX_EXCLUSIVE_ATOMS`] atoms.
+pub fn exclusive_dnf(f: &Formula) -> Vec<Conjunct> {
+    assert!(f.is_quantifier_free(), "exclusive_dnf needs quantifier-free input");
+    let atom_list = atoms(f);
+    assert!(
+        atom_list.len() <= MAX_EXCLUSIVE_ATOMS,
+        "formula has {} distinct atoms; exclusive DNF supports at most {}",
+        atom_list.len(),
+        MAX_EXCLUSIVE_ATOMS
+    );
+    let m = atom_list.len();
+    let mut out = Vec::new();
+    for truth in 0..(1u64 << m) {
+        if eval_under(f, &atom_list, truth) {
+            let literals = atom_list
+                .iter()
+                .enumerate()
+                .map(|(i, a)| Literal {
+                    atom: a.clone(),
+                    positive: truth >> i & 1 == 1,
+                })
+                .collect();
+            out.push(Conjunct { literals });
+        }
+    }
+    out
+}
+
+/// Plain (non-exclusive) DNF by distribution, with unsatisfiable clauses
+/// (containing a literal and its negation) dropped.
+pub fn dnf(f: &Formula) -> Vec<Conjunct> {
+    assert!(f.is_quantifier_free(), "dnf needs quantifier-free input");
+    let clauses = dnf_rec(f, true);
+    clauses
+        .into_iter()
+        .filter(|c| {
+            !c.literals.iter().any(|l| {
+                c.literals
+                    .iter()
+                    .any(|m| m.atom == l.atom && m.positive != l.positive)
+            })
+        })
+        .collect()
+}
+
+fn dnf_rec(f: &Formula, positive: bool) -> Vec<Conjunct> {
+    match (f, positive) {
+        (Formula::True, true) | (Formula::False, false) => vec![Conjunct::default()],
+        (Formula::True, false) | (Formula::False, true) => vec![],
+        (Formula::Atom { rel, args }, pol) => vec![Conjunct {
+            literals: vec![Literal {
+                atom: QfAtom::Rel {
+                    rel: *rel,
+                    args: args.clone(),
+                },
+                positive: pol,
+            }],
+        }],
+        (Formula::Eq(x, y), pol) => vec![Conjunct {
+            literals: vec![Literal {
+                atom: QfAtom::Eq(*x, *y),
+                positive: pol,
+            }],
+        }],
+        (Formula::Dist { x, y, cmp, r }, pol) => {
+            let positive = match cmp {
+                DistCmp::LessEq => pol,
+                DistCmp::Greater => !pol,
+            };
+            vec![Conjunct {
+                literals: vec![Literal {
+                    atom: QfAtom::DistLe(*x, *y, *r),
+                    positive,
+                }],
+            }]
+        }
+        (Formula::Not(g), pol) => dnf_rec(g, !pol),
+        (Formula::And(gs), true) | (Formula::Or(gs), false) => {
+            let mut acc = vec![Conjunct::default()];
+            for g in gs {
+                let parts = dnf_rec(g, positive);
+                let mut next = Vec::with_capacity(acc.len() * parts.len());
+                for a in &acc {
+                    for p in &parts {
+                        let mut lits = a.literals.clone();
+                        lits.extend(p.literals.iter().cloned());
+                        next.push(Conjunct { literals: lits });
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        (Formula::Or(gs), true) | (Formula::And(gs), false) => {
+            gs.iter().flat_map(|g| dnf_rec(g, positive)).collect()
+        }
+        (Formula::Exists(..), _) | (Formula::Forall(..), _) => {
+            unreachable!("checked quantifier-free")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lowdeg_storage::Signature;
+    use std::sync::Arc;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]))
+    }
+
+    fn parse(src: &str) -> Formula {
+        parse_query(&sig(), src).unwrap().formula
+    }
+
+    #[test]
+    fn atoms_dedup() {
+        let f = parse("B(x) & (B(x) | R(y))");
+        assert_eq!(atoms(&f).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_dnf_clauses_fix_all_atoms() {
+        let f = parse("B(x) | R(y)");
+        let cs = exclusive_dnf(&f);
+        // 3 of the 4 assignments satisfy the disjunction
+        assert_eq!(cs.len(), 3);
+        for c in &cs {
+            assert_eq!(c.literals.len(), 2);
+        }
+    }
+
+    #[test]
+    fn exclusive_dnf_mutually_exclusive() {
+        let f = parse("B(x) | R(y)");
+        let cs = exclusive_dnf(&f);
+        // any two clauses disagree on at least one atom's polarity
+        for i in 0..cs.len() {
+            for j in (i + 1)..cs.len() {
+                let disagree = cs[i].literals.iter().zip(&cs[j].literals).any(|(a, b)| {
+                    assert_eq!(a.atom, b.atom);
+                    a.positive != b.positive
+                });
+                assert!(disagree);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_dnf_of_contradiction_is_empty() {
+        let f = parse("B(x) & !B(x)");
+        assert!(exclusive_dnf(&f).is_empty());
+    }
+
+    #[test]
+    fn exclusive_dnf_of_tautology_covers_all() {
+        let f = parse("B(x) | !B(x)");
+        assert_eq!(exclusive_dnf(&f).len(), 2);
+    }
+
+    #[test]
+    fn plain_dnf_distributes() {
+        let f = parse("(B(x) | R(x)) & B(y)");
+        let cs = dnf(&f);
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert_eq!(c.literals.len(), 2);
+        }
+    }
+
+    #[test]
+    fn plain_dnf_drops_contradictions() {
+        let f = parse("B(x) & !B(x)");
+        assert!(dnf(&f).is_empty());
+    }
+
+    #[test]
+    fn dist_polarity_normalized() {
+        let f = parse("dist(x, y) > 3");
+        let cs = dnf(&f);
+        assert_eq!(cs.len(), 1);
+        let l = &cs[0].literals[0];
+        assert_eq!(l.atom, QfAtom::DistLe(Var(0), Var(1), 3));
+        assert!(!l.positive);
+    }
+
+    #[test]
+    fn conjunct_roundtrip_to_formula() {
+        let f = parse("B(x) & !R(y)");
+        let cs = dnf(&f);
+        assert_eq!(cs.len(), 1);
+        let g = cs[0].to_formula();
+        // structurally: And of atom and negated atom
+        assert!(matches!(g, Formula::And(_)));
+    }
+
+    use crate::ast::Var;
+}

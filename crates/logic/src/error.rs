@@ -1,0 +1,52 @@
+//! Error type for query construction, parsing and evaluation.
+
+use std::fmt;
+
+/// Errors raised by the logic crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A query's declared free-variable list disagrees with the formula.
+    FreeVarMismatch,
+    /// An atom's argument count disagrees with the signature.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments written.
+        got: usize,
+    },
+    /// Parse error with position information.
+    Parse {
+        /// Byte offset into the input.
+        offset: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A relation name in the query is not in the signature.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::FreeVarMismatch => {
+                write!(f, "declared free variables disagree with the formula")
+            }
+            LogicError::AtomArity {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "atom `{relation}` takes {expected} arguments, {got} given"
+            ),
+            LogicError::Parse { offset, msg } => {
+                write!(f, "parse error at offset {offset}: {msg}")
+            }
+            LogicError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}

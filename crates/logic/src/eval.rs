@@ -1,0 +1,286 @@
+//! Naive FO evaluation: the correctness oracle and the `n^k` baseline.
+//!
+//! Quantifiers iterate the whole domain; `answers_naive` enumerates all
+//! `n^k` candidate tuples. These are exactly the algorithms the paper's
+//! pseudo-linear machinery exists to beat; they double as the ground truth
+//! every test in the workspace compares against.
+
+use crate::ast::{DistCmp, Formula, Query, Var};
+use lowdeg_storage::{Node, Structure};
+
+/// A partial assignment of variables to nodes, indexed by variable id.
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    slots: Vec<Option<Node>>,
+}
+
+impl Assignment {
+    /// Assignment with room for variables `0..len`.
+    pub fn with_capacity(len: usize) -> Self {
+        Assignment {
+            slots: vec![None; len],
+        }
+    }
+
+    /// Bind `v` to `a` (growing as needed); returns the previous binding.
+    pub fn bind(&mut self, v: Var, a: Node) -> Option<Node> {
+        if v.index() >= self.slots.len() {
+            self.slots.resize(v.index() + 1, None);
+        }
+        self.slots[v.index()].replace(a)
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unbind(&mut self, v: Var) {
+        if v.index() < self.slots.len() {
+            self.slots[v.index()] = None;
+        }
+    }
+
+    /// Current binding of `v`.
+    pub fn get(&self, v: Var) -> Option<Node> {
+        self.slots.get(v.index()).copied().flatten()
+    }
+
+    fn require(&self, v: Var) -> Node {
+        self.get(v).expect("evaluation reached an unbound variable")
+    }
+}
+
+/// Evaluate `f` over `structure` under `asg` (which must bind every free
+/// variable of `f`).
+pub fn eval(structure: &Structure, f: &Formula, asg: &mut Assignment) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { rel, args } => {
+            let tuple: Vec<Node> = args.iter().map(|&v| asg.require(v)).collect();
+            structure.holds(*rel, &tuple)
+        }
+        Formula::Eq(x, y) => asg.require(*x) == asg.require(*y),
+        Formula::Dist { x, y, cmp, r } => {
+            let within = structure
+                .gaifman()
+                .distance_at_most(asg.require(*x), asg.require(*y), *r)
+                .is_some();
+            match cmp {
+                DistCmp::LessEq => within,
+                DistCmp::Greater => !within,
+            }
+        }
+        Formula::Not(g) => !eval(structure, g, asg),
+        Formula::And(gs) => gs.iter().all(|g| eval(structure, g, asg)),
+        Formula::Or(gs) => gs.iter().any(|g| eval(structure, g, asg)),
+        Formula::Exists(vs, g) => eval_exists(structure, vs, g, asg),
+        Formula::Forall(vs, g) => !eval_exists_not(structure, vs, g, asg),
+    }
+}
+
+fn eval_exists(structure: &Structure, vs: &[Var], g: &Formula, asg: &mut Assignment) -> bool {
+    match vs.split_first() {
+        None => eval(structure, g, asg),
+        Some((&v, rest)) => {
+            let saved = asg.get(v);
+            for a in structure.domain() {
+                asg.bind(v, a);
+                if eval_exists(structure, rest, g, asg) {
+                    restore(asg, v, saved);
+                    return true;
+                }
+            }
+            restore(asg, v, saved);
+            false
+        }
+    }
+}
+
+fn eval_exists_not(structure: &Structure, vs: &[Var], g: &Formula, asg: &mut Assignment) -> bool {
+    match vs.split_first() {
+        None => !eval(structure, g, asg),
+        Some((&v, rest)) => {
+            let saved = asg.get(v);
+            for a in structure.domain() {
+                asg.bind(v, a);
+                if eval_exists_not(structure, rest, g, asg) {
+                    restore(asg, v, saved);
+                    return true;
+                }
+            }
+            restore(asg, v, saved);
+            false
+        }
+    }
+}
+
+fn restore(asg: &mut Assignment, v: Var, saved: Option<Node>) {
+    match saved {
+        Some(a) => {
+            asg.bind(v, a);
+        }
+        None => asg.unbind(v),
+    }
+}
+
+/// Check a sentence: `A ⊨ q`. Panics when `q` has free variables.
+pub fn model_check_naive(structure: &Structure, q: &Query) -> bool {
+    assert!(q.is_sentence(), "model checking needs a sentence");
+    let mut asg = Assignment::with_capacity(q.vars.len());
+    eval(structure, &q.formula, &mut asg)
+}
+
+/// Test whether `tuple ∈ q(A)` by direct evaluation.
+pub fn check_naive(structure: &Structure, q: &Query, tuple: &[Node]) -> bool {
+    assert_eq!(tuple.len(), q.arity(), "tuple arity mismatch");
+    let mut asg = Assignment::with_capacity(q.vars.len());
+    for (&v, &a) in q.free.iter().zip(tuple) {
+        asg.bind(v, a);
+    }
+    eval(structure, &q.formula, &mut asg)
+}
+
+/// All answers `q(A)` by brute force over the `n^k` candidate tuples, in
+/// lexicographic order of the free-variable components.
+pub fn answers_naive(structure: &Structure, q: &Query) -> Vec<Vec<Node>> {
+    let k = q.arity();
+    let mut out = Vec::new();
+    let mut asg = Assignment::with_capacity(q.vars.len());
+    let mut tuple: Vec<Node> = vec![Node(0); k];
+    rec(structure, q, 0, &mut tuple, &mut asg, &mut out);
+    fn rec(
+        structure: &Structure,
+        q: &Query,
+        pos: usize,
+        tuple: &mut Vec<Node>,
+        asg: &mut Assignment,
+        out: &mut Vec<Vec<Node>>,
+    ) {
+        if pos == q.arity() {
+            if eval(structure, &q.formula, asg) {
+                out.push(tuple.clone());
+            }
+            return;
+        }
+        for a in structure.domain() {
+            tuple[pos] = a;
+            asg.bind(q.free[pos], a);
+            rec(structure, q, pos + 1, tuple, asg, out);
+        }
+        asg.unbind(q.free[pos]);
+    }
+    out
+}
+
+/// `|q(A)|` by brute force.
+pub fn count_naive(structure: &Structure, q: &Query) -> u64 {
+    answers_naive(structure, q).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lowdeg_storage::{node, Signature};
+    use std::sync::Arc;
+
+    /// The paper's running example structure: a colored graph.
+    /// Nodes 0,1 blue; 3,4 red; edges 0-3 (both ways).
+    fn bluered() -> Structure {
+        let sig = Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]));
+        let e = sig.rel("E").unwrap();
+        let b_ = sig.rel("B").unwrap();
+        let r_ = sig.rel("R").unwrap();
+        let mut b = Structure::builder(sig, 5);
+        b.fact(b_, &[node(0)]).unwrap();
+        b.fact(b_, &[node(1)]).unwrap();
+        b.fact(r_, &[node(3)]).unwrap();
+        b.fact(r_, &[node(4)]).unwrap();
+        b.undirected_edge(e, node(0), node(3)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn example_2_3_answers() {
+        let s = bluered();
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let ans = answers_naive(&s, &q);
+        // blue×red = {0,1}×{3,4} minus (0,3)
+        assert_eq!(
+            ans,
+            vec![
+                vec![node(0), node(4)],
+                vec![node(1), node(3)],
+                vec![node(1), node(4)],
+            ]
+        );
+        assert_eq!(count_naive(&s, &q), 3);
+        assert!(check_naive(&s, &q, &[node(1), node(3)]));
+        assert!(!check_naive(&s, &q, &[node(0), node(3)]));
+    }
+
+    #[test]
+    fn exists_quantifier() {
+        let s = bluered();
+        // x has a red neighbor
+        let q = parse_query(s.signature(), "exists y. R(y) & E(x, y)").unwrap();
+        let ans = answers_naive(&s, &q);
+        assert_eq!(ans, vec![vec![node(0)]]);
+    }
+
+    #[test]
+    fn forall_quantifier() {
+        let s = bluered();
+        // every neighbor of x is red — vacuously true for isolated nodes
+        let q = parse_query(s.signature(), "forall y. E(x, y) -> R(y)").unwrap();
+        let ans = answers_naive(&s, &q);
+        // node 3's only neighbor is 0 (blue) → excluded; all others have no
+        // neighbors except 0 (neighbor 3 is red) → included
+        assert_eq!(
+            ans,
+            vec![vec![node(0)], vec![node(1)], vec![node(2)], vec![node(4)]]
+        );
+    }
+
+    #[test]
+    fn sentences() {
+        let s = bluered();
+        let t = parse_query(s.signature(), "exists x y. B(x) & R(y) & E(x, y)").unwrap();
+        assert!(model_check_naive(&s, &t));
+        let f = parse_query(s.signature(), "exists x. B(x) & R(x)").unwrap();
+        assert!(!model_check_naive(&s, &f));
+    }
+
+    #[test]
+    fn dist_guard_semantics() {
+        let s = bluered();
+        // nodes within distance 1 of node-0's color class via an edge
+        let q = parse_query(s.signature(), "B(x) & dist(x, y) <= 1 & R(y)").unwrap();
+        let ans = answers_naive(&s, &q);
+        assert_eq!(ans, vec![vec![node(0), node(3)]]);
+        let qf = parse_query(s.signature(), "B(x) & dist(x, y) > 1 & R(y)").unwrap();
+        let ansf = answers_naive(&s, &qf);
+        assert_eq!(
+            ansf,
+            vec![
+                vec![node(0), node(4)],
+                vec![node(1), node(3)],
+                vec![node(1), node(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let s = bluered();
+        let q = parse_query(s.signature(), "B(x) & x = y").unwrap();
+        let ans = answers_naive(&s, &q);
+        assert_eq!(ans, vec![vec![node(0), node(0)], vec![node(1), node(1)]]);
+    }
+
+    #[test]
+    fn zero_ary_query_on_answers() {
+        let s = bluered();
+        let q = parse_query(s.signature(), "exists x. B(x)").unwrap();
+        let ans = answers_naive(&s, &q);
+        assert_eq!(ans, vec![Vec::<Node>::new()]); // one empty tuple: true
+    }
+}

@@ -1,0 +1,33 @@
+//! # lowdeg-logic
+//!
+//! First-order logic over relational signatures: the query language of the
+//! `lowdeg` engine.
+//!
+//! * [`Formula`] — FO syntax with relational atoms, equality, and bounded
+//!   Gaifman-distance guards `dist(x,y) ≤ r` (first-order definable, and the
+//!   working currency of Gaifman normal forms — Section 4 of the paper).
+//! * [`parse_query`] — a small text syntax (`exists z. E(x,z) & E(z,y)`).
+//! * [`transform`] — negation normal form, flattening, simplification,
+//!   substitution, quantifier rank.
+//! * [`dnf`] — disjunctive normal form of quantifier-free formulas, including
+//!   the *mutually exclusive* DNF that Proposition 3.6 and 3.9 require.
+//! * [`eval`] — the naive evaluator: the correctness oracle and the `n^k`
+//!   baseline that every experiment compares against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+pub mod dnf;
+mod error;
+pub mod eval;
+mod parser;
+mod printer;
+pub mod simplify;
+pub mod transform;
+
+pub use ast::{DistCmp, Formula, Query, Var, VarAlloc};
+pub use error::LogicError;
+pub use parser::{parse_formula, parse_query};
+pub use printer::format_formula;
+pub use simplify::simplify;

@@ -1,0 +1,537 @@
+//! Recursive-descent parser for the FO query syntax.
+//!
+//! Grammar (low → high precedence):
+//!
+//! ```text
+//! expr   := iff
+//! iff    := impl ('<->' impl)*
+//! impl   := or ('->' impl)?                    -- right associative
+//! or     := and ('|' and)*
+//! and    := unary ('&' unary)*
+//! unary  := '!' unary | quant | primary
+//! quant  := ('exists' | 'forall') ident+ '.' expr
+//! primary:= '(' expr ')' | 'true' | 'false'
+//!         | 'dist' '(' ident ',' ident ')' ('<=' | '>') nat
+//!         | ident '(' ident (',' ident)* ')'   -- relational atom
+//!         | ident '=' ident | ident '!=' ident
+//! ```
+//!
+//! Example: `exists z. E(x, z) & E(z, y) & !E(x, y)`.
+
+use crate::ast::{DistCmp, Formula, Query, Var, VarAlloc};
+use crate::LogicError;
+use lowdeg_storage::Signature;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parse a query over `signature`. Free variables are ordered by first
+/// occurrence in the input text.
+pub fn parse_query(signature: &Arc<Signature>, input: &str) -> Result<Query, LogicError> {
+    let (formula, vars, order) = parse_internal(signature, input)?;
+    let free_set = formula.free_vars();
+    // first-occurrence order, restricted to actually-free variables
+    let free: Vec<Var> = order
+        .into_iter()
+        .filter(|v| free_set.binary_search(v).is_ok())
+        .collect();
+    Query::new(signature.clone(), free, formula, vars)
+}
+
+/// Parse a bare formula, returning the variable table as well.
+pub fn parse_formula(
+    signature: &Arc<Signature>,
+    input: &str,
+) -> Result<(Formula, VarAlloc), LogicError> {
+    let (f, vars, _) = parse_internal(signature, input)?;
+    Ok((f, vars))
+}
+
+fn parse_internal(
+    signature: &Arc<Signature>,
+    input: &str,
+) -> Result<(Formula, VarAlloc, Vec<Var>), LogicError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        signature,
+        tokens,
+        pos: 0,
+        vars: VarAlloc::new(),
+        by_name: HashMap::new(),
+        order: Vec::new(),
+    };
+    let f = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err_here("trailing input"));
+    }
+    Ok((f, p.vars, p.order))
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Nat(usize),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    And,
+    Or,
+    Not,
+    Arrow,
+    Iff,
+    Eq,
+    Neq,
+    Le,
+    Gt,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LogicError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, start));
+                i += 1;
+            }
+            '&' => {
+                out.push((Tok::And, start));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1; // accept && as well
+                }
+            }
+            '|' => {
+                out.push((Tok::Or, start));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Tok::Eq, start));
+                i += 1;
+            }
+            '>' => {
+                out.push((Tok::Gt, start));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push((Tok::Neq, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Not, start));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] == b'>' {
+                    out.push((Tok::Iff, start));
+                    i += 3;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push((Tok::Le, start));
+                    i += 2;
+                } else {
+                    return Err(LogicError::Parse {
+                        offset: start,
+                        msg: "expected `<=` or `<->`".into(),
+                    });
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push((Tok::Arrow, start));
+                    i += 2;
+                } else {
+                    return Err(LogicError::Parse {
+                        offset: start,
+                        msg: "expected `->`".into(),
+                    });
+                }
+            }
+            '~' => {
+                out.push((Tok::Not, start));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let n: usize = input[i..j].parse().map_err(|_| LogicError::Parse {
+                    offset: start,
+                    msg: "number too large".into(),
+                })?;
+                out.push((Tok::Nat(n), start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' || cj == '\'' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(input[i..j].to_owned()), start));
+                i = j;
+            }
+            other => {
+                return Err(LogicError::Parse {
+                    offset: start,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    signature: &'a Arc<Signature>,
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    vars: VarAlloc,
+    by_name: HashMap<String, Var>,
+    order: Vec<Var>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> LogicError {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or_else(|| self.tokens.last().map(|&(_, o)| o + 1).unwrap_or(0));
+        LogicError::Parse {
+            offset,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LogicError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(what))
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = self.vars.named(name);
+        self.by_name.insert(name.to_owned(), v);
+        self.order.push(v);
+        v
+    }
+
+    fn expr(&mut self) -> Result<Formula, LogicError> {
+        let mut lhs = self.implication()?;
+        while self.peek() == Some(&Tok::Iff) {
+            self.pos += 1;
+            let rhs = self.implication()?;
+            // a <-> b  ≡  (a -> b) & (b -> a)
+            lhs = Formula::and([
+                Formula::or([Formula::not(lhs.clone()), rhs.clone()]),
+                Formula::or([Formula::not(rhs), lhs]),
+            ]);
+        }
+        Ok(lhs)
+    }
+
+    fn implication(&mut self) -> Result<Formula, LogicError> {
+        let lhs = self.disjunction()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            let rhs = self.implication()?;
+            Ok(Formula::or([Formula::not(lhs), rhs]))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, LogicError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            parts.push(self.conjunction()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, LogicError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            parts.push(self.unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Formula, LogicError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Ident(name)) if name == "exists" || name == "forall" => {
+                let is_exists = name == "exists";
+                self.pos += 1;
+                let mut vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(n)) => vars.push(self.var(&n)),
+                        Some(Tok::Dot) => break,
+                        _ => return Err(self.err_here("expected variable or `.`")),
+                    }
+                    if self.peek() == Some(&Tok::Dot) {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err_here("quantifier needs at least one variable"));
+                }
+                let body = self.expr()?;
+                Ok(if is_exists {
+                    Formula::exists(vars, body)
+                } else {
+                    Formula::forall(vars, body)
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, LogicError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let f = self.expr()?;
+                self.expect(Tok::RParen, "expected `)`")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) if name == "true" => Ok(Formula::True),
+            Some(Tok::Ident(name)) if name == "false" => Ok(Formula::False),
+            Some(Tok::Ident(name)) if name == "dist" => {
+                self.expect(Tok::LParen, "expected `(` after dist")?;
+                let x = self.ident_var()?;
+                self.expect(Tok::Comma, "expected `,`")?;
+                let y = self.ident_var()?;
+                self.expect(Tok::RParen, "expected `)`")?;
+                let cmp = match self.bump() {
+                    Some(Tok::Le) => DistCmp::LessEq,
+                    Some(Tok::Gt) => DistCmp::Greater,
+                    _ => return Err(self.err_here("expected `<=` or `>` after dist(...)")),
+                };
+                let r = match self.bump() {
+                    Some(Tok::Nat(n)) => n,
+                    _ => return Err(self.err_here("expected radius")),
+                };
+                Ok(Formula::Dist { x, y, cmp, r })
+            }
+            Some(Tok::Ident(name)) => {
+                match self.peek() {
+                    Some(Tok::LParen) => {
+                        // relational atom
+                        self.pos += 1;
+                        let rel = self
+                            .signature
+                            .rel(&name)
+                            .ok_or(LogicError::UnknownRelation(name.clone()))?;
+                        let mut args = vec![self.ident_var()?];
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.pos += 1;
+                            args.push(self.ident_var()?);
+                        }
+                        self.expect(Tok::RParen, "expected `)`")?;
+                        if args.len() != self.signature.arity(rel) {
+                            return Err(LogicError::AtomArity {
+                                relation: name,
+                                expected: self.signature.arity(rel),
+                                got: args.len(),
+                            });
+                        }
+                        Ok(Formula::Atom { rel, args })
+                    }
+                    Some(Tok::Eq) => {
+                        self.pos += 1;
+                        let x = self.var(&name);
+                        let y = self.ident_var()?;
+                        Ok(Formula::Eq(x, y))
+                    }
+                    Some(Tok::Neq) => {
+                        self.pos += 1;
+                        let x = self.var(&name);
+                        let y = self.ident_var()?;
+                        Ok(Formula::not(Formula::Eq(x, y)))
+                    }
+                    _ => Err(self.err_here("expected `(`, `=`, or `!=` after identifier")),
+                }
+            }
+            _ => Err(self.err_here("expected a formula")),
+        }
+    }
+
+    fn ident_var(&mut self) -> Result<Var, LogicError> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(self.var(&n)),
+            _ => Err(self.err_here("expected a variable")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]))
+    }
+
+    #[test]
+    fn parse_running_example() {
+        // the paper's Example 2.3
+        let q = parse_query(&sig(), "B(x) & R(y) & !E(x, y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.vars.name(q.free[0]), "x");
+        assert_eq!(q.vars.name(q.free[1]), "y");
+        assert!(q.formula.is_quantifier_free());
+    }
+
+    #[test]
+    fn parse_quantified() {
+        let q = parse_query(&sig(), "exists z. E(x, z) & E(z, y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        match &q.formula {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 1),
+            other => panic!("expected exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_scopes_to_end() {
+        // exists binds everything after the dot
+        let q = parse_query(&sig(), "exists z. E(x, z) | B(z)").unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn parens_limit_scope() {
+        let q = parse_query(&sig(), "(exists z. E(x, z)) | B(x)").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(matches!(q.formula, Formula::Or(_)));
+    }
+
+    #[test]
+    fn parse_sentence() {
+        let q = parse_query(&sig(), "exists x y. E(x, y)").unwrap();
+        assert!(q.is_sentence());
+    }
+
+    #[test]
+    fn parse_dist_guard() {
+        let q = parse_query(&sig(), "dist(x, y) > 4 & B(x)").unwrap();
+        match &q.formula {
+            Formula::And(fs) => assert!(matches!(
+                fs[0],
+                Formula::Dist {
+                    cmp: DistCmp::Greater,
+                    r: 4,
+                    ..
+                }
+            )),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_eq_and_neq() {
+        let q = parse_query(&sig(), "x = y | x != z").unwrap();
+        assert_eq!(q.arity(), 3);
+    }
+
+    #[test]
+    fn parse_implication_right_assoc() {
+        let q = parse_query(&sig(), "B(x) -> R(x) -> B(x)").unwrap();
+        // B -> (R -> B): or(!B, or(!R, B))
+        assert!(matches!(q.formula, Formula::Or(_)));
+    }
+
+    #[test]
+    fn parse_iff() {
+        let q = parse_query(&sig(), "B(x) <-> R(x)").unwrap();
+        assert!(matches!(q.formula, Formula::And(_)));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let err = parse_query(&sig(), "Q(x)").unwrap_err();
+        assert_eq!(err, LogicError::UnknownRelation("Q".into()));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = parse_query(&sig(), "E(x)").unwrap_err();
+        assert!(matches!(err, LogicError::AtomArity { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_query(&sig(), "B(x) )").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+    }
+
+    #[test]
+    fn free_order_is_first_occurrence() {
+        let q = parse_query(&sig(), "E(y, x) & B(x)").unwrap();
+        assert_eq!(q.vars.name(q.free[0]), "y");
+        assert_eq!(q.vars.name(q.free[1]), "x");
+    }
+
+    #[test]
+    fn double_ampersand_accepted() {
+        let q = parse_query(&sig(), "B(x) && R(x)").unwrap();
+        assert!(matches!(q.formula, Formula::And(_)));
+    }
+
+    #[test]
+    fn forall_parses() {
+        let q = parse_query(&sig(), "forall y. E(x, y) -> B(y)").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(matches!(q.formula, Formula::Forall(..)));
+    }
+}

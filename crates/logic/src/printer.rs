@@ -1,0 +1,147 @@
+//! Pretty-printing of formulas back into the parser's syntax.
+
+use crate::ast::{DistCmp, Formula, VarAlloc};
+use lowdeg_storage::Signature;
+use std::fmt::Write;
+
+/// Render `f` in the concrete syntax accepted by [`crate::parse_formula`].
+pub fn format_formula(f: &Formula, sig: &Signature, vars: &VarAlloc) -> String {
+    let mut out = String::new();
+    write_prec(f, sig, vars, 0, &mut out);
+    out
+}
+
+/// Precedence levels: 0 = or, 1 = and, 2 = unary/primary.
+fn write_prec(f: &Formula, sig: &Signature, vars: &VarAlloc, prec: u8, out: &mut String) {
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Atom { rel, args } => {
+            let _ = write!(out, "{}(", sig.name(*rel));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&vars.name(*a));
+            }
+            out.push(')');
+        }
+        Formula::Eq(x, y) => {
+            let _ = write!(out, "{} = {}", vars.name(*x), vars.name(*y));
+        }
+        Formula::Dist { x, y, cmp, r } => {
+            let op = match cmp {
+                DistCmp::LessEq => "<=",
+                DistCmp::Greater => ">",
+            };
+            let _ = write!(out, "dist({}, {}) {op} {r}", vars.name(*x), vars.name(*y));
+        }
+        Formula::Not(g) => {
+            out.push('!');
+            // !x = y would re-parse as (!x) = y; parenthesize non-primaries
+            match **g {
+                Formula::Atom { .. } | Formula::True | Formula::False => {
+                    write_prec(g, sig, vars, 2, out)
+                }
+                _ => {
+                    out.push('(');
+                    write_prec(g, sig, vars, 0, out);
+                    out.push(')');
+                }
+            }
+        }
+        Formula::And(gs) => {
+            let need = prec > 1;
+            if need {
+                out.push('(');
+            }
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" & ");
+                }
+                write_prec(g, sig, vars, 2, out);
+            }
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Or(gs) => {
+            let need = prec > 0;
+            if need {
+                out.push('(');
+            }
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_prec(g, sig, vars, 1, out);
+            }
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let kw = if matches!(f, Formula::Exists(..)) {
+                "exists"
+            } else {
+                "forall"
+            };
+            let need = prec > 0;
+            if need {
+                out.push('(');
+            }
+            out.push_str(kw);
+            for v in vs {
+                out.push(' ');
+                out.push_str(&vars.name(*v));
+            }
+            out.push_str(". ");
+            write_prec(g, sig, vars, 0, out);
+            if need {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use std::sync::Arc;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]))
+    }
+
+    fn roundtrip(src: &str) {
+        let s = sig();
+        let q = parse_query(&s, src).unwrap();
+        let printed = format_formula(&q.formula, &s, &q.vars);
+        let q2 = parse_query(&s, &printed).unwrap();
+        assert_eq!(
+            q.formula, q2.formula,
+            "roundtrip failed: `{src}` printed as `{printed}`"
+        );
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("B(x) & R(y) & !E(x, y)");
+        roundtrip("exists z. E(x, z) & E(z, y)");
+        roundtrip("(B(x) | R(x)) & !(B(y) | R(y))");
+        roundtrip("dist(x, y) > 4 & dist(x, z) <= 2");
+        roundtrip("forall y. !E(x, y) | B(y)");
+        roundtrip("x = y | x != z");
+        roundtrip("true & (false | B(x))");
+        roundtrip("exists x y. E(x, y) & dist(x, y) > 2");
+    }
+
+    #[test]
+    fn or_inside_and_parenthesized() {
+        let s = sig();
+        let q = parse_query(&s, "(B(x) | R(x)) & B(y)").unwrap();
+        let printed = format_formula(&q.formula, &s, &q.vars);
+        assert_eq!(printed, "(B(x) | R(x)) & B(y)");
+    }
+}

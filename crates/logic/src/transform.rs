@@ -1,0 +1,360 @@
+//! Syntactic transformations: negation normal form, variable hygiene,
+//! substitution, quantifier rank.
+
+use crate::ast::{Formula, Var, VarAlloc};
+use std::collections::BTreeMap;
+
+/// Negation normal form: negations pushed onto literals, `Forall` rewritten
+/// when convenient is *not* done here (both quantifiers survive), but double
+/// negations and constants are folded and De Morgan is applied.
+///
+/// Distance guards absorb their negation by flipping the comparison, so an
+/// NNF formula contains `Not` only directly above relational atoms and
+/// equalities.
+pub fn nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom { .. }
+        | Formula::Eq(..)
+        | Formula::Dist { .. } => f.clone(),
+        Formula::And(fs) => Formula::and(fs.iter().map(nnf)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(nnf)),
+        Formula::Exists(vs, g) => Formula::exists(vs.clone(), nnf(g)),
+        Formula::Forall(vs, g) => Formula::forall(vs.clone(), nnf(g)),
+        Formula::Not(g) => nnf_neg(g),
+    }
+}
+
+fn nnf_neg(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Atom { .. } | Formula::Eq(..) => Formula::not(f.clone()),
+        Formula::Dist { x, y, cmp, r } => Formula::Dist {
+            x: *x,
+            y: *y,
+            cmp: cmp.negate(),
+            r: *r,
+        },
+        Formula::Not(g) => nnf(g),
+        Formula::And(fs) => Formula::or(fs.iter().map(nnf_neg)),
+        Formula::Or(fs) => Formula::and(fs.iter().map(nnf_neg)),
+        Formula::Exists(vs, g) => Formula::forall(vs.clone(), nnf_neg(g)),
+        Formula::Forall(vs, g) => Formula::exists(vs.clone(), nnf_neg(g)),
+    }
+}
+
+/// Quantifier rank: maximal nesting depth of quantifier *blocks counted per
+/// variable* (a block `∃x y` counts 2, matching the single-variable
+/// definition the locality radii are stated for).
+pub fn quantifier_rank(f: &Formula) -> usize {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom { .. }
+        | Formula::Eq(..)
+        | Formula::Dist { .. } => 0,
+        Formula::Not(g) => quantifier_rank(g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().map(quantifier_rank).max().unwrap_or(0),
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => vs.len() + quantifier_rank(g),
+    }
+}
+
+/// Rename every *bound* variable to a fresh one so that no variable is bound
+/// twice and no bound variable collides with a free one ("standardizing
+/// apart"). Substitution below is then capture-free.
+pub fn standardize_apart(f: &Formula, alloc: &mut VarAlloc) -> Formula {
+    let mut map: BTreeMap<Var, Var> = BTreeMap::new();
+    rename_bound(f, alloc, &mut map)
+}
+
+fn rename_bound(f: &Formula, alloc: &mut VarAlloc, map: &mut BTreeMap<Var, Var>) -> Formula {
+    let lookup = |v: Var, map: &BTreeMap<Var, Var>| map.get(&v).copied().unwrap_or(v);
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(|&a| lookup(a, map)).collect(),
+        },
+        Formula::Eq(x, y) => Formula::Eq(lookup(*x, map), lookup(*y, map)),
+        Formula::Dist { x, y, cmp, r } => Formula::Dist {
+            x: lookup(*x, map),
+            y: lookup(*y, map),
+            cmp: *cmp,
+            r: *r,
+        },
+        Formula::Not(g) => Formula::not(rename_bound(g, alloc, map)),
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| rename_bound(g, alloc, map))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| rename_bound(g, alloc, map))),
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let mut fresh_vars = Vec::with_capacity(vs.len());
+            let mut saved = Vec::with_capacity(vs.len());
+            for &v in vs {
+                let fresh = alloc.fresh("_q");
+                saved.push((v, map.insert(v, fresh)));
+                fresh_vars.push(fresh);
+            }
+            let body = rename_bound(g, alloc, map);
+            for (v, old) in saved.into_iter().rev() {
+                match old {
+                    Some(o) => {
+                        map.insert(v, o);
+                    }
+                    None => {
+                        map.remove(&v);
+                    }
+                }
+            }
+            if matches!(f, Formula::Exists(..)) {
+                Formula::exists(fresh_vars, body)
+            } else {
+                Formula::forall(fresh_vars, body)
+            }
+        }
+    }
+}
+
+/// Prenex normal form: all quantifiers pulled to an outermost block.
+///
+/// The input is standardized apart first (quantifier extraction is only
+/// sound without variable collisions), then quantifiers are extracted
+/// through ∧/∨ directly and through ¬ by dualizing. The result's matrix is
+/// quantifier-free; `quantifier_rank` is preserved up to the usual
+/// flattening of blocks.
+pub fn prenex(f: &Formula, alloc: &mut VarAlloc) -> Formula {
+    let clean = standardize_apart(&nnf(f), alloc);
+    let (prefix, matrix) = extract(&clean);
+    prefix
+        .into_iter()
+        .rev()
+        .fold(matrix, |body, (existential, vars)| {
+            if existential {
+                Formula::exists(vars, body)
+            } else {
+                Formula::forall(vars, body)
+            }
+        })
+}
+
+/// Extract the quantifier prefix (outermost first) and the matrix.
+fn extract(f: &Formula) -> (Vec<(bool, Vec<Var>)>, Formula) {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom { .. }
+        | Formula::Eq(..)
+        | Formula::Dist { .. } => (Vec::new(), f.clone()),
+        Formula::Not(g) => {
+            // NNF input: negations sit on literals only, so g is a literal
+            debug_assert!(g.is_quantifier_free());
+            (Vec::new(), f.clone())
+        }
+        Formula::And(gs) | Formula::Or(gs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut parts = Vec::with_capacity(gs.len());
+            for g in gs {
+                let (p, m) = extract(g);
+                prefix.extend(p);
+                parts.push(m);
+            }
+            let matrix = if is_and {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            };
+            (prefix, matrix)
+        }
+        Formula::Exists(vs, g) => {
+            let (mut p, m) = extract(g);
+            let mut prefix = vec![(true, vs.clone())];
+            prefix.append(&mut p);
+            (prefix, m)
+        }
+        Formula::Forall(vs, g) => {
+            let (mut p, m) = extract(g);
+            let mut prefix = vec![(false, vs.clone())];
+            prefix.append(&mut p);
+            (prefix, m)
+        }
+    }
+}
+
+/// Apply a variable-to-variable substitution to *free* occurrences.
+///
+/// The formula must be standardized apart from the substitution's range
+/// (no capture checking is performed beyond a debug assertion).
+pub fn substitute(f: &Formula, map: &BTreeMap<Var, Var>) -> Formula {
+    let lookup = |v: Var| map.get(&v).copied().unwrap_or(v);
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(|&a| lookup(a)).collect(),
+        },
+        Formula::Eq(x, y) => Formula::Eq(lookup(*x), lookup(*y)),
+        Formula::Dist { x, y, cmp, r } => Formula::Dist {
+            x: lookup(*x),
+            y: lookup(*y),
+            cmp: *cmp,
+            r: *r,
+        },
+        Formula::Not(g) => Formula::not(substitute(g, map)),
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| substitute(g, map))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| substitute(g, map))),
+        Formula::Exists(vs, g) => {
+            debug_assert!(vs.iter().all(|v| !map.contains_key(v)));
+            debug_assert!(vs.iter().all(|v| !map.values().any(|w| w == v)));
+            Formula::exists(vs.clone(), substitute(g, map))
+        }
+        Formula::Forall(vs, g) => {
+            debug_assert!(vs.iter().all(|v| !map.contains_key(v)));
+            debug_assert!(vs.iter().all(|v| !map.values().any(|w| w == v)));
+            Formula::forall(vs.clone(), substitute(g, map))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::DistCmp;
+    use lowdeg_storage::Signature;
+    use std::sync::Arc;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("E", 2), ("B", 1)]))
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let q = parse_query(&sig(), "!(B(x) & exists y. E(x, y))").unwrap();
+        let n = nnf(&q.formula);
+        // !(B & ∃y E) → !B | ∀y !E
+        match &n {
+            Formula::Or(parts) => {
+                assert!(matches!(parts[0], Formula::Not(_)));
+                assert!(matches!(parts[1], Formula::Forall(..)));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_flips_dist() {
+        let q = parse_query(&sig(), "!(dist(x, y) <= 3)").unwrap();
+        let n = nnf(&q.formula);
+        assert!(matches!(
+            n,
+            Formula::Dist {
+                cmp: DistCmp::Greater,
+                r: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nnf_idempotent() {
+        let q = parse_query(&sig(), "!(B(x) | !(exists y. !E(x, y)))").unwrap();
+        let n1 = nnf(&q.formula);
+        let n2 = nnf(&n1);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn rank_counts_block_sizes() {
+        let q = parse_query(&sig(), "exists y z. E(x, y) & (forall w. E(z, w))").unwrap();
+        assert_eq!(quantifier_rank(&q.formula), 3);
+    }
+
+    #[test]
+    fn standardize_apart_makes_bound_vars_unique() {
+        let mut q =
+            parse_query(&sig(), "(exists y. E(x, y)) & (exists y. B(y))").unwrap();
+        let s = standardize_apart(&q.formula, &mut q.vars);
+        // gather bound blocks
+        fn bound(f: &Formula, out: &mut Vec<Var>) {
+            match f {
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    out.extend(vs);
+                    bound(g, out);
+                }
+                Formula::Not(g) => bound(g, out),
+                Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| bound(g, out)),
+                _ => {}
+            }
+        }
+        let mut bs = Vec::new();
+        bound(&s, &mut bs);
+        assert_eq!(bs.len(), 2);
+        assert_ne!(bs[0], bs[1]);
+        // free variables untouched
+        assert_eq!(s.free_vars(), q.formula.free_vars());
+    }
+
+    #[test]
+    fn prenex_produces_prefix_form() {
+        let mut q =
+            parse_query(&sig(), "(exists y. E(x, y)) & !(exists z. E(x, z) & B(z))").unwrap();
+        let p = prenex(&q.formula, &mut q.vars);
+        // peel the quantifier prefix; the rest must be quantifier-free
+        let mut cur = &p;
+        loop {
+            match cur {
+                Formula::Exists(_, g) | Formula::Forall(_, g) => cur = g,
+                other => {
+                    assert!(other.is_quantifier_free(), "matrix not QF: {other:?}");
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prenex_preserves_semantics_small() {
+        use lowdeg_storage::{node, Structure};
+        // tiny fixed structure: 0-1 edge, 1 blue
+        let sg = sig();
+        let e = sg.rel("E").unwrap();
+        let b_ = sg.rel("B").unwrap();
+        let mut builder = Structure::builder(sg.clone(), 3);
+        builder.undirected_edge(e, node(0), node(1)).unwrap();
+        builder.fact(b_, &[node(1)]).unwrap();
+        let s = builder.finish().unwrap();
+
+        for src in [
+            "exists y. E(x, y) & B(y)",
+            "forall y. E(x, y) -> B(y)",
+            "(exists y. E(x, y)) | !(forall z. B(z))",
+        ] {
+            let mut q = parse_query(&sg, src).unwrap();
+            let p = prenex(&q.formula, &mut q.vars);
+            for a in s.domain() {
+                let mut asg1 = crate::eval::Assignment::default();
+                asg1.bind(q.free[0], a);
+                let mut asg2 = crate::eval::Assignment::default();
+                asg2.bind(q.free[0], a);
+                assert_eq!(
+                    crate::eval::eval(&s, &q.formula, &mut asg1),
+                    crate::eval::eval(&s, &p, &mut asg2),
+                    "`{src}` at {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substitute_free_only() {
+        let mut q = parse_query(&sig(), "E(x, y) & exists z. E(y, z)").unwrap();
+        let s = standardize_apart(&q.formula, &mut q.vars);
+        let free = s.free_vars();
+        let (x, y) = (free[0], free[1]);
+        let mut map = BTreeMap::new();
+        map.insert(x, y);
+        let t = substitute(&s, &map);
+        assert_eq!(t.free_vars(), vec![y]);
+    }
+}

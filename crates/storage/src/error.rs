@@ -1,0 +1,70 @@
+//! Error type shared by the storage crate.
+
+use std::fmt;
+
+/// Errors raised while building, loading or querying relational structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation name was declared twice in a signature.
+    DuplicateRelation(String),
+    /// A relation name was used that is not part of the signature.
+    UnknownRelation(String),
+    /// A fact's arity does not match the relation's declared arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity declared in the signature.
+        expected: usize,
+        /// Arity of the offending fact.
+        got: usize,
+    },
+    /// A fact mentions a node outside the declared domain `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Size of the domain.
+        domain: usize,
+    },
+    /// The paper only considers non-empty domains (`dom(A)` is non-empty).
+    EmptyDomain,
+    /// A declared arity was zero or exceeded the supported maximum.
+    BadArity(usize),
+    /// The loader hit a syntax error.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared twice")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but a fact with {got} components was given"
+            ),
+            StorageError::NodeOutOfRange { node, domain } => {
+                write!(f, "node {node} outside domain of size {domain}")
+            }
+            StorageError::EmptyDomain => write!(f, "structures must have a non-empty domain"),
+            StorageError::BadArity(a) => write!(
+                f,
+                "arity {a} unsupported (must be between 1 and {})",
+                crate::signature::MAX_ARITY
+            ),
+            StorageError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

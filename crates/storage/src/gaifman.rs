@@ -1,0 +1,377 @@
+//! Gaifman graphs: adjacency structure, degree, balls and bounded distances.
+
+use crate::{Node, Structure};
+
+/// The Gaifman graph of a structure (Section 2.1): the undirected graph on
+/// `dom(A)` with an edge between two distinct nodes whenever they co-occur in
+/// some fact.
+///
+/// Stored in compressed-sparse-row form with sorted, duplicate-free
+/// neighbor lists; building is `O(‖A‖ · r log ‖A‖)` where `r` is the maximal
+/// arity.
+#[derive(Clone, Debug)]
+pub struct GaifmanGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<Node>,
+    max_degree: usize,
+}
+
+impl GaifmanGraph {
+    /// Build the Gaifman graph of `structure`.
+    pub fn build(structure: &Structure) -> Self {
+        let n = structure.cardinality();
+        let mut edges: Vec<(Node, Node)> = Vec::new();
+        for rel in structure.signature().rel_ids() {
+            let r = structure.relation(rel);
+            if r.arity() < 2 {
+                continue;
+            }
+            for t in r.iter() {
+                for i in 0..t.len() {
+                    for j in (i + 1)..t.len() {
+                        if t[i] != t[j] {
+                            edges.push((t[i], t[j]));
+                            edges.push((t[j], t[i]));
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, _) in &edges {
+            offsets[a.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = edges.into_iter().map(|(_, b)| b).collect::<Vec<_>>();
+        let max_degree = (0..n)
+            .map(|i| (offsets[i + 1] - offsets[i]) as usize)
+            .max()
+            .unwrap_or(0);
+        GaifmanGraph {
+            offsets,
+            neighbors,
+            max_degree,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted neighbor list of `a`.
+    #[inline]
+    pub fn neighbors(&self, a: Node) -> &[Node] {
+        let lo = self.offsets[a.index()] as usize;
+        let hi = self.offsets[a.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of a single node.
+    #[inline]
+    pub fn degree(&self, a: Node) -> usize {
+        self.neighbors(a).len()
+    }
+
+    /// `degree(A)`: the maximum node degree (0 for edgeless structures).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Adjacency test by binary search on the sorted neighbor list.
+    pub fn adjacent(&self, a: Node, b: Node) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// The r-ball `N_r(a)`: all nodes at Gaifman distance ≤ r from `a`,
+    /// returned **sorted**. BFS, `O(|N_r(a)| · d)`.
+    pub fn ball(&self, a: Node, r: usize) -> Vec<Node> {
+        let mut ball = self.ball_unsorted(a, r);
+        ball.sort_unstable();
+        ball
+    }
+
+    /// The r-ball in BFS discovery order (useful when layer structure
+    /// matters).
+    pub fn ball_unsorted(&self, a: Node, r: usize) -> Vec<Node> {
+        let mut visited = VisitSet::new(self.len());
+        let mut out = vec![a];
+        visited.insert(a);
+        let mut frontier_start = 0;
+        for _ in 0..r {
+            let frontier_end = out.len();
+            if frontier_start == frontier_end {
+                break;
+            }
+            for i in frontier_start..frontier_end {
+                let u = out[i];
+                for &v in self.neighbors(u) {
+                    if visited.insert(v) {
+                        out.push(v);
+                    }
+                }
+            }
+            frontier_start = frontier_end;
+        }
+        out
+    }
+
+    /// Bounded distance: `Some(dist(a,b))` when `dist(a,b) ≤ cap`, else
+    /// `None`. Bidirectional-free simple BFS from `a`, stopping at depth
+    /// `cap`; cost `O(|N_cap(a)| · d)`.
+    pub fn distance_at_most(&self, a: Node, b: Node, cap: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut visited = VisitSet::new(self.len());
+        visited.insert(a);
+        let mut frontier = vec![a];
+        for depth in 1..=cap {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if v == b {
+                        return Some(depth);
+                    }
+                    if visited.insert(v) {
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// Histogram of node degrees: `histogram[d]` = number of nodes with
+    /// degree exactly `d` (length `max_degree + 1`; empty graph → `[n]`).
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree + 1];
+        for i in 0..self.len() {
+            hist[self.degree(Node(i as u32))] += 1;
+        }
+        hist
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.len() as f64 / self.len() as f64
+    }
+
+    /// Connected components of the Gaifman graph: for each node its
+    /// component id (ids are dense, assigned in order of each component's
+    /// smallest node), plus the number of components.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        const UNSET: u32 = u32::MAX;
+        let mut comp = vec![UNSET; n];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != UNSET {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(Node(start as u32));
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v.index()] == UNSET {
+                        comp[v.index()] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+
+    /// Distances from `a` to every node of its `cap`-ball, as
+    /// `(node, distance)` pairs in BFS order.
+    pub fn distances_within(&self, a: Node, cap: usize) -> Vec<(Node, usize)> {
+        let mut visited = VisitSet::new(self.len());
+        visited.insert(a);
+        let mut out = vec![(a, 0usize)];
+        let mut frontier_start = 0;
+        for depth in 1..=cap {
+            let frontier_end = out.len();
+            if frontier_start == frontier_end {
+                break;
+            }
+            for i in frontier_start..frontier_end {
+                let u = out[i].0;
+                for &v in self.neighbors(u) {
+                    if visited.insert(v) {
+                        out.push((v, depth));
+                    }
+                }
+            }
+            frontier_start = frontier_end;
+        }
+        out
+    }
+}
+
+/// A visited-set over `0..n` with `O(1)` insert/test and no per-BFS
+/// allocation cost beyond one bit per node.
+struct VisitSet {
+    words: Vec<u64>,
+}
+
+impl VisitSet {
+    fn new(n: usize) -> Self {
+        VisitSet {
+            words: vec![0u64; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert; returns `true` when newly inserted.
+    #[inline]
+    fn insert(&mut self, v: Node) -> bool {
+        let w = v.index() / 64;
+        let bit = 1u64 << (v.index() % 64);
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{node, Signature};
+    use std::sync::Arc;
+
+    fn cycle(n: usize) -> Structure {
+        let sig = Arc::new(Signature::new(&[("E", 2)]));
+        let e = sig.rel("E").unwrap();
+        let mut b = Structure::builder(sig, n);
+        for i in 0..n {
+            b.edge(e, node(i as u32), node(((i + 1) % n) as u32)).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cycle_degrees() {
+        let s = cycle(8);
+        let g = s.gaifman();
+        assert_eq!(g.max_degree(), 2);
+        for a in s.domain() {
+            assert_eq!(g.degree(a), 2);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let s = cycle(5);
+        let g = s.gaifman();
+        assert!(g.adjacent(node(0), node(1)));
+        assert!(g.adjacent(node(1), node(0)));
+        assert!(g.adjacent(node(0), node(4)));
+        assert!(!g.adjacent(node(0), node(2)));
+    }
+
+    #[test]
+    fn ball_on_cycle() {
+        let s = cycle(10);
+        let g = s.gaifman();
+        assert_eq!(g.ball(node(0), 0), vec![node(0)]);
+        assert_eq!(g.ball(node(0), 1), vec![node(0), node(1), node(9)]);
+        assert_eq!(g.ball(node(0), 2).len(), 5);
+        assert_eq!(g.ball(node(0), 5).len(), 10); // whole cycle
+        assert_eq!(g.ball(node(0), 50).len(), 10); // saturates
+    }
+
+    #[test]
+    fn bounded_distance() {
+        let s = cycle(10);
+        let g = s.gaifman();
+        assert_eq!(g.distance_at_most(node(0), node(3), 5), Some(3));
+        assert_eq!(g.distance_at_most(node(0), node(3), 2), None);
+        assert_eq!(g.distance_at_most(node(0), node(7), 5), Some(3)); // wraps
+        assert_eq!(g.distance_at_most(node(4), node(4), 0), Some(0));
+    }
+
+    #[test]
+    fn ternary_relation_makes_clique_edges() {
+        let sig = Arc::new(Signature::new(&[("T", 3)]));
+        let t = sig.rel("T").unwrap();
+        let mut b = Structure::builder(sig, 4);
+        b.fact(t, &[node(0), node(1), node(2)]).unwrap();
+        let s = b.finish().unwrap();
+        let g = s.gaifman();
+        assert!(g.adjacent(node(0), node(2)));
+        assert!(g.adjacent(node(1), node(2)));
+        assert_eq!(g.degree(node(3)), 0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let sig = Arc::new(Signature::new(&[("E", 2)]));
+        let e = sig.rel("E").unwrap();
+        let mut b = Structure::builder(sig, 2);
+        b.edge(e, node(0), node(0)).unwrap();
+        let s = b.finish().unwrap();
+        assert_eq!(s.gaifman().degree(node(0)), 0);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let s = cycle(6);
+        let g = s.gaifman();
+        assert_eq!(g.degree_histogram(), vec![0, 0, 6]);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_of_disjoint_cycles() {
+        // two cycles: 0-1-2 and 3-4-5, plus isolated 6
+        let sig = Arc::new(Signature::new(&[("E", 2)]));
+        let e = sig.rel("E").unwrap();
+        let mut b = Structure::builder(sig, 7);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.edge(e, node(u), node(v)).unwrap();
+            b.edge(e, node(v), node(u)).unwrap();
+        }
+        let s = b.finish().unwrap();
+        let (comp, count) = s.gaifman().components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[6], comp[0]);
+        assert_ne!(comp[6], comp[3]);
+    }
+
+    #[test]
+    fn distances_within_layers() {
+        let s = cycle(8);
+        let d = s.gaifman().distances_within(node(0), 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], (node(0), 0));
+        let depth2: Vec<_> = d.iter().filter(|&&(_, dd)| dd == 2).map(|&(v, _)| v).collect();
+        assert_eq!(depth2.len(), 2);
+    }
+}

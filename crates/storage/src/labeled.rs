@@ -1,0 +1,184 @@
+//! String-labeled domains: a thin layer mapping external identifiers to
+//! the dense `0..n` node space the engine works over.
+//!
+//! Real datasets identify entities by names or sparse ids; the RAM-model
+//! algorithms need a dense domain with a linear order. [`LabeledBuilder`]
+//! interns labels on first sight (so insertion order defines the domain
+//! order) and [`Labeled`] carries the finished structure together with
+//! both directions of the mapping.
+
+use crate::{Node, RelId, Signature, StorageError, Structure, StructureBuilder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A structure plus its label ↔ node mappings.
+#[derive(Clone, Debug)]
+pub struct Labeled {
+    structure: Structure,
+    labels: Vec<String>,
+    by_label: HashMap<String, Node>,
+}
+
+impl Labeled {
+    /// The underlying dense structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The label of a node.
+    pub fn label(&self, node: Node) -> &str {
+        &self.labels[node.index()]
+    }
+
+    /// Resolve a label to its node.
+    pub fn node(&self, label: &str) -> Option<Node> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Render an answer tuple with labels.
+    pub fn render(&self, tuple: &[Node]) -> Vec<&str> {
+        tuple.iter().map(|&n| self.label(n)).collect()
+    }
+}
+
+/// Builds a [`Labeled`] structure, interning labels on the fly.
+///
+/// Facts may arrive before the full entity set is known; the domain size is
+/// fixed only at [`LabeledBuilder::finish`].
+#[derive(Clone, Debug)]
+pub struct LabeledBuilder {
+    signature: Arc<Signature>,
+    labels: Vec<String>,
+    by_label: HashMap<String, u32>,
+    facts: Vec<(RelId, Vec<u32>)>,
+}
+
+impl LabeledBuilder {
+    /// Start building over `signature`.
+    pub fn new(signature: Arc<Signature>) -> Self {
+        LabeledBuilder {
+            signature,
+            labels: Vec::new(),
+            by_label: HashMap::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// Intern a label (idempotent); returns its future node id.
+    pub fn entity(&mut self, label: &str) -> Node {
+        if let Some(&i) = self.by_label.get(label) {
+            return Node(i);
+        }
+        let i = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), i);
+        Node(i)
+    }
+
+    /// Add a fact with labeled arguments.
+    pub fn fact(&mut self, rel: &str, args: &[&str]) -> Result<&mut Self, StorageError> {
+        let id = self.signature.require(rel)?;
+        if self.signature.arity(id) != args.len() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel.to_owned(),
+                expected: self.signature.arity(id),
+                got: args.len(),
+            });
+        }
+        let tuple: Vec<u32> = args.iter().map(|a| self.entity(a).0).collect();
+        self.facts.push((id, tuple));
+        Ok(self)
+    }
+
+    /// Add both directions of a symmetric binary fact.
+    pub fn undirected(&mut self, rel: &str, a: &str, b: &str) -> Result<&mut Self, StorageError> {
+        self.fact(rel, &[a, b])?;
+        self.fact(rel, &[b, a])
+    }
+
+    /// Finish: freezes the domain (insertion order) and builds the dense
+    /// structure.
+    pub fn finish(self) -> Result<Labeled, StorageError> {
+        let n = self.labels.len();
+        if n == 0 {
+            return Err(StorageError::EmptyDomain);
+        }
+        let mut b: StructureBuilder = Structure::builder(self.signature, n);
+        for (rel, tuple) in &self.facts {
+            let nodes: Vec<Node> = tuple.iter().map(|&i| Node(i)).collect();
+            b.fact(*rel, &nodes)?;
+        }
+        let structure = b.finish()?;
+        let by_label = self
+            .by_label
+            .into_iter()
+            .map(|(k, v)| (k, Node(v)))
+            .collect();
+        Ok(Labeled {
+            structure,
+            labels: self.labels,
+            by_label,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Arc<Signature> {
+        Arc::new(Signature::new(&[("Knows", 2), ("Admin", 1)]))
+    }
+
+    #[test]
+    fn labels_intern_in_insertion_order() {
+        let mut b = LabeledBuilder::new(sig());
+        b.undirected("Knows", "alice", "bob").unwrap();
+        b.fact("Admin", &["carol"]).unwrap();
+        b.fact("Knows", &["alice", "carol"]).unwrap();
+        let l = b.finish().unwrap();
+        assert_eq!(l.structure().cardinality(), 3);
+        assert_eq!(l.node("alice"), Some(Node(0)));
+        assert_eq!(l.node("bob"), Some(Node(1)));
+        assert_eq!(l.node("carol"), Some(Node(2)));
+        assert_eq!(l.label(Node(1)), "bob");
+        assert_eq!(l.node("dave"), None);
+        assert_eq!(l.render(&[Node(2), Node(0)]), vec!["carol", "alice"]);
+    }
+
+    #[test]
+    fn facts_survive_into_dense_structure() {
+        let mut b = LabeledBuilder::new(sig());
+        b.undirected("Knows", "x", "y").unwrap();
+        b.fact("Admin", &["x"]).unwrap();
+        let l = b.finish().unwrap();
+        let s = l.structure();
+        let knows = s.signature().rel("Knows").unwrap();
+        let admin = s.signature().rel("Admin").unwrap();
+        let (x, y) = (l.node("x").unwrap(), l.node("y").unwrap());
+        assert!(s.holds(knows, &[x, y]));
+        assert!(s.holds(knows, &[y, x]));
+        assert!(s.holds(admin, &[x]));
+        assert!(!s.holds(admin, &[y]));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = LabeledBuilder::new(sig());
+        assert!(b.fact("Nope", &["a"]).is_err());
+        assert!(b.fact("Knows", &["a"]).is_err()); // arity
+        let empty = LabeledBuilder::new(sig());
+        assert_eq!(empty.finish().unwrap_err(), StorageError::EmptyDomain);
+    }
+
+    #[test]
+    fn entity_is_idempotent() {
+        let mut b = LabeledBuilder::new(sig());
+        let a1 = b.entity("a");
+        let a2 = b.entity("a");
+        assert_eq!(a1, a2);
+        b.fact("Admin", &["a"]).unwrap();
+        let l = b.finish().unwrap();
+        assert_eq!(l.structure().cardinality(), 1);
+    }
+}

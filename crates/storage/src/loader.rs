@@ -1,0 +1,246 @@
+//! Plain-text serialization of structures.
+//!
+//! Format (line-based, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! domain 6
+//! rel E 2
+//! rel B 1
+//! E 0 1
+//! E 1 2
+//! B 0
+//! ```
+//!
+//! `domain` and all `rel` declarations must precede facts.
+
+use crate::{Node, Signature, StorageError, Structure};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Parse a structure from the plain-text format.
+pub fn parse_structure(input: &str) -> Result<Structure, StorageError> {
+    let mut domain: Option<usize> = None;
+    let mut sig_builder = Signature::builder();
+    let mut facts: Vec<(usize, String, Vec<Node>)> = Vec::new();
+    let mut sealed = false;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a token");
+        match head {
+            "domain" => {
+                if domain.is_some() {
+                    return Err(parse_err(lineno, "duplicate `domain` declaration"));
+                }
+                let v = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "`domain` needs a size"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| parse_err(lineno, &format!("bad domain size `{v}`")))?;
+                domain = Some(n);
+            }
+            "rel" => {
+                if sealed {
+                    return Err(parse_err(lineno, "`rel` declarations must precede facts"));
+                }
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "`rel` needs a name"))?;
+                let ar = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "`rel` needs an arity"))?;
+                let arity: usize = ar
+                    .parse()
+                    .map_err(|_| parse_err(lineno, &format!("bad arity `{ar}`")))?;
+                sig_builder.relation(name, arity).map_err(|e| {
+                    parse_err(lineno, &e.to_string())
+                })?;
+            }
+            rel_name => {
+                sealed = true;
+                let mut tuple = Vec::new();
+                for p in parts {
+                    let v: u32 = p
+                        .parse()
+                        .map_err(|_| parse_err(lineno, &format!("bad node id `{p}`")))?;
+                    tuple.push(Node(v));
+                }
+                facts.push((lineno, rel_name.to_owned(), tuple));
+            }
+        }
+    }
+
+    let n = domain.ok_or_else(|| parse_err(0, "missing `domain` declaration"))?;
+    let sig = Arc::new(sig_builder.finish());
+    let mut builder = Structure::builder(sig.clone(), n);
+    for (lineno, name, tuple) in facts {
+        let rel = sig
+            .rel(&name)
+            .ok_or_else(|| parse_err(lineno, &format!("unknown relation `{name}`")))?;
+        builder.fact(rel, &tuple).map_err(|e| match e {
+            StorageError::Parse { .. } => e,
+            other => parse_err(lineno, &other.to_string()),
+        })?;
+    }
+    builder.finish()
+}
+
+/// Serialize a structure into the plain-text format accepted by
+/// [`parse_structure`].
+pub fn write_structure(s: &Structure) -> String {
+    let sig = s.signature();
+    let mut out = String::new();
+    let _ = writeln!(out, "domain {}", s.cardinality());
+    for rel in sig.rel_ids() {
+        let _ = writeln!(out, "rel {} {}", sig.name(rel), sig.arity(rel));
+    }
+    for rel in sig.rel_ids() {
+        let name = sig.name(rel);
+        for t in s.relation(rel).iter() {
+            let _ = write!(out, "{name}");
+            for &c in t {
+                let _ = write!(out, " {c}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a plain edge list (the SNAP / common graph-dataset format): one
+/// `u v` pair per line, `#` comments, blank lines ignored. Produces a
+/// `{E/2}` structure with **symmetric** edges over domain
+/// `0..=max_node_id`; self-loops are dropped.
+pub fn parse_edge_list(input: &str) -> Result<Structure, StorageError> {
+    let mut pairs: Vec<(Node, Node)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(parse_err(lineno, "edge lines need two node ids"));
+        };
+        if parts.next().is_some() {
+            return Err(parse_err(lineno, "edge lines have exactly two node ids"));
+        }
+        let u: u32 = a
+            .parse()
+            .map_err(|_| parse_err(lineno, &format!("bad node id `{a}`")))?;
+        let v: u32 = b
+            .parse()
+            .map_err(|_| parse_err(lineno, &format!("bad node id `{b}`")))?;
+        max_id = max_id.max(u).max(v);
+        if u != v {
+            pairs.push((Node(u), Node(v)));
+            pairs.push((Node(v), Node(u)));
+        }
+    }
+    let sig = Arc::new(Signature::new(&[("E", 2)]));
+    let e = sig.rel("E").expect("just declared");
+    let mut b = Structure::builder(sig, max_id as usize + 1);
+    b.bulk_binary(e, pairs)?;
+    b.finish()
+}
+
+fn parse_err(line: usize, msg: &str) -> StorageError {
+    StorageError::Parse {
+        line,
+        msg: msg.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node;
+
+    const SAMPLE: &str = "
+# a colored path
+domain 4
+rel E 2
+rel B 1
+E 0 1
+E 1 2   # inline comment
+E 2 3
+B 0
+B 2
+";
+
+    #[test]
+    fn parse_sample() {
+        let s = parse_structure(SAMPLE).unwrap();
+        assert_eq!(s.cardinality(), 4);
+        let e = s.signature().rel("E").unwrap();
+        let b = s.signature().rel("B").unwrap();
+        assert_eq!(s.relation(e).len(), 3);
+        assert!(s.holds(b, &[node(2)]));
+        assert!(!s.holds(b, &[node(1)]));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = parse_structure(SAMPLE).unwrap();
+        let text = write_structure(&s);
+        let s2 = parse_structure(&text).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn missing_domain_rejected() {
+        let err = parse_structure("rel E 2\nE 0 1\n").unwrap_err();
+        assert!(matches!(err, StorageError::Parse { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let err = parse_structure("domain 2\nrel E 2\nF 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown relation"));
+    }
+
+    #[test]
+    fn out_of_range_fact_rejected() {
+        let err = parse_structure("domain 2\nrel E 2\nE 0 5\n").unwrap_err();
+        assert!(err.to_string().contains("outside domain"));
+    }
+
+    #[test]
+    fn rel_after_fact_rejected() {
+        let err = parse_structure("domain 2\nrel E 2\nE 0 1\nrel B 1\n").unwrap_err();
+        assert!(err.to_string().contains("precede"));
+    }
+
+    #[test]
+    fn edge_list_parsing() {
+        let s = parse_edge_list("# a triangle plus a tail\n0 1\n1 2\n2 0\n2 5\n\n3 3\n").unwrap();
+        assert_eq!(s.cardinality(), 6);
+        let e = s.signature().rel("E").unwrap();
+        assert!(s.holds(e, &[node(0), node(1)]));
+        assert!(s.holds(e, &[node(1), node(0)])); // symmetrized
+        assert!(!s.holds(e, &[node(3), node(3)])); // self-loop dropped
+        assert_eq!(s.gaifman().degree(node(2)), 3);
+        assert_eq!(s.gaifman().degree(node(4)), 0); // gap node exists, isolated
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(parse_edge_list("0 1 2\n").is_err());
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_in_fact_rejected() {
+        let err = parse_structure("domain 2\nrel E 2\nE 0\n").unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Induced substructures and r-neighborhoods with back-mappings.
+
+use crate::gaifman::GaifmanGraph;
+use crate::signature::RelId;
+use crate::{Node, Relation, Structure};
+
+/// An induced substructure `A|S` together with the embedding of its domain
+/// back into the parent structure.
+///
+/// Local nodes are `0..|S|`, ordered consistently with the parent's linear
+/// order, so lexicographic enumeration inside a neighborhood agrees with the
+/// global order — which the enumeration algorithms rely on.
+#[derive(Clone, Debug)]
+pub struct Neighborhood {
+    structure: Structure,
+    /// `to_parent[local.index()]` is the parent node; sorted ascending.
+    to_parent: Vec<Node>,
+}
+
+impl Neighborhood {
+    pub(crate) fn build(parent: &Structure, nodes: &[Node]) -> Self {
+        let mut members: Vec<Node> = nodes.to_vec();
+        members.sort_unstable();
+        members.dedup();
+
+        let incidence = parent.incidence();
+        let local_of = |p: Node| -> Option<u32> {
+            members.binary_search(&p).ok().map(|i| i as u32)
+        };
+
+        // Gather candidate facts: every fact incident to a member node.
+        // Unary facts have no Gaifman incidence, handle them by scanning the
+        // member list against each unary relation (cheap: binary searches).
+        let mut fact_ids: Vec<(u32, u32)> = Vec::new();
+        for &m in &members {
+            fact_ids.extend_from_slice(incidence.facts_of(m));
+        }
+        fact_ids.sort_unstable();
+        fact_ids.dedup();
+
+        let sig = parent.signature().clone();
+        let mut tuples: Vec<Vec<Vec<Node>>> = vec![Vec::new(); sig.len()];
+
+        let mut scratch: Vec<Node> = Vec::new();
+        'facts: for (rel_raw, idx) in fact_ids {
+            let rel = RelId(rel_raw);
+            let t = parent.relation(rel).tuple(idx as usize);
+            scratch.clear();
+            for &c in t {
+                match local_of(c) {
+                    Some(l) => scratch.push(Node(l)),
+                    None => continue 'facts,
+                }
+            }
+            tuples[rel.index()].push(scratch.clone());
+        }
+
+        // Unary facts on member nodes.
+        for rel in sig.rel_ids() {
+            if sig.arity(rel) != 1 {
+                continue;
+            }
+            let r = parent.relation(rel);
+            for (li, &m) in members.iter().enumerate() {
+                if r.contains(&[m]) {
+                    tuples[rel.index()].push(vec![Node(li as u32)]);
+                }
+            }
+        }
+
+        let relations: Vec<Relation> = sig
+            .rel_ids()
+            .zip(tuples)
+            .map(|(id, ts)| Relation::from_tuples(sig.arity(id), ts))
+            .collect();
+        let structure = Structure::from_parts(sig, members.len(), relations);
+        Neighborhood {
+            structure,
+            to_parent: members,
+        }
+    }
+
+    /// The induced substructure itself (domain `0..len`).
+    #[inline]
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Map a local node to its parent node.
+    #[inline]
+    pub fn to_parent(&self, local: Node) -> Node {
+        self.to_parent[local.index()]
+    }
+
+    /// Map a parent node into this neighborhood, when it is a member.
+    pub fn to_local(&self, parent: Node) -> Option<Node> {
+        self.to_parent
+            .binary_search(&parent)
+            .ok()
+            .map(|i| Node(i as u32))
+    }
+
+    /// Map a whole tuple of parent nodes; `None` when any component is
+    /// outside the neighborhood.
+    pub fn tuple_to_local(&self, parents: &[Node]) -> Option<Vec<Node>> {
+        parents.iter().map(|&p| self.to_local(p)).collect()
+    }
+
+    /// Map a whole tuple of local nodes back to the parent.
+    pub fn tuple_to_parent(&self, locals: &[Node]) -> Vec<Node> {
+        locals.iter().map(|&l| self.to_parent(l)).collect()
+    }
+
+    /// The parent nodes covered by this neighborhood, sorted.
+    #[inline]
+    pub fn members(&self) -> &[Node] {
+        &self.to_parent
+    }
+}
+
+/// The r-ball around a tuple: `⋃_i N_r(a_i)`, sorted and duplicate-free.
+pub fn ball_of_tuple(graph: &GaifmanGraph, tuple: &[Node], r: usize) -> Vec<Node> {
+    let mut out: Vec<Node> = Vec::new();
+    for &a in tuple {
+        out.extend(graph.ball_unsorted(a, r));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Per-node incidence lists: which facts mention a node. Used to build
+/// induced substructures in time proportional to the neighborhood, not the
+/// whole database.
+#[derive(Clone, Debug)]
+pub(crate) struct Incidence {
+    offsets: Vec<u32>,
+    /// `(relation id, tuple index)` pairs, grouped by node.
+    facts: Vec<(u32, u32)>,
+}
+
+impl Incidence {
+    pub(crate) fn build(structure: &Structure) -> Self {
+        let n = structure.cardinality();
+        let mut pairs: Vec<(Node, (u32, u32))> = Vec::new();
+        for rel in structure.signature().rel_ids() {
+            let r = structure.relation(rel);
+            if r.arity() < 2 {
+                continue; // unary facts handled by direct lookup
+            }
+            for (i, t) in r.iter().enumerate() {
+                for &c in t {
+                    pairs.push((c, (rel.0, i as u32)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, _) in &pairs {
+            offsets[a.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let facts = pairs.into_iter().map(|(_, f)| f).collect();
+        Incidence { offsets, facts }
+    }
+
+    #[inline]
+    pub(crate) fn facts_of(&self, a: Node) -> &[(u32, u32)] {
+        let lo = self.offsets[a.index()] as usize;
+        let hi = self.offsets[a.index() + 1] as usize;
+        &self.facts[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{node, Signature};
+    use std::sync::Arc;
+
+    fn colored_path() -> Structure {
+        // 0-1-2-3-4 with B={0,2}, R={4}
+        let sig = Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1)]));
+        let e = sig.rel("E").unwrap();
+        let b_ = sig.rel("B").unwrap();
+        let r_ = sig.rel("R").unwrap();
+        let mut b = Structure::builder(sig, 5);
+        for i in 0..4u32 {
+            b.edge(e, node(i), node(i + 1)).unwrap();
+        }
+        b.fact(b_, &[node(0)]).unwrap();
+        b.fact(b_, &[node(2)]).unwrap();
+        b.fact(r_, &[node(4)]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_facts_only() {
+        let s = colored_path();
+        let nb = s.induced(&[node(1), node(2), node(3)]);
+        let e = s.signature().rel("E").unwrap();
+        // edges (1,2),(2,3) survive; (0,1),(3,4) do not
+        assert_eq!(nb.structure().relation(e).len(), 2);
+        let b_ = s.signature().rel("B").unwrap();
+        // B = {2} locally
+        assert_eq!(nb.structure().relation(b_).len(), 1);
+        let local2 = nb.to_local(node(2)).unwrap();
+        assert!(nb.structure().holds(b_, &[local2]));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let s = colored_path();
+        let nb = s.induced(&[node(3), node(1)]);
+        assert_eq!(nb.members(), &[node(1), node(3)]);
+        for local in nb.structure().domain() {
+            assert_eq!(nb.to_local(nb.to_parent(local)), Some(local));
+        }
+        assert_eq!(nb.to_local(node(0)), None);
+        assert_eq!(
+            nb.tuple_to_local(&[node(1), node(3)]),
+            Some(vec![node(0), node(1)])
+        );
+        assert_eq!(nb.tuple_to_local(&[node(1), node(4)]), None);
+    }
+
+    #[test]
+    fn ball_of_tuple_unions() {
+        let s = colored_path();
+        let ball = ball_of_tuple(s.gaifman(), &[node(0), node(4)], 1);
+        assert_eq!(ball, vec![node(0), node(1), node(3), node(4)]);
+    }
+
+    #[test]
+    fn neighborhood_via_structure_api() {
+        let s = colored_path();
+        let nb = s.neighborhood_of_tuple(&[node(0), node(4)], 1);
+        assert_eq!(nb.structure().cardinality(), 4);
+        let e = s.signature().rel("E").unwrap();
+        // induced edges: (0,1) and (3,4) → 2 facts
+        assert_eq!(nb.structure().relation(e).len(), 2);
+    }
+
+    #[test]
+    fn local_order_respects_parent_order() {
+        let s = colored_path();
+        let nb = s.induced(&[node(4), node(0), node(2)]);
+        assert_eq!(nb.members(), &[node(0), node(2), node(4)]);
+        assert_eq!(nb.to_parent(node(0)), node(0));
+        assert_eq!(nb.to_parent(node(1)), node(2));
+        assert_eq!(nb.to_parent(node(2)), node(4));
+    }
+}

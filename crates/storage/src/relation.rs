@@ -1,0 +1,180 @@
+//! Storage for a single relation: a sorted, duplicate-free set of tuples.
+
+use crate::Node;
+
+/// An `arity`-ary relation over the domain, stored as a flattened row-major
+/// tuple array, sorted lexicographically and duplicate-free.
+///
+/// Sortedness gives deterministic iteration (the RAM model's linear order
+/// induces the lexicographic order on tuples, Section 2.2) and `O(k log m)`
+/// membership via binary search. Constant-time membership — Corollary 2.2 —
+/// is provided by `lowdeg-index::FactIndex` on top of this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    /// Flattened tuples: `data[i*arity .. (i+1)*arity]` is the i-th tuple.
+    data: Vec<Node>,
+}
+
+impl Relation {
+    /// Build a relation from raw tuples; sorts and deduplicates.
+    ///
+    /// Every tuple must have length `arity` (checked by the caller /
+    /// [`crate::StructureBuilder`]).
+    pub(crate) fn from_tuples(arity: usize, mut tuples: Vec<Vec<Node>>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.len() == arity));
+        tuples.sort_unstable();
+        tuples.dedup();
+        let mut data = Vec::with_capacity(tuples.len() * arity);
+        for t in &tuples {
+            data.extend_from_slice(t);
+        }
+        Relation { arity, data }
+    }
+
+    /// Build a binary relation from a pair list; sorts and deduplicates in
+    /// place (no per-tuple allocation — the bulk path for large edge sets).
+    pub(crate) fn from_pairs(mut pairs: Vec<(Node, Node)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut data = Vec::with_capacity(pairs.len() * 2);
+        for (a, b) in pairs {
+            data.push(a);
+            data.push(b);
+        }
+        Relation { arity: 2, data }
+    }
+
+    /// The relation's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The i-th tuple in lexicographic order.
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[Node] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate over all tuples in lexicographic order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Node]> + Clone + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Membership test by binary search (`O(arity · log len)`).
+    pub fn contains(&self, t: &[Node]) -> bool {
+        if t.len() != self.arity {
+            return false;
+        }
+        self.binary_search(t).is_ok()
+    }
+
+    fn binary_search(&self, t: &[Node]) -> Result<usize, usize> {
+        let len = self.len();
+        let mut lo = 0usize;
+        let mut hi = len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.tuple(mid).cmp(t) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Index of the first tuple whose first component is ≥ `first`
+    /// (useful for prefix scans over a sorted relation).
+    pub fn lower_bound_first(&self, first: Node) -> usize {
+        let len = self.len();
+        let mut lo = 0usize;
+        let mut hi = len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.tuple(mid)[0] < first {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Iterate over all tuples whose first component equals `first`.
+    pub fn scan_first(&self, first: Node) -> impl Iterator<Item = &[Node]> + '_ {
+        let start = self.lower_bound_first(first);
+        (start..self.len())
+            .map(move |i| self.tuple(i))
+            .take_while(move |t| t[0] == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node;
+
+    fn rel(arity: usize, raw: &[&[u32]]) -> Relation {
+        Relation::from_tuples(
+            arity,
+            raw.iter()
+                .map(|t| t.iter().map(|&v| node(v)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sorts_and_dedups() {
+        let r = rel(2, &[&[2, 1], &[0, 5], &[2, 1], &[0, 3]]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuple(0), &[node(0), node(3)]);
+        assert_eq!(r.tuple(1), &[node(0), node(5)]);
+        assert_eq!(r.tuple(2), &[node(2), node(1)]);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let r = rel(2, &[&[0, 1], &[1, 2], &[5, 0]]);
+        assert!(r.contains(&[node(1), node(2)]));
+        assert!(!r.contains(&[node(2), node(1)]));
+        assert!(!r.contains(&[node(1)])); // wrong arity
+    }
+
+    #[test]
+    fn scan_first_finds_prefix_group() {
+        let r = rel(2, &[&[1, 0], &[1, 2], &[1, 9], &[2, 0], &[0, 0]]);
+        let hits: Vec<_> = r.scan_first(node(1)).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![node(0), node(2), node(9)]);
+        assert_eq!(r.scan_first(node(7)).count(), 0);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = rel(3, &[]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(&[node(0), node(0), node(0)]));
+    }
+
+    #[test]
+    fn unary_relation() {
+        let r = rel(1, &[&[4], &[1], &[4]]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[node(4)]));
+        assert!(!r.contains(&[node(0)]));
+    }
+}

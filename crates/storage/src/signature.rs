@@ -1,0 +1,220 @@
+//! Relational signatures: finite sets of relation symbols with fixed arities.
+
+use crate::StorageError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum supported relation arity.
+///
+/// The paper allows arbitrary fixed arities; 16 is far beyond anything the
+/// algorithms are practical for and keeps tuple encodings simple.
+pub const MAX_ARITY: usize = 16;
+
+/// Identifier of a relation symbol within a [`Signature`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The symbol's position in the signature, as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RelSymbol {
+    name: String,
+    arity: usize,
+}
+
+/// A relational signature σ: an ordered list of relation symbols, each with a
+/// fixed arity ≥ 1 (Section 2.1 of the paper).
+#[derive(Clone, Debug)]
+pub struct Signature {
+    symbols: Vec<RelSymbol>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Signature {
+    /// Start building a signature.
+    pub fn builder() -> SignatureBuilder {
+        SignatureBuilder::default()
+    }
+
+    /// Convenience constructor from `(name, arity)` pairs.
+    ///
+    /// Panics on duplicate names or bad arities; use [`SignatureBuilder`] for
+    /// fallible construction.
+    pub fn new<S: AsRef<str>>(rels: &[(S, usize)]) -> Self {
+        let mut b = Self::builder();
+        for (name, arity) in rels {
+            b.relation(name.as_ref(), *arity).expect("invalid signature");
+        }
+        b.finish()
+    }
+
+    /// Number of relation symbols, `|σ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the signature has no symbols.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Resolve a relation symbol by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a relation symbol by name, erroring when absent.
+    pub fn require(&self, name: &str) -> Result<RelId, StorageError> {
+        self.rel(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Name of a relation symbol.
+    #[inline]
+    pub fn name(&self, id: RelId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// Arity of a relation symbol.
+    #[inline]
+    pub fn arity(&self, id: RelId) -> usize {
+        self.symbols[id.index()].arity
+    }
+
+    /// Maximal arity over all symbols (the `r` of Section 2.3), or 0 when
+    /// empty.
+    pub fn max_arity(&self) -> usize {
+        self.symbols.iter().map(|s| s.arity).max().unwrap_or(0)
+    }
+
+    /// Iterate over all relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.symbols.len() as u32).map(RelId)
+    }
+
+    /// `true` when every symbol has arity at most 2 — the paper calls such
+    /// signatures *binary*, and structures over them *colored graphs*.
+    pub fn is_binary(&self) -> bool {
+        self.symbols.iter().all(|s| s.arity <= 2)
+    }
+}
+
+impl PartialEq for Signature {
+    fn eq(&self, other: &Self) -> bool {
+        self.symbols == other.symbols
+    }
+}
+impl Eq for Signature {}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", s.name, s.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental, fallible builder for [`Signature`].
+#[derive(Default, Clone, Debug)]
+pub struct SignatureBuilder {
+    symbols: Vec<RelSymbol>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl SignatureBuilder {
+    /// Declare a relation symbol and return its id.
+    pub fn relation(&mut self, name: &str, arity: usize) -> Result<RelId, StorageError> {
+        if arity == 0 || arity > MAX_ARITY {
+            return Err(StorageError::BadArity(arity));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(StorageError::DuplicateRelation(name.to_owned()));
+        }
+        let id = RelId(self.symbols.len() as u32);
+        self.symbols.push(RelSymbol {
+            name: name.to_owned(),
+            arity,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Finalize the signature.
+    pub fn finish(self) -> Signature {
+        Signature {
+            symbols: self.symbols,
+            by_name: self.by_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let sig = Signature::new(&[("E", 2), ("B", 1), ("T", 3)]);
+        assert_eq!(sig.len(), 3);
+        assert_eq!(sig.max_arity(), 3);
+        let e = sig.rel("E").unwrap();
+        assert_eq!(sig.name(e), "E");
+        assert_eq!(sig.arity(e), 2);
+        assert!(sig.rel("Z").is_none());
+        assert!(!sig.is_binary());
+    }
+
+    #[test]
+    fn binary_signature() {
+        let sig = Signature::new(&[("E", 2), ("B", 1)]);
+        assert!(sig.is_binary());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut b = Signature::builder();
+        b.relation("E", 2).unwrap();
+        assert_eq!(
+            b.relation("E", 2),
+            Err(StorageError::DuplicateRelation("E".into()))
+        );
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = Signature::builder();
+        assert_eq!(b.relation("N", 0), Err(StorageError::BadArity(0)));
+        assert_eq!(
+            b.relation("W", MAX_ARITY + 1),
+            Err(StorageError::BadArity(MAX_ARITY + 1))
+        );
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let sig = Signature::new(&[("E", 2)]);
+        assert_eq!(
+            sig.require("Q"),
+            Err(StorageError::UnknownRelation("Q".into()))
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let sig = Signature::new(&[("E", 2), ("B", 1)]);
+        assert_eq!(sig.to_string(), "{E/2, B/1}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based testing of the dynamic engine: arbitrary interleavings
+//! of updates and queries must stay exact against a straightforward
+//! recompute-from-state oracle, and the O(1) incremental count must equal
+//! the enumerated answer count at every step.
+
+use lowdeg_core::dynamic::DynamicBlueRed;
+use lowdeg_storage::Node;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertEdge(u32, u32),
+    DeleteEdge(u32, u32),
+    InsertBlue(u32),
+    DeleteBlue(u32),
+    InsertRed(u32),
+    DeleteRed(u32),
+}
+
+fn ops(n: u32) -> impl Strategy<Value = Vec<Op>> {
+    let node = 0..n;
+    prop::collection::vec(
+        prop_oneof![
+            (node.clone(), node.clone()).prop_map(|(a, b)| Op::InsertEdge(a, b)),
+            (node.clone(), node.clone()).prop_map(|(a, b)| Op::DeleteEdge(a, b)),
+            node.clone().prop_map(Op::InsertBlue),
+            node.clone().prop_map(Op::DeleteBlue),
+            node.clone().prop_map(Op::InsertRed),
+            node.prop_map(Op::DeleteRed),
+        ],
+        0..120,
+    )
+}
+
+/// Reference state mirroring the updates naively.
+#[derive(Default)]
+struct Mirror {
+    edges: std::collections::BTreeSet<(u32, u32)>,
+    blue: std::collections::BTreeSet<u32>,
+    red: std::collections::BTreeSet<u32>,
+}
+
+impl Mirror {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::InsertEdge(a, b) if a != b => {
+                self.edges.insert((a.min(b), a.max(b)));
+            }
+            Op::DeleteEdge(a, b) => {
+                self.edges.remove(&(a.min(b), a.max(b)));
+            }
+            Op::InsertBlue(a) => {
+                self.blue.insert(a);
+            }
+            Op::DeleteBlue(a) => {
+                self.blue.remove(&a);
+            }
+            Op::InsertRed(a) => {
+                self.red.insert(a);
+            }
+            Op::DeleteRed(a) => {
+                self.red.remove(&a);
+            }
+            _ => {}
+        }
+    }
+
+    fn answers(&self) -> Vec<(Node, Node)> {
+        let mut out = Vec::new();
+        for &x in &self.blue {
+            for &y in &self.red {
+                if !self.edges.contains(&(x.min(y), x.max(y))) {
+                    out.push((Node(x), Node(y)));
+                }
+            }
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dynamic_engine_tracks_oracle(ops in ops(18)) {
+        let mut engine = DynamicBlueRed::new();
+        let mut mirror = Mirror::default();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::InsertEdge(a, b) => engine.insert_edge(Node(a), Node(b)),
+                Op::DeleteEdge(a, b) => engine.delete_edge(Node(a), Node(b)),
+                Op::InsertBlue(a) => engine.insert_blue(Node(a)),
+                Op::DeleteBlue(a) => engine.delete_blue(Node(a)),
+                Op::InsertRed(a) => engine.insert_red(Node(a)),
+                Op::DeleteRed(a) => engine.delete_red(Node(a)),
+            }
+            mirror.apply(op);
+            // O(1) count matches after *every* update
+            prop_assert_eq!(
+                engine.count(),
+                mirror.answers().len() as u64,
+                "count diverged after op {} ({:?})",
+                i,
+                op
+            );
+        }
+        // enumeration matches at the end
+        let got = engine.answers();
+        prop_assert_eq!(got, mirror.answers());
+        // and membership agrees on a grid of probes
+        for x in 0..18u32 {
+            for y in 0..18u32 {
+                let want = mirror.blue.contains(&x)
+                    && mirror.red.contains(&y)
+                    && !mirror.edges.contains(&(x.min(y), x.max(y)));
+                prop_assert_eq!(engine.test(Node(x), Node(y)), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests over randomly generated formulas:
+//!
+//! * print ∘ parse is the identity on printed forms;
+//! * NNF, standardize-apart and exclusive DNF preserve semantics under the
+//!   naive evaluator;
+//! * whenever the localization pass accepts a random formula, the localized
+//!   matrix evaluated on neighborhoods agrees with the naive oracle.
+
+use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+use lowdeg_locality::{eval_local, localize};
+use lowdeg_logic::eval::{answers_naive, Assignment};
+use lowdeg_logic::transform::{nnf, quantifier_rank, standardize_apart};
+use lowdeg_logic::{
+    dnf, eval, format_formula, parse_formula, parse_query, DistCmp, Formula, Query, Var, VarAlloc,
+};
+use lowdeg_storage::{Node, Signature, Structure};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn signature() -> Arc<Signature> {
+    Arc::new(Signature::new(&[("E", 2), ("B", 1), ("R", 1), ("G", 1)]))
+}
+
+/// Random formulas over four fixed variables `x0..x3`.
+fn formula_strategy(depth: u32, allow_quantifiers: bool) -> BoxedStrategy<Formula> {
+    let sig = signature();
+    let e = sig.rel("E").unwrap();
+    let unaries = [
+        sig.rel("B").unwrap(),
+        sig.rel("R").unwrap(),
+        sig.rel("G").unwrap(),
+    ];
+    let var = (0u32..4).prop_map(Var);
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (var.clone(), var.clone()).prop_map(move |(x, y)| Formula::Atom {
+            rel: e,
+            args: vec![x, y]
+        }),
+        (0usize..3, var.clone()).prop_map(move |(i, x)| Formula::Atom {
+            rel: unaries[i],
+            args: vec![x]
+        }),
+        (var.clone(), var.clone()).prop_map(|(x, y)| Formula::Eq(x, y)),
+        (var.clone(), var.clone(), 0usize..3, any::<bool>()).prop_map(|(x, y, r, le)| {
+            Formula::Dist {
+                x,
+                y,
+                cmp: if le { DistCmp::LessEq } else { DistCmp::Greater },
+                r,
+            }
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = formula_strategy(depth - 1, allow_quantifiers);
+    let mut options = vec![
+        leaf.boxed(),
+        inner.clone().prop_map(Formula::not).boxed(),
+        prop::collection::vec(formula_strategy(depth - 1, allow_quantifiers), 1..3)
+            .prop_map(Formula::and)
+            .boxed(),
+        prop::collection::vec(formula_strategy(depth - 1, allow_quantifiers), 1..3)
+            .prop_map(Formula::or)
+            .boxed(),
+    ];
+    if allow_quantifiers {
+        options.push(
+            (0u32..4, inner.clone())
+                .prop_map(|(v, f)| Formula::exists(vec![Var(v)], f))
+                .boxed(),
+        );
+        options.push(
+            (0u32..4, inner)
+                .prop_map(|(v, f)| Formula::forall(vec![Var(v)], f))
+                .boxed(),
+        );
+    }
+    prop::strategy::Union::new(options).boxed()
+}
+
+fn var_alloc() -> VarAlloc {
+    let mut a = VarAlloc::new();
+    for name in ["x0", "x1", "x2", "x3"] {
+        a.named(name);
+    }
+    a
+}
+
+fn tiny_structure(seed: u64) -> Structure {
+    ColoredGraphSpec::balanced(7, DegreeClass::Bounded(3)).generate(seed)
+}
+
+/// Evaluate under all assignments of the 4 variables over a tiny domain and
+/// collect the truth table (bounded: 7^4 ≈ 2.4k evaluations).
+fn truth_table(structure: &Structure, f: &Formula) -> Vec<bool> {
+    let n = structure.cardinality();
+    let mut out = Vec::with_capacity(n.pow(4));
+    let mut asg = Assignment::with_capacity(4);
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                for d in 0..n {
+                    for (i, v) in [a, b, c, d].into_iter().enumerate() {
+                        asg.bind(Var(i as u32), Node(v as u32));
+                    }
+                    out.push(eval::eval(structure, f, &mut asg));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(f in formula_strategy(3, true)) {
+        let sig = signature();
+        let vars = var_alloc();
+        let printed = format_formula(&f, &sig, &vars);
+        let (reparsed, vars2) = parse_formula(&sig, &printed).expect("printed form parses");
+        let reprinted = format_formula(&reparsed, &sig, &vars2);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    #[test]
+    fn nnf_preserves_semantics(f in formula_strategy(2, true), seed in 0u64..50) {
+        let s = tiny_structure(seed);
+        prop_assert_eq!(truth_table(&s, &f), truth_table(&s, &nnf(&f)));
+    }
+
+    /// simplify() must preserve semantics on hygienic formulas (distinct
+    /// bound/free variables, which standardize_apart guarantees).
+    #[test]
+    fn simplify_preserves_semantics(
+        f in formula_strategy(2, true),
+        seed in 0u64..50,
+    ) {
+        let s = tiny_structure(seed);
+        let mut alloc = var_alloc();
+        let clean = standardize_apart(&f, &mut alloc);
+        prop_assert_eq!(
+            truth_table(&s, &clean),
+            truth_table(&s, &lowdeg_logic::simplify(&clean))
+        );
+    }
+
+    /// prenex() must preserve semantics.
+    #[test]
+    fn prenex_preserves_semantics_prop(
+        f in formula_strategy(2, true),
+        seed in 0u64..30,
+    ) {
+        let s = tiny_structure(seed);
+        let mut alloc = var_alloc();
+        let p = lowdeg_logic::transform::prenex(&f, &mut alloc);
+        prop_assert_eq!(truth_table(&s, &f), truth_table(&s, &p));
+    }
+
+    #[test]
+    fn nnf_preserves_rank(f in formula_strategy(3, true)) {
+        prop_assert_eq!(quantifier_rank(&nnf(&f)), quantifier_rank(&f));
+    }
+
+    #[test]
+    fn standardize_apart_preserves_semantics(
+        f in formula_strategy(2, true),
+        seed in 0u64..50,
+    ) {
+        let s = tiny_structure(seed);
+        let mut alloc = var_alloc();
+        let g = standardize_apart(&f, &mut alloc);
+        prop_assert_eq!(truth_table(&s, &f), truth_table(&s, &g));
+    }
+
+    #[test]
+    fn exclusive_dnf_preserves_semantics(
+        f in formula_strategy(2, false),
+        seed in 0u64..50,
+    ) {
+        let s = tiny_structure(seed);
+        let clauses = dnf::exclusive_dnf(&f);
+        let rebuilt = Formula::or(clauses.iter().map(|c| c.to_formula()));
+        prop_assert_eq!(truth_table(&s, &f), truth_table(&s, &rebuilt));
+    }
+
+    /// Random formulas that the localization pass accepts must evaluate
+    /// identically through neighborhood evaluation.
+    #[test]
+    fn localization_preserves_semantics(
+        f in formula_strategy(2, true),
+        seed in 0u64..30,
+    ) {
+        let s = tiny_structure(seed);
+        let alloc = var_alloc();
+        let free = f.free_vars();
+        let Ok(query) = Query::new(s.signature().clone(), free.clone(), f.clone(), alloc)
+        else {
+            return Ok(()); // e.g. duplicate free declarations — not a query
+        };
+        let Ok(lq) = localize(&s, &query) else {
+            return Ok(()); // outside the fragment: documented rejection
+        };
+        let oracle = answers_naive(&s, &query);
+        let oracle: std::collections::BTreeSet<Vec<Node>> = oracle.into_iter().collect();
+        // all candidate tuples
+        let n = s.cardinality();
+        let k = query.arity();
+        let mut idx = vec![0usize; k];
+        'odometer: loop {
+            let tuple: Vec<Node> = idx.iter().map(|&i| Node(i as u32)).collect();
+            let local = eval_local(&s, &lq.matrix, &lq.free, lq.radius, &tuple);
+            prop_assert_eq!(local, oracle.contains(&tuple), "tuple {:?}", tuple);
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    break 'odometer;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < n {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity check: the corpus queries print-parse exactly.
+#[test]
+fn corpus_roundtrips() {
+    let sig = signature();
+    for src in [
+        "B(x) & R(y) & !E(x, y)",
+        "exists z. E(x, z) & E(z, y)",
+        "forall z. E(x, z) -> B(z)",
+        "dist(x, y) > 2 & (B(x) | G(x))",
+    ] {
+        let q = parse_query(&sig, src).expect("parses");
+        let printed = format_formula(&q.formula, &sig, &q.vars);
+        let q2 = parse_query(&sig, &printed).expect("reparses");
+        assert_eq!(q.formula, q2.formula, "`{src}` → `{printed}`");
+    }
+}
