@@ -9,7 +9,9 @@ use lowdeg_logic::eval::answers_naive;
 use lowdeg_logic::{parse_query, Formula};
 use std::time::Duration;
 
-fn split(q: &lowdeg_logic::Query) -> (Vec<lowdeg_logic::Var>, Vec<lowdeg_logic::Var>, Vec<Formula>) {
+fn split(
+    q: &lowdeg_logic::Query,
+) -> (Vec<lowdeg_logic::Var>, Vec<lowdeg_logic::Var>, Vec<Formula>) {
     match &q.formula {
         Formula::Exists(vs, body) => {
             let parts = match &**body {

@@ -19,11 +19,9 @@ fn bench_modelcheck(c: &mut Criterion) {
         for n in [1usize << 11, 1 << 13] {
             let s = colored(n, DegreeClass::Bounded(4), n as u64);
             let q = parse_query(s.signature(), src).expect("parses");
-            g.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| b.iter(|| Engine::model_check(&s, &q).expect("localizable")),
-            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| Engine::model_check(&s, &q).expect("localizable"))
+            });
         }
     }
     g.finish();

@@ -25,13 +25,11 @@ fn bench_skip(c: &mut Criterion) {
                 &d,
                 |b, _| {
                     b.iter(|| {
-                        Engine::build_with(&s, &q, Epsilon::new(0.5), mode)
-                            .expect("localizable")
+                        Engine::build_with(&s, &q, Epsilon::new(0.5), mode).expect("localizable")
                     })
                 },
             );
-            let engine =
-                Engine::build_with(&s, &q, Epsilon::new(0.5), mode).expect("localizable");
+            let engine = Engine::build_with(&s, &q, Epsilon::new(0.5), mode).expect("localizable");
             g.bench_with_input(
                 BenchmarkId::new(format!("enumerate_{label}_20k"), d),
                 &d,

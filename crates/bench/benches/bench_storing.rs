@@ -48,8 +48,7 @@ fn bench_lookup(c: &mut Criterion) {
     let data = entries();
     let radix = RadixFuncStore::build(N, 2, Epsilon::new(0.5), data.iter().cloned());
     let hash = HashFuncStore::build(2, data.iter().cloned());
-    let btree: BTreeMap<Vec<Node>, u32> =
-        data.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let btree: BTreeMap<Vec<Node>, u32> = data.iter().map(|(k, v)| (k.clone(), *v)).collect();
 
     let mut g = c.benchmark_group("storing/lookup");
     g.sample_size(30).measurement_time(Duration::from_secs(3));

@@ -35,7 +35,11 @@ struct Cfg {
 
 impl Cfg {
     fn sizes(&self, full: &[usize], quick: &[usize]) -> Vec<usize> {
-        if self.quick { quick.to_vec() } else { full.to_vec() }
+        if self.quick {
+            quick.to_vec()
+        } else {
+            full.to_vec()
+        }
     }
 }
 
@@ -114,7 +118,10 @@ fn e1_model_checking(cfg: &Cfg) {
             "exists u v w. B(u) & B(v) & B(w) & dist(u, v) > 2 & dist(v, w) > 2 & dist(u, w) > 2",
         ),
     ];
-    let sizes = cfg.sizes(&[1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14], &[1 << 10, 1 << 11, 1 << 12]);
+    let sizes = cfg.sizes(
+        &[1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14],
+        &[1 << 10, 1 << 11, 1 << 12],
+    );
     println!(
         "{:<14} {:<18} {:>8} {:>10} {:>7}",
         "class", "sentence", "n", "time", "holds"
@@ -156,7 +163,10 @@ fn e2_counting(cfg: &Cfg) {
         "Theorem 2.5 — counting is pseudo-linear; Lemma 3.5's 2^m factor",
     );
     // (a) scaling of the full pipeline count
-    let sizes = cfg.sizes(&[1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14], &[1 << 10, 1 << 11, 1 << 12]);
+    let sizes = cfg.sizes(
+        &[1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14],
+        &[1 << 10, 1 << 11, 1 << 12],
+    );
     println!("{:>8} {:>12} {:>14}", "n", "build+count", "|q(A)|");
     let mut samples = Vec::new();
     for &n in &sizes {
@@ -210,7 +220,8 @@ fn e3_testing(cfg: &Cfg) {
     for &n in &sizes {
         let s = colored(n, DegreeClass::Bounded(2), 300 + n as u64);
         let q = parse_query(s.signature(), TWO_HOP).expect("parses");
-        let (engine, prep) = time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
+        let (engine, prep) =
+            time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
         // deterministic pseudo-random probe tuples
         let tuples: Vec<[Node; 2]> = (0..1000u64)
             .map(|i| {
@@ -227,7 +238,10 @@ fn e3_testing(cfg: &Cfg) {
         let tix = engine.test_index().expect("arity >= 1");
         let mut kdx = 0;
         let via_psi = time_avg(20_000, || {
-            std::hint::black_box(tix.test_via_fact_index(&tuples[kdx % tuples.len()]).unwrap());
+            std::hint::black_box(
+                tix.test_via_fact_index(&tuples[kdx % tuples.len()])
+                    .unwrap(),
+            );
             kdx += 1;
         });
         let mut jdx = 0;
@@ -269,7 +283,8 @@ fn e4_enum_delay(cfg: &Cfg) {
     for &n in &sizes {
         let s = colored(n, DegreeClass::Bounded(6), 400 + n as u64);
         let q = parse_query(s.signature(), RUNNING_EXAMPLE).expect("parses");
-        let (engine, prep) = time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
+        let (engine, prep) =
+            time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
         // RAM-operation delays: the quantity Theorem 2.7 actually bounds
         let mut ops: Vec<u64> = engine
             .enumerate_with_ops()
@@ -283,8 +298,7 @@ fn e4_enum_delay(cfg: &Cfg) {
             .copied()
             .unwrap_or(0);
         let (_, skip_delays) = DelayRecorder::record(engine.enumerate().take(out_cap));
-        let (_, naive_delays) =
-            DelayRecorder::record(GenerateAndTest::new(&s, &q).take(out_cap));
+        let (_, naive_delays) = DelayRecorder::record(GenerateAndTest::new(&s, &q).take(out_cap));
         println!(
             "{:>8} {:>12} {:>9} {:>9} {:>11} {:>11} {:>11}",
             n,
@@ -346,7 +360,10 @@ fn e5_bluered(cfg: &Cfg) {
 
 /// Thm 2.1: the Storing Theorem — build/space/lookup vs ε and baselines.
 fn e6_storing(cfg: &Cfg) {
-    header("E6", "Theorem 2.1 — Storing Theorem build/space/lookup trade-offs");
+    header(
+        "E6",
+        "Theorem 2.1 — Storing Theorem build/space/lookup trade-offs",
+    );
     let n: usize = 1 << 20;
     let keys: usize = if cfg.quick { 20_000 } else { 100_000 };
     let entries: Vec<(Vec<Node>, u32)> = (0..keys as u64)
@@ -410,7 +427,10 @@ fn e6_storing(cfg: &Cfg) {
     );
 
     // lookup flatness in n at fixed eps
-    println!("{:>10} {:>10}  lookup vs n at eps=0.5, 10k keys", "n", "lookup");
+    println!(
+        "{:>10} {:>10}  lookup vs n at eps=0.5, 10k keys",
+        "n", "lookup"
+    );
     let mut flat = Vec::new();
     for exp in [12u32, 14, 16, 18, 20] {
         let n = 1usize << exp;
@@ -440,9 +460,16 @@ fn e6_storing(cfg: &Cfg) {
 
 /// Cor 2.2: constant-time fact tests vs the O(d) adjacency scan.
 fn e7_fact_index(cfg: &Cfg) {
-    header("E7", "Corollary 2.2 — O(1) fact tests vs O(d) scans vs O(log) search");
+    header(
+        "E7",
+        "Corollary 2.2 — O(1) fact tests vs O(d) scans vs O(log) search",
+    );
     let n = if cfg.quick { 1 << 12 } else { 1 << 14 };
-    let degrees: &[usize] = if cfg.quick { &[4, 32] } else { &[2, 8, 32, 128] };
+    let degrees: &[usize] = if cfg.quick {
+        &[4, 32]
+    } else {
+        &[2, 8, 32, 128]
+    };
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>12}  (n = {n})",
         "deg", "index build", "fact-index", "adj scan", "bin search"
@@ -541,7 +568,10 @@ fn e8_connected_cq(cfg: &Cfg) {
 
 /// Prop 3.3: cost and blowup of the reduction to colored graphs.
 fn e9_reduction(cfg: &Cfg) {
-    header("E9", "Proposition 3.3 — reduction cost and colored-graph blowup");
+    header(
+        "E9",
+        "Proposition 3.3 — reduction cost and colored-graph blowup",
+    );
     println!(
         "{:<22} {:>8} {:>4} {:>12} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8}",
         "query", "n", "d", "build", "|dom G|", "clusters", "clauses", "|E(G)|", "dmax", "davg"
@@ -762,19 +792,14 @@ fn e13_query_size(cfg: &Cfg) {
     );
     let n = if cfg.quick { 1 << 9 } else { 1 << 10 };
     let s = colored(n, DegreeClass::Bounded(3), 1300);
-    let queries = [
-        (1usize, "B(x)"),
-        (2, RUNNING_EXAMPLE),
-        (3, TERNARY_SCATTER),
-    ];
+    let queries = [(1usize, "B(x)"), (2, RUNNING_EXAMPLE), (3, TERNARY_SCATTER)];
     println!(
         "{:>3} {:>12} {:>10} {:>8} {:>12}  (n = {n}, d = 3)",
         "k", "build", "clusters", "clauses", "count"
     );
     for (k, src) in queries {
         let q = parse_query(s.signature(), src).expect("parses");
-        let (engine, dt) =
-            time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
+        let (engine, dt) = time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
         let red = engine.reduction().expect("arity >= 1");
         println!(
             "{k:>3} {:>12} {:>10} {:>8} {:>12}",

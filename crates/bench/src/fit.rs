@@ -59,9 +59,7 @@ mod tests {
 
     #[test]
     fn exact_quadratic_slope() {
-        let pts: Vec<(f64, f64)> = (1..=5)
-            .map(|i| (i as f64, (i * i) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, (i * i) as f64)).collect();
         let s = loglog_slope(&pts).unwrap();
         assert!((s - 2.0).abs() < 1e-9, "{s}");
     }

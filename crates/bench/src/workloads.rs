@@ -57,8 +57,7 @@ pub const RUNNING_EXAMPLE: &str = "B(x) & R(y) & !E(x, y)";
 pub const TWO_HOP: &str = "exists z. E(x, z) & E(z, y)";
 
 /// A ternary clause with three negated binary atoms (the `2^m` stressor).
-pub const TERNARY_SCATTER: &str =
-    "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)";
+pub const TERNARY_SCATTER: &str = "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)";
 
 #[cfg(test)]
 mod tests {

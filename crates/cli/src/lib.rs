@@ -196,10 +196,7 @@ mod tests {
     }
 
     fn temp_db() -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "lowdeg_cli_test_{}.db",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("lowdeg_cli_test_{}.db", std::process::id()));
         let text = "domain 5\nrel E 2\nrel B 1\nrel R 1\nE 0 1\nE 1 0\nB 0\nB 2\nR 1\nR 3\n";
         std::fs::write(&path, text).expect("temp writable");
         path
@@ -235,11 +232,15 @@ mod tests {
         let db = temp_db();
         let q = "B(x) & R(y) & !E(x, y)";
         assert_eq!(
-            run_str(&["test", db.to_str().unwrap(), q, "0", "3"]).unwrap().trim(),
+            run_str(&["test", db.to_str().unwrap(), q, "0", "3"])
+                .unwrap()
+                .trim(),
             "true"
         );
         assert_eq!(
-            run_str(&["test", db.to_str().unwrap(), q, "0", "1"]).unwrap().trim(),
+            run_str(&["test", db.to_str().unwrap(), q, "0", "1"])
+                .unwrap()
+                .trim(),
             "false"
         );
         assert!(run_str(&["test", db.to_str().unwrap(), q, "0"]).is_err());
@@ -264,10 +265,8 @@ mod tests {
 
     #[test]
     fn import_edges_roundtrip() {
-        let path = std::env::temp_dir().join(format!(
-            "lowdeg_cli_edges_{}.txt",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("lowdeg_cli_edges_{}.txt", std::process::id()));
         std::fs::write(&path, "0 1\n1 2\n").unwrap();
         let out = run_str(&["import-edges", path.to_str().unwrap()]).unwrap();
         let s = parse_structure(&out).unwrap();

@@ -1,0 +1,98 @@
+//! Golden-file tests: CLI output on a small fixed database must match the
+//! checked-in expectations byte for byte.
+//!
+//! To re-bless after an intentional output change, run with
+//! `LOWDEG_BLESS=1 cargo test -p lowdeg-cli --test golden` and review the
+//! diff of `tests/golden/`.
+
+use std::path::{Path, PathBuf};
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tiny.db")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}.txt"))
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    lowdeg_cli::run(&args, &mut out).expect("CLI command succeeds");
+    String::from_utf8(out).expect("utf8 output")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("LOWDEG_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from {} — if intentional, re-bless with LOWDEG_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn explain_running_example_matches_golden() {
+    let db = fixture();
+    let out = run_cli(&["explain", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]);
+    check_golden("explain_running_example", &out);
+}
+
+#[test]
+fn explain_exists_query_matches_golden() {
+    let db = fixture();
+    let out = run_cli(&[
+        "explain",
+        db.to_str().unwrap(),
+        "B(x) & (exists z. E(x, z) & R(z))",
+    ]);
+    check_golden("explain_exists", &out);
+}
+
+#[test]
+fn enumerate_running_example_matches_golden() {
+    let db = fixture();
+    let out = run_cli(&["enumerate", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]);
+    check_golden("enumerate_running_example", &out);
+}
+
+#[test]
+fn count_running_example_matches_golden() {
+    let db = fixture();
+    let out = run_cli(&["count", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]);
+    check_golden("count_running_example", &out);
+}
+
+#[test]
+fn stats_matches_golden() {
+    let db = fixture();
+    let out = run_cli(&["stats", db.to_str().unwrap()]);
+    check_golden("stats_tiny", &out);
+}
+
+#[test]
+fn golden_enumeration_agrees_with_golden_count() {
+    // cross-check the two golden files against each other so a stale
+    // re-bless of only one of them cannot slip through
+    let count: u64 = std::fs::read_to_string(golden_path("count_running_example"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let enumerated = std::fs::read_to_string(golden_path("enumerate_running_example")).unwrap();
+    let rows = enumerated
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count() as u64;
+    assert_eq!(rows, count);
+    assert!(enumerated
+        .trim_end()
+        .ends_with(&format!("# {count} answers")));
+}

@@ -1,0 +1,47 @@
+//! # lowdeg-conformance
+//!
+//! A seeded, reproducible differential- and metamorphic-testing harness
+//! for the whole query pipeline.
+//!
+//! One conformance *case* is a `(structure, query)` pair: the structure
+//! drawn from a serializable [`structgen::StructSpec`] sweeping every
+//! [`lowdeg_gen::DegreeClass`] variant, the query from the grammar-directed
+//! [`querygen::QueryGen`] covering each supported normal-form shape. Each
+//! pair runs through
+//!
+//! * the **three-way differential check** ([`differential`]) — `Engine`
+//!   count/test/enumerate under every `SkipMode` and an ε sweep, against
+//!   `answers_naive` and the `GenerateAndTest` baseline;
+//! * the **metamorphic oracles** ([`metamorphic`]) — isomorphic
+//!   relabeling, isolated-vertex padding, and semantics-preserving
+//!   rewrites (simplify / De Morgan NNF / DNF);
+//! * the **dynamic-update oracle** ([`dynamic`]) — randomized
+//!   insert/delete scripts against a rebuilt-from-scratch baseline.
+//!
+//! Failures are shrunk ([`shrink`]) to a minimal pair and serialized as a
+//! JSON witness ([`repro`]) that `lowdeg-conformance replay` re-executes.
+//! Every run re-measures per-output RAM-op delay and emits a
+//! machine-readable `conformance_report.json` whose [`delay::DelayGate`]
+//! entries back the CI delay-regression gate.
+//!
+//! The binary (`src/main.rs`) exposes `run`, `replay` and `delay-gate`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod differential;
+pub mod dynamic;
+pub mod json;
+pub mod metamorphic;
+pub mod querygen;
+pub mod repro;
+pub mod runner;
+pub mod shrink;
+pub mod structgen;
+
+pub use differential::{differential_case, CaseConfig, Disagreement, Mutation};
+pub use querygen::{QueryGen, QueryShape, ALL_SHAPES};
+pub use repro::{replay, Witness};
+pub use runner::{run, write_report, Profile, RunOptions, RunSummary};
+pub use structgen::StructSpec;

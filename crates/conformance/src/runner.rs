@@ -1,0 +1,382 @@
+//! The conformance run loop: generate → check → shrink → report.
+
+use crate::delay::{delay_gates, DelayGate};
+use crate::differential::{differential_case, CaseConfig, Disagreement, Mutation};
+use crate::dynamic::dynamic_case;
+use crate::json::Json;
+use crate::metamorphic::metamorphic_case;
+use crate::querygen::{QueryGen, QueryShape, ALL_SHAPES};
+use crate::repro::Witness;
+use crate::shrink::shrink_pair;
+use crate::structgen::{spec_pool, StructSpec};
+use lowdeg_logic::{format_formula, parse_query, Query};
+use lowdeg_storage::{write_structure, Structure};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A named workload size.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Profile name (report key).
+    pub name: String,
+    /// Number of (structure, query) pairs.
+    pub cases: usize,
+    /// Structure sizes, cycled per case.
+    pub sizes: Vec<usize>,
+    /// Number of dynamic update scripts.
+    pub dynamic_scripts: usize,
+    /// Steps per dynamic script.
+    pub dynamic_steps: usize,
+    /// Delay-gate instance sizes `(small, large)`.
+    pub delay_sizes: (usize, usize),
+}
+
+impl Profile {
+    /// CI profile: ≥ 200 pairs, minutes not hours.
+    pub fn smoke() -> Profile {
+        Profile {
+            name: "smoke".into(),
+            cases: 224,
+            sizes: vec![10, 14, 18, 22, 26, 30],
+            dynamic_scripts: 4,
+            dynamic_steps: 300,
+            delay_sizes: (256, 2048),
+        }
+    }
+
+    /// Nightly profile: an order of magnitude more pairs.
+    pub fn full() -> Profile {
+        Profile {
+            name: "full".into(),
+            cases: 2000,
+            sizes: vec![10, 14, 18, 22, 26, 30, 36, 42],
+            dynamic_scripts: 16,
+            dynamic_steps: 800,
+            delay_sizes: (256, 4096),
+        }
+    }
+
+    /// A tiny profile for the harness's own tests.
+    pub fn mini() -> Profile {
+        Profile {
+            name: "mini".into(),
+            cases: 24,
+            sizes: vec![10, 14],
+            dynamic_scripts: 1,
+            dynamic_steps: 120,
+            delay_sizes: (64, 256),
+        }
+    }
+
+    /// Look up a profile by name.
+    pub fn by_name(name: &str) -> Result<Profile, String> {
+        match name {
+            "smoke" => Ok(Profile::smoke()),
+            "full" => Ok(Profile::full()),
+            "mini" => Ok(Profile::mini()),
+            other => Err(format!("unknown profile `{other}` (smoke|full|mini)")),
+        }
+    }
+}
+
+/// Options of one run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Master seed; every case seed derives from it.
+    pub seed: u64,
+    /// Where witnesses and the report go.
+    pub out_dir: PathBuf,
+    /// Deliberate engine corruption (`--inject-bug`).
+    pub inject: Mutation,
+    /// Skip the delay gate (used by tests that only exercise the
+    /// differential loop).
+    pub skip_delay_gate: bool,
+}
+
+impl RunOptions {
+    /// Defaults: seed 1, output to `target/conformance`, honest engine.
+    pub fn new(seed: u64) -> RunOptions {
+        RunOptions {
+            seed,
+            out_dir: PathBuf::from("target/conformance"),
+            inject: Mutation::None,
+            skip_delay_gate: false,
+        }
+    }
+}
+
+/// Aggregated result of a conformance run.
+#[derive(Debug, Default)]
+pub struct RunSummary {
+    /// Profile name.
+    pub profile: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Pairs generated and cross-checked (naive vs baseline at minimum).
+    pub pairs_checked: usize,
+    /// Pairs where the engine accepted the query.
+    pub engine_checked: usize,
+    /// Pairs the engine rejected (non-localizable) — skips, not failures.
+    pub rejected: usize,
+    /// Per-shape checked counts.
+    pub by_shape: BTreeMap<String, usize>,
+    /// Per-spec checked counts.
+    pub by_spec: BTreeMap<String, usize>,
+    /// Worst per-output RAM ops seen anywhere.
+    pub worst_ops: u64,
+    /// All disagreements (after shrinking).
+    pub disagreements: Vec<Disagreement>,
+    /// Paths of written witness files.
+    pub witnesses: Vec<PathBuf>,
+    /// Dynamic-script disagreements.
+    pub dynamic_disagreements: Vec<Disagreement>,
+    /// Delay-gate measurements.
+    pub delay: Vec<DelayGate>,
+    /// Injected mutation, if any.
+    pub injected: Mutation,
+}
+
+impl RunSummary {
+    /// Overall verdict: no disagreements anywhere and every gate passed.
+    pub fn passed(&self) -> bool {
+        self.disagreements.is_empty()
+            && self.dynamic_disagreements.is_empty()
+            && self.delay.iter().all(|g| g.passed)
+    }
+
+    /// The machine-readable report (`conformance_report.json`).
+    pub fn to_json(&self) -> Json {
+        let count_map = |m: &BTreeMap<String, usize>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("format", Json::Str("lowdeg-conformance-report/1".into())),
+            ("profile", Json::Str(self.profile.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("injected_mutation", Json::Str(self.injected.label().into())),
+            ("pairs_checked", Json::Num(self.pairs_checked as f64)),
+            ("engine_checked", Json::Num(self.engine_checked as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("by_shape", count_map(&self.by_shape)),
+            ("by_spec", count_map(&self.by_spec)),
+            ("worst_ops", Json::Num(self.worst_ops as f64)),
+            (
+                "disagreements",
+                Json::Arr(
+                    self.disagreements
+                        .iter()
+                        .chain(&self.dynamic_disagreements)
+                        .map(|d| {
+                            Json::obj([
+                                ("check", Json::Str(d.check.clone())),
+                                ("detail", Json::Str(d.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "witnesses",
+                Json::Arr(
+                    self.witnesses
+                        .iter()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "delay_gate",
+                Json::Arr(self.delay.iter().map(DelayGate::to_json).collect()),
+            ),
+            ("passed", Json::Bool(self.passed())),
+        ])
+    }
+}
+
+/// SplitMix64 — derives independent case seeds from the master seed.
+fn split_seed(master: u64, i: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Check one pair; on failure shrink it and write a witness.
+#[allow(clippy::too_many_arguments)] // run-loop plumbing
+fn run_one(
+    s: &Structure,
+    q: &Query,
+    shape: QueryShape,
+    spec: &StructSpec,
+    case_seed: u64,
+    opts: &RunOptions,
+    cfg: &CaseConfig,
+    summary: &mut RunSummary,
+) {
+    let (stats, mut bad) = differential_case(s, q, cfg, opts.inject);
+    if opts.inject == Mutation::None {
+        bad.extend(metamorphic_case(s, q, case_seed));
+    }
+    summary.pairs_checked += 1;
+    summary.worst_ops = summary.worst_ops.max(stats.worst_ops);
+    if stats.engine_built {
+        summary.engine_checked += 1;
+    }
+    if stats.rejection.is_some() && !stats.engine_built {
+        summary.rejected += 1;
+    }
+    *summary
+        .by_shape
+        .entry(shape.label().to_owned())
+        .or_default() += 1;
+    *summary.by_spec.entry(spec.label()).or_default() += 1;
+
+    if bad.is_empty() {
+        return;
+    }
+
+    // shrink against the first failing check, preserving the injected
+    // mutation so the failure stays reproducible during shrinking
+    let first_check = bad[0].check.clone();
+    let inject = opts.inject;
+    let mut still_fails = |s2: &Structure, q2: &Query| {
+        let (_, mut b) = differential_case(s2, q2, cfg, inject);
+        if inject == Mutation::None {
+            b.extend(metamorphic_case(s2, q2, case_seed));
+        }
+        b.iter().any(|d| d.check == first_check)
+    };
+    let (small_s, small_q) = shrink_pair(s, q, &mut still_fails);
+    let witness = Witness {
+        check: first_check,
+        detail: bad[0].detail.clone(),
+        seed: case_seed,
+        query_src: format_formula(&small_q.formula, &small_q.signature, &small_q.vars),
+        structure_text: write_structure(&small_s),
+        spec: Some(spec.clone()),
+    };
+    match witness.save(&opts.out_dir) {
+        Ok(path) => summary.witnesses.push(path),
+        Err(e) => eprintln!("warning: could not write witness: {e}"),
+    }
+    summary.disagreements.append(&mut bad);
+}
+
+/// Execute a full conformance run.
+pub fn run(profile: &Profile, opts: &RunOptions) -> RunSummary {
+    let mut summary = RunSummary {
+        profile: profile.name.clone(),
+        seed: opts.seed,
+        injected: opts.inject,
+        ..RunSummary::default()
+    };
+    let cfg = CaseConfig::default();
+    let specs_base = spec_pool(0);
+
+    for i in 0..profile.cases {
+        let case_seed = split_seed(opts.seed, i as u64);
+        let shape = ALL_SHAPES[i % ALL_SHAPES.len()];
+        let n = profile.sizes[(i / ALL_SHAPES.len()) % profile.sizes.len()];
+        let spec =
+            specs_base[(i / (ALL_SHAPES.len() * profile.sizes.len())) % specs_base.len()].with_n(n);
+        let s = spec.generate(case_seed);
+        let src = QueryGen::new(case_seed).generate(shape);
+        let q = parse_query(s.signature(), &src).expect("generated queries parse");
+        run_one(&s, &q, shape, &spec, case_seed, opts, &cfg, &mut summary);
+    }
+
+    // dynamic update scripts (honest engine only: the mutation hook models
+    // a broken *static* enumerator)
+    if opts.inject == Mutation::None {
+        for i in 0..profile.dynamic_scripts {
+            let seed = split_seed(opts.seed ^ 0xD1A0, i as u64);
+            summary
+                .dynamic_disagreements
+                .extend(dynamic_case(seed, profile.dynamic_steps, 24, 25));
+        }
+    }
+
+    if !opts.skip_delay_gate {
+        summary.delay = delay_gates(profile.delay_sizes.0, profile.delay_sizes.1, opts.seed);
+    }
+    summary
+}
+
+/// Write the report file and return its path.
+pub fn write_report(summary: &RunSummary, opts: &RunOptions) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("creating {}: {e}", opts.out_dir.display()))?;
+    let path = opts.out_dir.join("conformance_report.json");
+    std::fs::write(&path, summary.to_json().pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_out(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lowdeg-conf-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn mini_run_is_clean_and_covers_all_shapes() {
+        let mut opts = RunOptions::new(1);
+        opts.out_dir = temp_out("clean");
+        opts.skip_delay_gate = true;
+        let summary = run(&Profile::mini(), &opts);
+        assert!(summary.passed(), "{:?}", summary.disagreements);
+        assert_eq!(summary.pairs_checked, 24);
+        assert_eq!(summary.by_shape.len(), ALL_SHAPES.len());
+        assert!(summary.engine_checked > 0);
+        assert!(summary.worst_ops >= 1);
+        let report = write_report(&summary, &opts).unwrap();
+        let text = std::fs::read_to_string(&report).unwrap();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("passed").unwrap().as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn injected_bug_is_caught_and_witnessed() {
+        let mut opts = RunOptions::new(2);
+        opts.out_dir = temp_out("inject");
+        opts.inject = Mutation::DropAnswer;
+        opts.skip_delay_gate = true;
+        let mut profile = Profile::mini();
+        profile.dynamic_scripts = 0;
+        let summary = run(&profile, &opts);
+        assert!(!summary.passed(), "injected bug slipped through");
+        assert!(!summary.witnesses.is_empty(), "no witness written");
+        // the witness is shrunk and loadable
+        let w = crate::repro::Witness::load(&summary.witnesses[0]).unwrap();
+        let s = w.structure().unwrap();
+        assert!(
+            s.cardinality() <= 14,
+            "shrinking failed: n={}",
+            s.cardinality()
+        );
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let mut opts = RunOptions::new(7);
+        opts.out_dir = temp_out("repro");
+        opts.skip_delay_gate = true;
+        let mut profile = Profile::mini();
+        profile.cases = 8;
+        profile.dynamic_scripts = 0;
+        let a = run(&profile, &opts);
+        let b = run(&profile, &opts);
+        assert_eq!(a.pairs_checked, b.pairs_checked);
+        assert_eq!(a.worst_ops, b.worst_ops);
+        assert_eq!(a.by_shape, b.by_shape);
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+}

@@ -1,0 +1,196 @@
+//! Witness shrinking: reduce a failing `(structure, query)` pair to a
+//! minimal form that still fails, so the repro file is human-debuggable.
+//!
+//! Strategy (each step re-runs the failing check):
+//!
+//! 1. shrink the domain geometrically — restrict to the prefix `0..m`,
+//!    dropping facts that mention removed nodes;
+//! 2. greedily drop individual facts;
+//! 3. greedily drop top-level conjuncts of the query (revalidated through
+//!    `Query::new`, so the free-variable contract is preserved).
+
+use lowdeg_logic::{Formula, Query};
+use lowdeg_storage::Structure;
+
+/// Restrict `s` to the domain prefix `0..m`, keeping only facts whose
+/// nodes all survive. Returns `None` for `m == 0` or `m >= |dom|`.
+pub fn restrict(s: &Structure, m: usize) -> Option<Structure> {
+    if m == 0 || m >= s.cardinality() {
+        return None;
+    }
+    let sig = s.signature().clone();
+    let mut b = Structure::builder(sig.clone(), m);
+    for rel in sig.rel_ids() {
+        for t in s.relation(rel).iter() {
+            if t.iter().all(|n| n.index() < m) {
+                b.fact(rel, t).expect("restricted fact in range");
+            }
+        }
+    }
+    b.finish().ok()
+}
+
+/// Rebuild `s` without the `skip`-th fact (in relation-major order).
+fn without_fact(s: &Structure, skip: usize) -> Option<Structure> {
+    let sig = s.signature().clone();
+    let mut b = Structure::builder(sig.clone(), s.cardinality());
+    let mut idx = 0usize;
+    let mut dropped = false;
+    for rel in sig.rel_ids() {
+        for t in s.relation(rel).iter() {
+            if idx == skip {
+                dropped = true;
+            } else {
+                b.fact(rel, t).expect("fact in range");
+            }
+            idx += 1;
+        }
+    }
+    dropped.then(|| b.finish().expect("non-empty domain"))
+}
+
+fn fact_count(s: &Structure) -> usize {
+    s.signature()
+        .rel_ids()
+        .map(|rel| s.relation(rel).len())
+        .sum()
+}
+
+/// Shrink the structure while `still_fails` holds. Deterministic; bounded
+/// by `O(facts²)` re-checks in the worst case, with a hard iteration cap.
+pub fn shrink_structure(
+    s: &Structure,
+    q: &Query,
+    still_fails: &mut dyn FnMut(&Structure, &Query) -> bool,
+) -> Structure {
+    let mut current = s.clone();
+
+    // phase 1: geometric domain reduction
+    let mut m = current.cardinality() / 2;
+    while m >= 1 {
+        match restrict(&current, m) {
+            Some(smaller) if still_fails(&smaller, q) => {
+                current = smaller;
+                m = current.cardinality() / 2;
+            }
+            _ => m /= 2,
+        }
+    }
+    // phase 1b: linear trim of the top of the domain
+    while current.cardinality() > 1 {
+        match restrict(&current, current.cardinality() - 1) {
+            Some(smaller) if still_fails(&smaller, q) => current = smaller,
+            _ => break,
+        }
+    }
+
+    // phase 2: greedy fact removal (restart after each success so indices
+    // stay meaningful), with a global cap to stay predictable
+    let mut budget = 400usize;
+    'again: while budget > 0 {
+        let total = fact_count(&current);
+        for i in 0..total {
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                break 'again;
+            }
+            if let Some(smaller) = without_fact(&current, i) {
+                if still_fails(&smaller, q) {
+                    current = smaller;
+                    continue 'again;
+                }
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Shrink the query by dropping top-level conjuncts while the pair still
+/// fails. Returns the (possibly unchanged) query.
+pub fn shrink_query(
+    s: &Structure,
+    q: &Query,
+    still_fails: &mut dyn FnMut(&Structure, &Query) -> bool,
+) -> Query {
+    let Formula::And(conjuncts) = &q.formula else {
+        return q.clone();
+    };
+    let mut kept: Vec<Formula> = conjuncts.clone();
+    let mut i = 0;
+    while kept.len() > 1 && i < kept.len() {
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        let f = Formula::and(candidate.clone());
+        let free = f.free_vars();
+        match Query::new(q.signature.clone(), free, f, q.vars.clone()) {
+            Ok(q2) if still_fails(s, &q2) => {
+                kept = candidate;
+                // keep i: the next conjunct shifted into this slot
+            }
+            _ => i += 1,
+        }
+    }
+    let f = Formula::and(kept);
+    let free = f.free_vars();
+    Query::new(q.signature.clone(), free, f, q.vars.clone()).unwrap_or_else(|_| q.clone())
+}
+
+/// Shrink both dimensions: structure first (the query's answer semantics
+/// constrain it most), then the query, then the structure once more in
+/// case the smaller query unlocked further reduction.
+pub fn shrink_pair(
+    s: &Structure,
+    q: &Query,
+    still_fails: &mut dyn FnMut(&Structure, &Query) -> bool,
+) -> (Structure, Query) {
+    let s1 = shrink_structure(s, q, still_fails);
+    let q1 = shrink_query(&s1, q, still_fails);
+    let s2 = shrink_structure(&s1, &q1, still_fails);
+    (s2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+    use lowdeg_logic::parse_query;
+
+    fn mentions(f: &Formula, rel: lowdeg_storage::RelId) -> bool {
+        match f {
+            Formula::Atom { rel: r, .. } => *r == rel,
+            Formula::Not(g) => mentions(g, rel),
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().any(|g| mentions(g, rel)),
+            Formula::Exists(_, g) | Formula::Forall(_, g) => mentions(g, rel),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // failure predicate: the structure still has a blue node AND the
+        // query still mentions B — everything else should shrink away
+        let s = ColoredGraphSpec::balanced(60, DegreeClass::Bounded(4)).generate(12);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let b_rel = s.signature().rel("B").unwrap();
+        let mut fails =
+            |s: &Structure, q: &Query| !s.relation(b_rel).is_empty() && mentions(&q.formula, b_rel);
+        assert!(fails(&s, &q), "predicate must fail initially");
+        let (small, small_q) = shrink_pair(&s, &q, &mut fails);
+        assert!(fails(&small, &small_q), "shrunk pair must still fail");
+        assert!(small.cardinality() < s.cardinality());
+        // exactly the one blue fact survives
+        assert_eq!(fact_count(&small), 1);
+        // the query shrank to the B(x) conjunct alone
+        assert_eq!(small_q.arity(), 1);
+    }
+
+    #[test]
+    fn restrict_bounds() {
+        let s = ColoredGraphSpec::balanced(10, DegreeClass::Bounded(3)).generate(1);
+        assert!(restrict(&s, 0).is_none());
+        assert!(restrict(&s, 10).is_none());
+        let r = restrict(&s, 4).unwrap();
+        assert_eq!(r.cardinality(), 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Serializable structure specifications.
+//!
+//! A [`StructSpec`] plus a seed deterministically reproduces a test
+//! structure, so a repro file only needs to carry the spec (provenance)
+//! and the serialized structure text (ground truth). The spec pool used
+//! by the runner sweeps every [`DegreeClass`] variant plus deterministic
+//! striped topologies whose exact answers are easy to reason about by
+//! hand when a witness is being debugged.
+
+use crate::json::Json;
+use lowdeg_gen::{colored_graph_signature, ColoredGraphSpec, DegreeClass};
+use lowdeg_storage::{Node, Structure};
+
+/// A reproducible structure recipe over the colored-graph signature
+/// `{E/2, B/1, R/1, G/1}`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StructSpec {
+    /// Random colored graph (see [`ColoredGraphSpec`]): every degree class.
+    Colored {
+        /// Domain size.
+        n: usize,
+        /// Degree regime.
+        degree: DegreeClass,
+    },
+    /// Deterministic path `0—1—…—n-1` with colors striped `B,R,G,B,R,G,…`.
+    StripedPath {
+        /// Domain size.
+        n: usize,
+    },
+    /// Deterministic cycle with the same striping.
+    StripedCycle {
+        /// Domain size.
+        n: usize,
+    },
+}
+
+impl StructSpec {
+    /// Domain size of the generated structure.
+    pub fn n(&self) -> usize {
+        match self {
+            StructSpec::Colored { n, .. }
+            | StructSpec::StripedPath { n }
+            | StructSpec::StripedCycle { n } => *n,
+        }
+    }
+
+    /// The same spec at a different size (used by the shrinker to re-derive
+    /// provenance labels; the shrunk structure itself is stored verbatim).
+    pub fn with_n(&self, n: usize) -> StructSpec {
+        let mut out = self.clone();
+        match &mut out {
+            StructSpec::Colored { n: m, .. }
+            | StructSpec::StripedPath { n: m }
+            | StructSpec::StripedCycle { n: m } => *m = n,
+        }
+        out
+    }
+
+    /// Short human-readable label (also the report's bucketing key).
+    pub fn label(&self) -> String {
+        match self {
+            StructSpec::Colored { n, degree } => format!("colored(n={n},{degree})"),
+            StructSpec::StripedPath { n } => format!("path(n={n})"),
+            StructSpec::StripedCycle { n } => format!("cycle(n={n})"),
+        }
+    }
+
+    /// Generate the structure. Deterministic in `(self, seed)`.
+    pub fn generate(&self, seed: u64) -> Structure {
+        match self {
+            StructSpec::Colored { n, degree } => ColoredGraphSpec {
+                n: (*n).max(1),
+                degree: *degree,
+                blue: 0.35,
+                red: 0.35,
+                green: 0.25,
+            }
+            .generate(seed),
+            StructSpec::StripedPath { n } => striped(*n, false),
+            StructSpec::StripedCycle { n } => striped(*n, true),
+        }
+    }
+
+    /// JSON form for repro files.
+    pub fn to_json(&self) -> Json {
+        match self {
+            StructSpec::Colored { n, degree } => Json::obj([
+                ("kind", Json::Str("colored".into())),
+                ("n", Json::Num(*n as f64)),
+                ("degree", Json::Str(degree.to_string())),
+            ]),
+            StructSpec::StripedPath { n } => Json::obj([
+                ("kind", Json::Str("path".into())),
+                ("n", Json::Num(*n as f64)),
+            ]),
+            StructSpec::StripedCycle { n } => Json::obj([
+                ("kind", Json::Str("cycle".into())),
+                ("n", Json::Num(*n as f64)),
+            ]),
+        }
+    }
+
+    /// Inverse of [`StructSpec::to_json`].
+    pub fn from_json(v: &Json) -> Result<StructSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a `kind`")?;
+        let n = v
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or("spec needs an integer `n`")? as usize;
+        match kind {
+            "colored" => {
+                let degree = v
+                    .get("degree")
+                    .and_then(Json::as_str)
+                    .ok_or("colored spec needs a `degree`")?
+                    .parse::<DegreeClass>()?;
+                Ok(StructSpec::Colored { n, degree })
+            }
+            "path" => Ok(StructSpec::StripedPath { n }),
+            "cycle" => Ok(StructSpec::StripedCycle { n }),
+            other => Err(format!("unknown spec kind `{other}`")),
+        }
+    }
+}
+
+/// Deterministic striped path/cycle over the colored signature.
+fn striped(n: usize, cycle: bool) -> Structure {
+    let n = n.max(1);
+    let sig = colored_graph_signature();
+    let e = sig.rel("E").expect("E in colored signature");
+    let colors = ["B", "R", "G"].map(|c| sig.rel(c).expect("color in signature"));
+    let mut b = Structure::builder(sig.clone(), n);
+    for i in 0..n.saturating_sub(1) {
+        b.undirected_edge(e, Node(i as u32), Node(i as u32 + 1))
+            .expect("in range");
+    }
+    if cycle && n >= 3 {
+        b.undirected_edge(e, Node(n as u32 - 1), Node(0))
+            .expect("in range");
+    }
+    for i in 0..n {
+        b.fact(colors[i % 3], &[Node(i as u32)]).expect("in range");
+    }
+    b.finish().expect("non-empty")
+}
+
+/// The default spec pool: all three degree-class variants plus both
+/// deterministic topologies, at the given base size.
+pub fn spec_pool(n: usize) -> Vec<StructSpec> {
+    vec![
+        StructSpec::Colored {
+            n,
+            degree: DegreeClass::Bounded(3),
+        },
+        StructSpec::Colored {
+            n,
+            degree: DegreeClass::Bounded(5),
+        },
+        StructSpec::Colored {
+            n,
+            degree: DegreeClass::LogPower(1.2),
+        },
+        StructSpec::Colored {
+            n,
+            degree: DegreeClass::Poly(0.4),
+        },
+        StructSpec::StripedPath { n },
+        StructSpec::StripedCycle { n },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_json() {
+        for spec in spec_pool(24) {
+            let back = StructSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(StructSpec::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_capped() {
+        for spec in spec_pool(40) {
+            let a = spec.generate(7);
+            let b = spec.generate(7);
+            assert_eq!(a, b, "{}", spec.label());
+            assert_eq!(a.cardinality(), 40);
+            if let StructSpec::Colored { degree, .. } = &spec {
+                assert!(a.degree() <= degree.cap(40), "{}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn striped_topologies_have_expected_shape() {
+        let p = StructSpec::StripedPath { n: 6 }.generate(0);
+        assert_eq!(p.degree(), 2);
+        let c = StructSpec::StripedCycle { n: 6 }.generate(0);
+        assert_eq!(c.degree(), 2);
+        let b = c.signature().rel("B").unwrap();
+        assert_eq!(c.relation(b).len(), 2); // nodes 0 and 3
+    }
+}

@@ -46,13 +46,7 @@ impl BlueRed {
     }
 
     /// As [`BlueRed::build`] with explicit relation ids.
-    pub fn build_with(
-        structure: &Structure,
-        e: RelId,
-        b: RelId,
-        r: RelId,
-        eps: Epsilon,
-    ) -> Self {
+    pub fn build_with(structure: &Structure, e: RelId, b: RelId, r: RelId, eps: Epsilon) -> Self {
         let n = structure.cardinality();
 
         // symmetric adjacency

@@ -72,7 +72,13 @@ pub fn evaluate_connected(
     for a in structure.domain() {
         let ball = structure.gaifman().ball(a, radius);
         enumerate_anchor(
-            structure, &matrix, &all_vars, free.len(), a, &ball, &mut answers,
+            structure,
+            &matrix,
+            &all_vars,
+            free.len(),
+            a,
+            &ball,
+            &mut answers,
         );
     }
     Ok(answers.into_iter().collect())
@@ -205,7 +211,15 @@ fn enumerate_anchor(
             asg.bind(all_vars[pos], b);
             tuple[pos] = b;
             rec(
-                structure, matrix, all_vars, n_free, ball, pos + 1, asg, tuple, answers,
+                structure,
+                matrix,
+                all_vars,
+                n_free,
+                ball,
+                pos + 1,
+                asg,
+                tuple,
+                answers,
             );
         }
         asg.unbind(all_vars[pos]);

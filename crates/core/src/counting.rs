@@ -100,7 +100,10 @@ fn count_positive(
     for c in &conjuncts {
         let vars: Vec<Var> = c.free_vars();
         for w in vars.windows(2) {
-            let (a, b) = (find(&mut parent, idx_of(w[0])), find(&mut parent, idx_of(w[1])));
+            let (a, b) = (
+                find(&mut parent, idx_of(w[0])),
+                find(&mut parent, idx_of(w[1])),
+            );
             if a != b {
                 parent[a] = b;
             }
@@ -319,7 +322,15 @@ fn count_component(
     let mut assigned: Vec<lowdeg_storage::Node> = vec![lowdeg_storage::Node(0); lists.len()];
     let mut count = 0u64;
     rec_count(
-        adjacency, lists, sets, pos_edges, &order, &anchor, 0, &mut assigned, &mut count,
+        adjacency,
+        lists,
+        sets,
+        pos_edges,
+        &order,
+        &anchor,
+        0,
+        &mut assigned,
+        &mut count,
     );
     count
 }
@@ -366,7 +377,14 @@ fn rec_count(
                 if check(v, assigned) {
                     assigned[pos] = v;
                     rec_count(
-                        adjacency, lists, sets, pos_edges, order, anchor, depth + 1, assigned,
+                        adjacency,
+                        lists,
+                        sets,
+                        pos_edges,
+                        order,
+                        anchor,
+                        depth + 1,
+                        assigned,
                         count,
                     );
                 }
@@ -377,7 +395,14 @@ fn rec_count(
                 if check(v, assigned) {
                     assigned[pos] = v;
                     rec_count(
-                        adjacency, lists, sets, pos_edges, order, anchor, depth + 1, assigned,
+                        adjacency,
+                        lists,
+                        sets,
+                        pos_edges,
+                        order,
+                        anchor,
+                        depth + 1,
+                        assigned,
                         count,
                     );
                 }

@@ -81,17 +81,13 @@ impl Engine {
     /// is a localizable `x̄`-ary query, the sentence is decided by building
     /// the body's reduction and asking for non-emptiness — pseudo-linear
     /// through Theorem 2.5's machinery instead.
-    pub fn model_check(
-        structure: &Structure,
-        query: &Query,
-    ) -> Result<bool, EngineError> {
+    pub fn model_check(structure: &Structure, query: &Query) -> Result<bool, EngineError> {
         match lowdeg_locality::model_check(structure, query) {
             Ok(v) => Ok(v),
             Err(primary_err) => {
                 if let lowdeg_logic::Formula::Exists(vs, body) = &query.formula {
                     let free = body.free_vars();
-                    let all_quantified =
-                        free.iter().all(|v| vs.contains(v)) && !free.is_empty();
+                    let all_quantified = free.iter().all(|v| vs.contains(v)) && !free.is_empty();
                     if all_quantified {
                         let inner = Query::new(
                             query.signature.clone(),
@@ -103,11 +99,8 @@ impl Engine {
                             if let Ok(reduction) =
                                 Reduction::build(structure, &inner, Epsilon::default_eps())
                             {
-                                let count = count_graph_query(
-                                    reduction.graph(),
-                                    reduction.query(),
-                                )
-                                .expect("reduced clauses are well-formed");
+                                let count = count_graph_query(reduction.graph(), reduction.query())
+                                    .expect("reduced clauses are well-formed");
                                 return Ok(count > 0);
                             }
                         }
@@ -257,7 +250,11 @@ mod tests {
 
         for mode in [SkipMode::Eager, SkipMode::Lazy] {
             let engine = Engine::build_with(&s, &q, Epsilon::new(0.5), mode).unwrap();
-            assert_eq!(engine.count(), oracle.len() as u64, "`{src}` count ({mode:?})");
+            assert_eq!(
+                engine.count(),
+                oracle.len() as u64,
+                "`{src}` count ({mode:?})"
+            );
             let got: Vec<Vec<Node>> = engine.enumerate().collect();
             let got_set: BTreeSet<Vec<Node>> = got.iter().cloned().collect();
             assert_eq!(got.len(), got_set.len(), "`{src}` duplicates ({mode:?})");

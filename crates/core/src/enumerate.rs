@@ -166,11 +166,7 @@ impl LevelPlan {
 
         // Decide whether the paper-faithful eager machinery is affordable:
         // materializing E_k costs about |E_1| * maxdeg^2 per expansion round.
-        let e1_pairs: u64 = adjacency
-            .neighbors
-            .iter()
-            .map(|l| l.len() as u64)
-            .sum();
+        let e1_pairs: u64 = adjacency.neighbors.iter().map(|l| l.len() as u64).sum();
         let dmax = adjacency.max_degree() as u64;
         let ek_cost = e1_pairs
             .saturating_mul(dmax.saturating_mul(dmax))
@@ -236,8 +232,7 @@ impl LevelPlan {
                 let sentinel = Node(n_graph as u32);
                 let mut key = vec![sentinel; k];
                 for &y in &list {
-                    let mut u_list: Vec<u32> =
-                        rev.get(&y.0).cloned().unwrap_or_default();
+                    let mut u_list: Vec<u32> = rev.get(&y.0).cloned().unwrap_or_default();
                     u_list.sort_unstable();
                     u_list.dedup();
                     // all subsets of size < k
@@ -463,8 +458,8 @@ impl ClauseIter<'_> {
     fn skip(&mut self, pos: usize, depth: usize, y: Node) -> Option<Node> {
         let level = self.plan.levels[pos].as_ref().expect("large level");
         self.ops += depth as u64 + 1; // E_k membership tests + the lookup
-        // Eager levels restrict V to the E_k-related forbidden vertices (the
-        // table is keyed that way); lazy levels use the full forbidden set.
+                                      // Eager levels restrict V to the E_k-related forbidden vertices (the
+                                      // table is keyed that way); lazy levels use the full forbidden set.
         let mut v: Vec<u32> = if level.eager_built {
             self.forbidden(depth)
                 .filter(|&u| level.ek_related(u, y))
@@ -680,9 +675,7 @@ impl Enumerator {
 
     /// Enumerate all vertex tuples of `ψ(G)`, clause by clause.
     pub fn vertex_tuples(&self) -> impl Iterator<Item = Vec<Node>> + '_ {
-        self.plans
-            .iter()
-            .flat_map(move |p| p.iter(&self.adjacency))
+        self.plans.iter().flat_map(move |p| p.iter(&self.adjacency))
     }
 
     /// As [`Enumerator::vertex_tuples`], also yielding the number of RAM
@@ -768,13 +761,7 @@ mod tests {
     /// Build a colored graph directly (vertices with colors A/B, symmetric
     /// edges) and check that enumeration matches brute force, under both
     /// skip modes.
-    fn check_graph(
-        n: usize,
-        edges: &[(u32, u32)],
-        color_a: &[u32],
-        color_b: &[u32],
-        k: usize,
-    ) {
+    fn check_graph(n: usize, edges: &[(u32, u32)], color_a: &[u32], color_b: &[u32], k: usize) {
         let sig = Arc::new(Signature::new(&[("E", 2), ("A", 1), ("Bc", 1)]));
         let e = sig.rel("E").unwrap();
         let a_ = sig.rel("A").unwrap();
@@ -840,13 +827,7 @@ mod tests {
     #[test]
     fn pairs_on_small_graph() {
         // the running example shape: A×B non-adjacent pairs
-        check_graph(
-            8,
-            &[(0, 4), (1, 5), (2, 3)],
-            &[0, 1, 2],
-            &[3, 4, 5, 6],
-            2,
-        );
+        check_graph(8, &[(0, 4), (1, 5), (2, 3)], &[0, 1, 2], &[3, 4, 5, 6], 2);
     }
 
     #[test]

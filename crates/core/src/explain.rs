@@ -62,12 +62,7 @@ impl Engine {
                         .map(|p| ClauseReport {
                             list_sizes: p.list_sizes(),
                             strategies: p.strategies.clone(),
-                            skip_entries: p
-                                .levels
-                                .iter()
-                                .flatten()
-                                .map(|l| l.skip_entries())
-                                .sum(),
+                            skip_entries: p.levels.iter().flatten().map(|l| l.skip_entries()).sum(),
                         })
                         .collect()
                 })
@@ -97,7 +92,11 @@ impl fmt::Display for Explain {
         match &self.reduction {
             None => writeln!(f, "sentence: decided during preprocessing")?,
             Some(r) => {
-                writeln!(f, "locality radius: {} (separation {})", r.radius, r.separation)?;
+                writeln!(
+                    f,
+                    "locality radius: {} (separation {})",
+                    r.radius, r.separation
+                )?;
                 writeln!(
                     f,
                     "colored graph: {} nodes ({} clusters), {} E-tuples",

@@ -43,15 +43,16 @@ pub mod connected_cq;
 pub mod counting;
 pub mod dynamic;
 mod engine;
+pub mod enumerate;
 mod error;
 pub mod explain;
-pub mod enumerate;
 mod graph_query;
 pub mod naive;
 pub mod reduction;
 pub mod testing;
 
 pub use engine::Engine;
+pub use enumerate::SkipMode;
 pub use error::EngineError;
 pub use graph_query::{position_list, GraphClause, GraphQuery};
 pub use reduction::Reduction;

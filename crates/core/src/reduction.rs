@@ -104,7 +104,10 @@ impl Reduction {
         budget: u64,
     ) -> Result<Self, EngineError> {
         let k = query.arity();
-        assert!(k >= 1, "Reduction requires arity >= 1 (use model checking for sentences)");
+        assert!(
+            k >= 1,
+            "Reduction requires arity >= 1 (use model checking for sentences)"
+        );
         let local = localize(structure, query)?;
         let r = local.radius;
         let two_r1 = 2 * r + 1;
@@ -222,7 +225,10 @@ impl Reduction {
         for (id, io) in iotas.iter().enumerate() {
             let name = format!(
                 "CI{id}_{}",
-                io.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("_")
+                io.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("_")
             );
             sigb.relation(&name, 1).expect("fresh");
         }
@@ -538,7 +544,8 @@ fn accepts_combo(
     // assemble the disjoint union
     let sig = query.signature.clone();
     let mut total = 0usize;
-    let reps: Vec<(&Structure, &[Node])> = tys.iter().map(|&t| interner.representative(t)).collect();
+    let reps: Vec<(&Structure, &[Node])> =
+        tys.iter().map(|&t| interner.representative(t)).collect();
     for (s, _) in &reps {
         total += s.cardinality();
     }
@@ -570,7 +577,10 @@ fn accepts_combo(
 
     let mut asg = Assignment::default();
     for (i, &v) in local.free.iter().enumerate() {
-        asg.bind(v, assignment_nodes[i].expect("partition covers all positions"));
+        asg.bind(
+            v,
+            assignment_nodes[i].expect("partition covers all positions"),
+        );
     }
     eval(&assembled, &local.matrix, &mut asg)
 }
@@ -707,9 +717,7 @@ fn is_connected(tuple: &[Node], near: &RadixFuncStore<()>) -> bool {
     let mut count = 1;
     while let Some(i) = stack.pop() {
         for j in 0..s {
-            if !seen[j]
-                && (tuple[i] == tuple[j] || near.contains_key(&[tuple[i], tuple[j]]))
-            {
+            if !seen[j] && (tuple[i] == tuple[j] || near.contains_key(&[tuple[i], tuple[j]])) {
                 seen[j] = true;
                 count += 1;
                 stack.push(j);

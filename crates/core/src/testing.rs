@@ -72,9 +72,7 @@ impl TestIndex {
         // ψ₁: pairwise non-adjacency via the fact index
         for i in 0..v.len() {
             for j in (i + 1)..v.len() {
-                if facts.holds(gq.edge, &[v[i], v[j]])
-                    || facts.holds(gq.edge, &[v[j], v[i]])
-                {
+                if facts.holds(gq.edge, &[v[i], v[j]]) || facts.holds(gq.edge, &[v[j], v[i]]) {
                     return Ok(false);
                 }
             }

@@ -69,10 +69,7 @@ impl ColoredGraphSpec {
             }
         }
 
-        for (name, p) in COLOR_NAMES
-            .iter()
-            .zip([self.blue, self.red, self.green])
-        {
+        for (name, p) in COLOR_NAMES.iter().zip([self.blue, self.red, self.green]) {
             let rel = sig.rel(name).expect("color in signature");
             for i in 0..self.n {
                 if rng.gen_bool(p.clamp(0.0, 1.0)) {

@@ -25,8 +25,8 @@ mod topology;
 pub use colored::{ColoredGraphSpec, COLOR_NAMES};
 pub use padded::padded_clique;
 pub use random::{
-    bounded_degree_graph, log_degree_graph, poly_degree_graph, random_structure_spec,
-    DegreeClass, RandomStructureSpec,
+    bounded_degree_graph, log_degree_graph, poly_degree_graph, random_structure_spec, DegreeClass,
+    RandomStructureSpec,
 };
 pub use social::{social_network, social_signature, SocialSpec};
 pub use topology::{cycle_graph, forest_graph, grid_graph, path_graph, star_graph};

@@ -39,6 +39,46 @@ impl DegreeClass {
     }
 }
 
+/// Compact spec syntax, round-trippable through [`std::str::FromStr`]:
+/// `bounded:3`, `log:1.5`, `poly:0.3`. Used by seeded workload specs that
+/// need to be serialized into repro files and CLI arguments.
+impl std::fmt::Display for DegreeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegreeClass::Bounded(d) => write!(f, "bounded:{d}"),
+            DegreeClass::LogPower(c) => write!(f, "log:{c}"),
+            DegreeClass::Poly(delta) => write!(f, "poly:{delta}"),
+        }
+    }
+}
+
+impl std::str::FromStr for DegreeClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, param) = s
+            .split_once(':')
+            .ok_or_else(|| format!("degree class `{s}` needs the form kind:param"))?;
+        match kind {
+            "bounded" => param
+                .parse::<usize>()
+                .map(DegreeClass::Bounded)
+                .map_err(|e| format!("bad bounded degree `{param}`: {e}")),
+            "log" => param
+                .parse::<f64>()
+                .map(DegreeClass::LogPower)
+                .map_err(|e| format!("bad log exponent `{param}`: {e}")),
+            "poly" => param
+                .parse::<f64>()
+                .map(DegreeClass::Poly)
+                .map_err(|e| format!("bad poly exponent `{param}`: {e}")),
+            other => Err(format!(
+                "unknown degree class `{other}` (expected bounded/log/poly)"
+            )),
+        }
+    }
+}
+
 /// Random symmetric graph on `n` nodes with maximum degree ≤ `max_degree`,
 /// built by rejection sampling of random pairs until the edge budget
 /// (`n·max_degree/2` attempts with saturation) is spent.
@@ -61,12 +101,7 @@ pub fn poly_degree_graph(n: usize, delta: f64, seed: u64) -> Structure {
     bounded_degree_graph(n, DegreeClass::Poly(delta).cap(n), seed)
 }
 
-fn random_graph_into(
-    sig: Arc<Signature>,
-    n: usize,
-    max_degree: usize,
-    seed: u64,
-) -> Structure {
+fn random_graph_into(sig: Arc<Signature>, n: usize, max_degree: usize, seed: u64) -> Structure {
     assert!(n >= 1);
     let e = sig.rel("E").expect("signature must contain E/2");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -142,9 +177,9 @@ pub fn random_structure_spec(spec: &RandomStructureSpec, seed: u64) -> Structure
                 *slot = Node(rng.gen_range(0..spec.n) as u32);
             }
             // each component gains ≤ arity−1 Gaifman neighbors from this fact
-            let ok = tuple.iter().all(|&v| {
-                degree[v.index()] + (arity - 1) <= spec.max_degree
-            });
+            let ok = tuple
+                .iter()
+                .all(|&v| degree[v.index()] + (arity - 1) <= spec.max_degree);
             if !ok {
                 continue;
             }
@@ -215,6 +250,22 @@ mod tests {
         assert!(!s.relation(t).is_empty());
         let b = sig.rel("B").unwrap();
         assert!(!s.relation(b).is_empty());
+    }
+
+    #[test]
+    fn degree_class_spec_roundtrip() {
+        for class in [
+            DegreeClass::Bounded(3),
+            DegreeClass::LogPower(1.5),
+            DegreeClass::Poly(0.25),
+        ] {
+            let text = class.to_string();
+            let back: DegreeClass = text.parse().unwrap();
+            assert_eq!(back, class, "`{text}`");
+        }
+        assert!("bounded".parse::<DegreeClass>().is_err());
+        assert!("poly:x".parse::<DegreeClass>().is_err());
+        assert!("cubic:2".parse::<DegreeClass>().is_err());
     }
 
     #[test]

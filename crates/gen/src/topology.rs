@@ -41,10 +41,12 @@ pub fn grid_graph(w: usize, h: usize) -> Structure {
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
-                b.undirected_edge(e, id(x, y), id(x + 1, y)).expect("in range");
+                b.undirected_edge(e, id(x, y), id(x + 1, y))
+                    .expect("in range");
             }
             if y + 1 < h {
-                b.undirected_edge(e, id(x, y), id(x, y + 1)).expect("in range");
+                b.undirected_edge(e, id(x, y), id(x, y + 1))
+                    .expect("in range");
             }
         }
     }
@@ -87,7 +89,8 @@ pub fn star_graph(n: usize) -> Structure {
     let e = sig.rel("E").expect("graph signature has E");
     let mut b = Structure::builder(sig, n);
     for i in 1..n {
-        b.undirected_edge(e, Node(0), Node(i as u32)).expect("in range");
+        b.undirected_edge(e, Node(0), Node(i as u32))
+            .expect("in range");
     }
     b.finish().expect("non-empty")
 }

@@ -25,12 +25,7 @@ impl FactIndex {
             .rel_ids()
             .map(|rel| {
                 let r = structure.relation(rel);
-                RadixFuncStore::build(
-                    n,
-                    r.arity(),
-                    eps,
-                    r.iter().map(|t| (t.to_vec(), ())),
-                )
+                RadixFuncStore::build(n, r.arity(), eps, r.iter().map(|t| (t.to_vec(), ())))
             })
             .collect();
         FactIndex { stores }

@@ -20,9 +20,7 @@
 //! 3. universal blocks are handled by duality.
 
 use crate::radius::{certified_radius, implied_links, insert_min, transitive_closure};
-use crate::scattered::{
-    check_scattered, Cluster, CrossConstraint, CrossKind, ScatteredSentence,
-};
+use crate::scattered::{check_scattered, Cluster, CrossConstraint, CrossKind, ScatteredSentence};
 use crate::LocalizeError;
 use lowdeg_logic::simplify::simplify;
 use lowdeg_logic::transform::{nnf, standardize_apart};
@@ -56,9 +54,8 @@ pub fn localize(structure: &Structure, query: &Query) -> Result<LocalQuery, Loca
     // DNF / partition / type tables downstream
     let hygienic = standardize_apart(&nnf(&simplify(&query.formula)), &mut alloc);
     let matrix = loc(structure, &hygienic)?;
-    let radius = certified_radius(&matrix).unwrap_or_else(|| {
-        unreachable!("localization output must be certified: {matrix:?}")
-    });
+    let radius = certified_radius(&matrix)
+        .unwrap_or_else(|| unreachable!("localization output must be certified: {matrix:?}"));
     Ok(LocalQuery {
         free: query.free.clone(),
         matrix,
@@ -219,8 +216,7 @@ fn localize_branch(
     // plus sentences decided here.
     let mut far = far;
     if !spanning.is_empty() {
-        let pieces =
-            rewrite_far_witnesses(structure, &mut far, &mut far_parts, spanning)?;
+        let pieces = rewrite_far_witnesses(structure, &mut far, &mut far_parts, spanning)?;
         local_parts.extend(pieces);
     }
 
@@ -282,9 +278,7 @@ fn rewrite_far_witnesses(
         // exactly one spanning conjunct, of the supported shape
         let [single] = cs.as_slice() else {
             return Err(LocalizeError::NotLocalizable {
-                detail: format!(
-                    "far variable has multiple links to the outer scope: {cs:?}"
-                ),
+                detail: format!("far variable has multiple links to the outer scope: {cs:?}"),
             });
         };
         let Formula::Dist {
@@ -325,11 +319,9 @@ fn rewrite_far_witnesses(
         })?;
 
         // sentence: two θ-nodes pairwise more than 2r apart
-        let scattered2 =
-            crate::scattered::check_basic_local(structure, 2, 2 * r, y, &theta, rho);
+        let scattered2 = crate::scattered::check_basic_local(structure, 2, 2 * r, y, &theta, rho);
         // sentence: some θ-node exists
-        let nonempty =
-            crate::scattered::check_basic_local(structure, 1, 0, y, &theta, rho);
+        let nonempty = crate::scattered::check_basic_local(structure, 1, 0, y, &theta, rho);
 
         // local: a witness within the (r, 3r] band around u
         let band = Formula::exists(
@@ -379,9 +371,7 @@ fn rewrite_far_witnesses(
     for (c, cv) in far_parts.iter() {
         if cv.iter().any(|v| !far.contains(v)) {
             return Err(LocalizeError::NotLocalizable {
-                detail: format!(
-                    "constraint couples far-witness variables: {c:?}"
-                ),
+                detail: format!("constraint couples far-witness variables: {c:?}"),
             });
         }
     }

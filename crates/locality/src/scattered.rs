@@ -127,10 +127,7 @@ impl CrossKind {
 
     fn check(&self, structure: &Structure, u: Node, v: Node) -> bool {
         match self {
-            CrossKind::DistGreater(s) => structure
-                .gaifman()
-                .distance_at_most(u, v, *s)
-                .is_none(),
+            CrossKind::DistGreater(s) => structure.gaifman().distance_at_most(u, v, *s).is_none(),
             CrossKind::NotRel(rel) => {
                 !structure.holds(*rel, &[u, v]) && !structure.holds(*rel, &[v, u])
             }
@@ -439,11 +436,7 @@ mod tests {
 
     /// θ(y) := "y has at least one neighbor": ∃z dist(z,y)≤1 ∧ E(y,z)
     fn has_neighbor(structure: &Structure) -> (Var, Formula) {
-        let q = parse_query(
-            structure.signature(),
-            "exists z. dist(z, y) <= 1 & E(y, z)",
-        )
-        .unwrap();
+        let q = parse_query(structure.signature(), "exists z. dist(z, y) <= 1 & E(y, z)").unwrap();
         (q.free[0], q.formula)
     }
 
@@ -558,11 +551,7 @@ mod tests {
     fn multi_var_cluster() {
         // cluster: an edge y—z where both endpoints exist: path has them
         let p = path_graph(8);
-        let q = parse_query(
-            p.signature(),
-            "dist(z, y) <= 1 & E(y, z)",
-        )
-        .unwrap();
+        let q = parse_query(p.signature(), "dist(z, y) <= 1 & E(y, z)").unwrap();
         let (y, z) = (q.free[1], q.free[0]); // first-occurrence order: z, y
         let cluster = Cluster {
             vars: vec![y, z],

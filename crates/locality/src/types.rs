@@ -145,9 +145,7 @@ fn refine_once(structure: &Structure, colors: &Coloring) -> Coloring {
     let sig = structure.signature();
     // signal: (old color, sorted list of (rel, position, colors of tuple))
     type RefineSignal = (u32, Vec<(u32, u32, Vec<u32>)>);
-    let mut signals: Vec<RefineSignal> = (0..n)
-        .map(|i| (colors[i], Vec::new()))
-        .collect();
+    let mut signals: Vec<RefineSignal> = (0..n).map(|i| (colors[i], Vec::new())).collect();
     for rel in sig.rel_ids() {
         if sig.arity(rel) < 2 {
             continue;
@@ -155,7 +153,9 @@ fn refine_once(structure: &Structure, colors: &Coloring) -> Coloring {
         for t in structure.relation(rel).iter() {
             let tuple_colors: Vec<u32> = t.iter().map(|&c| colors[c.index()]).collect();
             for (pos, &c) in t.iter().enumerate() {
-                signals[c.index()].1.push((rel.0, pos as u32, tuple_colors.clone()));
+                signals[c.index()]
+                    .1
+                    .push((rel.0, pos as u32, tuple_colors.clone()));
             }
         }
     }
@@ -168,8 +168,7 @@ fn refine_once(structure: &Structure, colors: &Coloring) -> Coloring {
 fn refine_to_fixpoint(structure: &Structure, mut colors: Coloring) -> Coloring {
     loop {
         let next = refine_once(structure, &colors);
-        let classes =
-            |c: &Coloring| c.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        let classes = |c: &Coloring| c.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
         if classes(&next) == classes(&colors) {
             return next;
         }
@@ -318,7 +317,10 @@ mod tests {
     fn non_isomorphic_differ() {
         let path = build(4, &[(0, 1), (1, 2), (2, 3)], &[]);
         let star = build(4, &[(0, 1), (0, 2), (0, 3)], &[]);
-        assert_ne!(canonical_encoding(&path, &[]), canonical_encoding(&star, &[]));
+        assert_ne!(
+            canonical_encoding(&path, &[]),
+            canonical_encoding(&star, &[])
+        );
     }
 
     #[test]
@@ -348,8 +350,9 @@ mod tests {
         // fixed permutation applied to a small irregular graph
         let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
         let a = build(5, &edges, &[4]);
-        let perm: BTreeMap<u32, u32> =
-            [(0, 3), (1, 0), (2, 4), (3, 1), (4, 2)].into_iter().collect();
+        let perm: BTreeMap<u32, u32> = [(0, 3), (1, 0), (2, 4), (3, 1), (4, 2)]
+            .into_iter()
+            .collect();
         let p_edges: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (perm[&u], perm[&v])).collect();
         let b = build(5, &p_edges, &[perm[&4]]);
         assert_eq!(

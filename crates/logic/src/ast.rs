@@ -389,9 +389,7 @@ fn validate_arities(f: &Formula, sig: &Signature) -> Result<(), crate::LogicErro
         }
         Formula::True | Formula::False | Formula::Eq(..) | Formula::Dist { .. } => Ok(()),
         Formula::Not(g) => validate_arities(g, sig),
-        Formula::And(gs) | Formula::Or(gs) => {
-            gs.iter().try_for_each(|g| validate_arities(g, sig))
-        }
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().try_for_each(|g| validate_arities(g, sig)),
         Formula::Exists(_, g) | Formula::Forall(_, g) => validate_arities(g, sig),
     }
 }

@@ -168,7 +168,10 @@ pub const MAX_EXCLUSIVE_ATOMS: usize = 24;
 /// Cost `O(2^m)` for `m` atoms, as budgeted by the paper. Panics when the
 /// formula has quantifiers or more than [`MAX_EXCLUSIVE_ATOMS`] atoms.
 pub fn exclusive_dnf(f: &Formula) -> Vec<Conjunct> {
-    assert!(f.is_quantifier_free(), "exclusive_dnf needs quantifier-free input");
+    assert!(
+        f.is_quantifier_free(),
+        "exclusive_dnf needs quantifier-free input"
+    );
     let atom_list = atoms(f);
     assert!(
         atom_list.len() <= MAX_EXCLUSIVE_ATOMS,

@@ -175,6 +175,20 @@ pub fn count_naive(structure: &Structure, q: &Query) -> u64 {
     answers_naive(structure, q).len() as u64
 }
 
+/// Whether two queries of the same arity have the same answer set over
+/// `structure`, by brute force. The workhorse behind the rewrite oracles
+/// (simplify/NNF/DNF must be semantics-preserving) in the conformance
+/// harness and the property suites.
+///
+/// The two queries may use different variable tables; only the answer
+/// *tuples* are compared. Queries of different arity are never equivalent.
+pub fn equivalent_naive(structure: &Structure, a: &Query, b: &Query) -> bool {
+    if a.arity() != b.arity() {
+        return false;
+    }
+    answers_naive(structure, a) == answers_naive(structure, b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +296,19 @@ mod tests {
         let q = parse_query(s.signature(), "exists x. B(x)").unwrap();
         let ans = answers_naive(&s, &q);
         assert_eq!(ans, vec![Vec::<Node>::new()]); // one empty tuple: true
+    }
+
+    #[test]
+    fn equivalence_oracle() {
+        let s = bluered();
+        let a = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        // De Morgan'd double negation of the same query
+        let b = parse_query(s.signature(), "!(!B(x) | !R(y) | E(x, y))").unwrap();
+        assert!(equivalent_naive(&s, &a, &b));
+        let c = parse_query(s.signature(), "B(x) & R(y)").unwrap();
+        assert!(!equivalent_naive(&s, &a, &c));
+        // different arity is never equivalent
+        let d = parse_query(s.signature(), "B(x)").unwrap();
+        assert!(!equivalent_naive(&s, &a, &d));
     }
 }

@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn standardize_apart_makes_bound_vars_unique() {
-        let mut q =
-            parse_query(&sig(), "(exists y. E(x, y)) & (exists y. B(y))").unwrap();
+        let mut q = parse_query(&sig(), "(exists y. E(x, y)) & (exists y. B(y))").unwrap();
         let s = standardize_apart(&q.formula, &mut q.vars);
         // gather bound blocks
         fn bound(f: &Formula, out: &mut Vec<Var>) {

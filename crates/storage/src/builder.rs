@@ -62,7 +62,12 @@ impl StructureBuilder {
 
     /// Convenience for symmetric binary relations: add both `R(a,b)` and
     /// `R(b,a)`.
-    pub fn undirected_edge(&mut self, rel: RelId, a: Node, b: Node) -> Result<&mut Self, StorageError> {
+    pub fn undirected_edge(
+        &mut self,
+        rel: RelId,
+        a: Node,
+        b: Node,
+    ) -> Result<&mut Self, StorageError> {
         self.fact(rel, &[a, b])?;
         self.fact(rel, &[b, a])
     }
@@ -183,8 +188,11 @@ mod tests {
         let e = sg.rel("E").unwrap();
         let b_ = sg.rel("B").unwrap();
         let mut b = Structure::builder(sg, 5);
-        b.bulk_binary(e, vec![(node(0), node(1)), (node(1), node(2)), (node(0), node(1))])
-            .unwrap();
+        b.bulk_binary(
+            e,
+            vec![(node(0), node(1)), (node(1), node(2)), (node(0), node(1))],
+        )
+        .unwrap();
         let s = b.finish().unwrap();
         assert_eq!(s.relation(e).len(), 2);
         assert!(s.holds(e, &[node(1), node(2)]));

@@ -266,7 +266,8 @@ mod tests {
         let e = sig.rel("E").unwrap();
         let mut b = Structure::builder(sig, n);
         for i in 0..n {
-            b.edge(e, node(i as u32), node(((i + 1) % n) as u32)).unwrap();
+            b.edge(e, node(i as u32), node(((i + 1) % n) as u32))
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -371,7 +372,11 @@ mod tests {
         let d = s.gaifman().distances_within(node(0), 2);
         assert_eq!(d.len(), 5);
         assert_eq!(d[0], (node(0), 0));
-        let depth2: Vec<_> = d.iter().filter(|&&(_, dd)| dd == 2).map(|&(v, _)| v).collect();
+        let depth2: Vec<_> = d
+            .iter()
+            .filter(|&&(_, dd)| dd == 2)
+            .map(|&(v, _)| v)
+            .collect();
         assert_eq!(depth2.len(), 2);
     }
 }

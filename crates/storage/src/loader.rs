@@ -58,9 +58,9 @@ pub fn parse_structure(input: &str) -> Result<Structure, StorageError> {
                 let arity: usize = ar
                     .parse()
                     .map_err(|_| parse_err(lineno, &format!("bad arity `{ar}`")))?;
-                sig_builder.relation(name, arity).map_err(|e| {
-                    parse_err(lineno, &e.to_string())
-                })?;
+                sig_builder
+                    .relation(name, arity)
+                    .map_err(|e| parse_err(lineno, &e.to_string()))?;
             }
             rel_name => {
                 sealed = true;

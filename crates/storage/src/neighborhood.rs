@@ -24,9 +24,8 @@ impl Neighborhood {
         members.dedup();
 
         let incidence = parent.incidence();
-        let local_of = |p: Node| -> Option<u32> {
-            members.binary_search(&p).ok().map(|i| i as u32)
-        };
+        let local_of =
+            |p: Node| -> Option<u32> { members.binary_search(&p).ok().map(|i| i as u32) };
 
         // Gather candidate facts: every fact incident to a member node.
         // Unary facts have no Gaifman incidence, handle them by scanning the

@@ -49,7 +49,8 @@ impl Signature {
     pub fn new<S: AsRef<str>>(rels: &[(S, usize)]) -> Self {
         let mut b = Self::builder();
         for (name, arity) in rels {
-            b.relation(name.as_ref(), *arity).expect("invalid signature");
+            b.relation(name.as_ref(), *arity)
+                .expect("invalid signature");
         }
         b.finish()
     }

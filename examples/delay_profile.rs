@@ -25,16 +25,14 @@ fn main() {
     for exp in 9..=13 {
         let n = 1usize << exp;
         let db = ColoredGraphSpec::balanced(n, DegreeClass::Bounded(6)).generate(7);
-        let q = parse_query(db.signature(), "B(x) & R(y) & !E(x, y)")
-            .expect("well-formed query");
+        let q = parse_query(db.signature(), "B(x) & R(y) & !E(x, y)").expect("well-formed query");
 
         let t0 = Instant::now();
         let engine = Engine::build(&db, &q, Epsilon::new(0.5)).expect("localizable");
         let prep = t0.elapsed();
 
         let (skip_answers, skip_delays) = DelayRecorder::record(engine.enumerate());
-        let (naive_answers, naive_delays) =
-            DelayRecorder::record(GenerateAndTest::new(&db, &q));
+        let (naive_answers, naive_delays) = DelayRecorder::record(GenerateAndTest::new(&db, &q));
         assert_eq!(skip_answers.len(), naive_answers.len());
 
         println!(

@@ -73,11 +73,8 @@ fn main() {
     }
 
     // 5. a sentence over the imported data: is the network spread out?
-    let spread = parse_query(
-        db.signature(),
-        "exists u v. B(u) & B(v) & dist(u, v) > 6",
-    )
-    .expect("well-formed");
+    let spread = parse_query(db.signature(), "exists u v. B(u) & B(v) & dist(u, v) > 6")
+        .expect("well-formed");
     println!(
         "two active people more than 6 hops apart: {}",
         Engine::model_check(&db, &spread).expect("localizable")

@@ -33,7 +33,11 @@ fn main() {
     )
     .expect("well-formed database");
 
-    println!("database: {} nodes, degree {}", db.cardinality(), db.degree());
+    println!(
+        "database: {} nodes, degree {}",
+        db.cardinality(),
+        db.degree()
+    );
 
     // The paper's running example (Example 2.3): blue-red pairs with no
     // edge between them.
@@ -47,10 +51,7 @@ fn main() {
 
     // Theorem 2.6: constant-time membership tests.
     for (a, b) in [(0u32, 4u32), (2, 3), (2, 4)] {
-        println!(
-            "test ({a}, {b}): {}",
-            engine.test(&[Node(a), Node(b)])
-        );
+        println!("test ({a}, {b}): {}", engine.test(&[Node(a), Node(b)]));
     }
 
     // Theorem 2.7: constant-delay enumeration.
@@ -60,11 +61,8 @@ fn main() {
     }
 
     // Sentences go through Theorem 2.4's model checker directly.
-    let sentence = parse_query(
-        db.signature(),
-        "exists x y. B(x) & R(y) & dist(x, y) > 2",
-    )
-    .expect("well-formed sentence");
+    let sentence = parse_query(db.signature(), "exists x y. B(x) & R(y) & dist(x, y) > 2")
+        .expect("well-formed sentence");
     println!(
         "far blue-red pair exists: {}",
         Engine::model_check(&db, &sentence).expect("localizable sentence")

@@ -57,11 +57,8 @@ fn main() {
     let eps = Epsilon::new(0.5);
 
     // underserved customers: R(x) ∧ ∀y (dist(x,y) ≤ 2 → ¬B(y))
-    let underserved = parse_query(
-        db.signature(),
-        "R(x) & (forall y. dist(x, y) > 2 | !B(y))",
-    )
-    .expect("well-formed query");
+    let underserved = parse_query(db.signature(), "R(x) & (forall y. dist(x, y) > 2 | !B(y))")
+        .expect("well-formed query");
     let engine = Engine::build(&db, &underserved, eps).expect("localizable");
     println!("underserved customers: {}", engine.count());
     let sample: Vec<_> = engine.enumerate().take(5).collect();
@@ -71,8 +68,8 @@ fn main() {
     }
 
     // independent depot pairs: B(x) ∧ B(y) ∧ dist(x,y) > 4
-    let independent = parse_query(db.signature(), "B(x) & B(y) & dist(x, y) > 4")
-        .expect("well-formed query");
+    let independent =
+        parse_query(db.signature(), "B(x) & B(y) & dist(x, y) > 4").expect("well-formed query");
     let engine = Engine::build(&db, &independent, eps).expect("localizable");
     let pairs: Vec<_> = engine.enumerate().collect();
     println!(

@@ -41,11 +41,8 @@ fn main() {
     let eps = Epsilon::new(0.5);
 
     // 1. trusted members: ∀z (Knows(x,z) → ¬Suspended(z))
-    let trusted = parse_query(
-        db.signature(),
-        "forall z. Knows(x, z) -> !Suspended(z)",
-    )
-    .expect("well-formed query");
+    let trusted = parse_query(db.signature(), "forall z. Knows(x, z) -> !Suspended(z)")
+        .expect("well-formed query");
     let t0 = Instant::now();
     let engine = Engine::build(&db, &trusted, eps).expect("localizable");
     println!(
@@ -55,11 +52,8 @@ fn main() {
     );
 
     // 2. mentorship pairs: Newbie(x) ∧ Moderator(y) ∧ ¬Knows(x, y)
-    let mentorship = parse_query(
-        db.signature(),
-        "Newbie(x) & Moderator(y) & !Knows(x, y)",
-    )
-    .expect("well-formed query");
+    let mentorship = parse_query(db.signature(), "Newbie(x) & Moderator(y) & !Knows(x, y)")
+        .expect("well-formed query");
     let t0 = Instant::now();
     let engine = Engine::build(&db, &mentorship, eps).expect("localizable");
     let prep = t0.elapsed();

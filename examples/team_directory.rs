@@ -18,7 +18,11 @@ use lowdeg_storage::{LabeledBuilder, Signature};
 use std::sync::Arc;
 
 fn main() {
-    let sig = Arc::new(Signature::new(&[("Channel", 2), ("Senior", 1), ("Junior", 1)]));
+    let sig = Arc::new(Signature::new(&[
+        ("Channel", 2),
+        ("Senior", 1),
+        ("Junior", 1),
+    ]));
     let mut b = LabeledBuilder::new(sig);
 
     // shared team channels (symmetric)
@@ -47,11 +51,8 @@ fn main() {
         db.degree()
     );
 
-    let q = parse_query(
-        db.signature(),
-        "Junior(x) & Senior(y) & !Channel(x, y)",
-    )
-    .expect("well-formed query");
+    let q = parse_query(db.signature(), "Junior(x) & Senior(y) & !Channel(x, y)")
+        .expect("well-formed query");
     let engine = Engine::build(db, &q, Epsilon::new(0.5)).expect("localizable");
 
     println!("fresh-eyes review pairs: {}", engine.count());
@@ -66,8 +67,5 @@ fn main() {
         directory.node("gus").expect("known"),
         directory.node("ana").expect("known"),
     );
-    println!(
-        "gus ← ana possible: {}",
-        engine.test(&[gus, ana])
-    );
+    println!("gus ← ana possible: {}", engine.test(&[gus, ana]));
 }

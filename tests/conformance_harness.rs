@@ -1,0 +1,57 @@
+//! Tier-1 smoke of the conformance harness itself: a small seeded run must
+//! come back clean, and a deliberately corrupted enumerator must be caught
+//! and shrunk to a replayable witness. The CI smoke profile (224 pairs +
+//! dynamic scripts + the delay gate) runs in its own workflow step; this
+//! test keeps the harness honest from plain `cargo test`.
+
+use lowdeg_conformance::differential::Mutation;
+use lowdeg_conformance::repro::{replay, Witness};
+use lowdeg_conformance::runner::{run, Profile, RunOptions};
+use std::path::PathBuf;
+
+fn temp_out(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lowdeg-harness-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn seeded_mini_run_is_clean() {
+    let mut opts = RunOptions::new(11);
+    opts.out_dir = temp_out("clean");
+    opts.skip_delay_gate = true; // gated separately; keep tier-1 fast
+    let mut profile = Profile::mini();
+    profile.dynamic_scripts = 1;
+    let summary = run(&profile, &opts);
+    assert!(
+        summary.passed(),
+        "differential/metamorphic disagreements: {:?} {:?}",
+        summary.disagreements,
+        summary.dynamic_disagreements
+    );
+    assert_eq!(summary.pairs_checked, profile.cases);
+    assert!(summary.engine_checked > 0, "no pair reached the engine");
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}
+
+#[test]
+fn corrupted_enumerator_yields_replayable_witness() {
+    let mut opts = RunOptions::new(12);
+    opts.out_dir = temp_out("inject");
+    opts.inject = Mutation::DuplicateAnswer;
+    opts.skip_delay_gate = true;
+    let mut profile = Profile::mini();
+    profile.dynamic_scripts = 0;
+    let summary = run(&profile, &opts);
+    assert!(!summary.passed(), "duplicate-answer bug slipped through");
+    assert!(!summary.witnesses.is_empty(), "no witness file written");
+
+    // the witness round-trips from disk and replays against the honest
+    // engine (clean: the corruption was injected, not real)
+    let w = Witness::load(&summary.witnesses[0]).expect("witness loads");
+    let outcome = replay(&w).expect("replay runs");
+    assert!(
+        outcome.disagreements.is_empty(),
+        "honest engine failed the injected witness: {:?}",
+        outcome.disagreements
+    );
+    let _ = std::fs::remove_dir_all(&opts.out_dir);
+}

@@ -18,7 +18,12 @@ fn check_class(class: DegreeClass, n: usize, seed: u64) {
     let oracle: BTreeSet<Vec<Node>> = answers_naive(&s, &q).into_iter().collect();
     let got: BTreeSet<Vec<Node>> = engine.enumerate().collect();
     assert_eq!(got, oracle, "{} answers", class.label());
-    assert_eq!(engine.count(), oracle.len() as u64, "{} count", class.label());
+    assert_eq!(
+        engine.count(),
+        oracle.len() as u64,
+        "{} count",
+        class.label()
+    );
 }
 
 #[test]
@@ -94,7 +99,9 @@ fn star_graph_is_the_hard_case_and_still_correct() {
     }
     builder.fact(b, &[Node(0)]).unwrap(); // the hub is blue
     for i in 1..24u32 {
-        builder.fact(if i % 2 == 0 { b } else { r }, &[Node(i)]).unwrap();
+        builder
+            .fact(if i % 2 == 0 { b } else { r }, &[Node(i)])
+            .unwrap();
     }
     let s = builder.finish().unwrap();
     let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();

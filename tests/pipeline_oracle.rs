@@ -70,9 +70,7 @@ fn check_query(structure: &Structure, src: &str, mode: SkipMode) {
         let mut misses = 0;
         'outer: for i in 0..n {
             for j in 0..n {
-                let t: Vec<Node> = (0..k)
-                    .map(|p| Node(((i + j * p) % n) as u32))
-                    .collect();
+                let t: Vec<Node> = (0..k).map(|p| Node(((i + j * p) % n) as u32)).collect();
                 if !oracle_set.contains(&t) {
                     assert!(!engine.test(&t), "`{src}` test should reject {t:?}");
                     misses += 1;
@@ -190,9 +188,7 @@ fn padded_clique_pipeline() {
         builder.fact(e, t).unwrap();
     }
     for i in 0..40u32 {
-        builder
-            .fact(if i < 5 { b } else { r }, &[Node(i)])
-            .unwrap();
+        builder.fact(if i < 5 { b } else { r }, &[Node(i)]).unwrap();
     }
     let s = builder.finish().unwrap();
     for src in [

@@ -47,7 +47,11 @@ fn formula_strategy(depth: u32, allow_quantifiers: bool) -> BoxedStrategy<Formul
             Formula::Dist {
                 x,
                 y,
-                cmp: if le { DistCmp::LessEq } else { DistCmp::Greater },
+                cmp: if le {
+                    DistCmp::LessEq
+                } else {
+                    DistCmp::Greater
+                },
                 r,
             }
         }),

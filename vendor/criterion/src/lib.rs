@@ -1,0 +1,263 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API the bench
+//! suite uses: `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! measurement_time, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId::new`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The real criterion cannot be fetched in this build environment. This
+//! stand-in genuinely runs and times every benchmark closure (a short
+//! warm-up, then `sample_size` timed samples) and prints median / mean
+//! per-iteration times, so `cargo bench` remains useful for eyeballing
+//! regressions — it just lacks criterion's statistics, HTML reports and
+//! saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark registry handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.default_sample_size, Duration::from_secs(1), f);
+        self
+    }
+}
+
+/// A named group sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget per benchmark (approximate in this stand-in).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Throughput annotation — accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Run a benchmark that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // calibration: find an iteration count that takes ≥ ~1ms per sample,
+    // without exceeding the overall budget
+    let calibration_start = Instant::now();
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1)
+            || calibration_start.elapsed() > budget / 4
+            || b.iters >= 1 << 20
+        {
+            break;
+        }
+        b.iters *= 4;
+    }
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    let run_start = Instant::now();
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        per_iter.push(b.elapsed / b.iters.max(1) as u32);
+        if run_start.elapsed() > budget {
+            break;
+        }
+    }
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    eprintln!(
+        "bench {label:<48} median {median:>12?}  mean {mean:>12?}  ({} samples x {} iters)",
+        per_iter.len(),
+        b.iters
+    );
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A parameterized benchmark identifier.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display label (accepts `BenchmarkId` and strings).
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Define a benchmark group function (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_groups_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("inc", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x + 1
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

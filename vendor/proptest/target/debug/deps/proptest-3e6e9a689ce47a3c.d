@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-3e6e9a689ce47a3c.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-3e6e9a689ce47a3c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-e0a0b2615dccba7c.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e0a0b2615dccba7c.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e0a0b2615dccba7c.rmeta: src/lib.rs
+
+src/lib.rs:
