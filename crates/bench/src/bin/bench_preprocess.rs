@@ -1,0 +1,169 @@
+//! Serial-vs-parallel engine-build wall time → `BENCH_preprocess.json`.
+//!
+//! ```bash
+//! cargo run --release -p lowdeg-bench --bin bench_preprocess             # full scales
+//! cargo run --release -p lowdeg-bench --bin bench_preprocess -- quick   # CI smoke
+//! cargo run --release -p lowdeg-bench --bin bench_preprocess -- --out p.json
+//! ```
+//!
+//! Measures the full preprocessing pipeline (Prop 3.3 reduction, Lemma 3.5
+//! counting, E_k fixpoint + skip tables) under `ParConfig::serial()` and an
+//! auto-sized pool, at two structure scales. Each measurement builds from a
+//! fresh structure so the per-structure Gaifman cache cannot leak across
+//! configurations. The JSON records the runner's core count: on a
+//! single-core machine the "parallel" column degenerates to serial plus
+//! pool overhead, and the speedup column is only meaningful when
+//! `cores > 1`.
+
+use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
+use lowdeg_bench::{fmt_dur, time};
+use lowdeg_core::{Engine, SkipMode};
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::parse_query;
+use lowdeg_par::ParConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const EPS: f64 = 0.5;
+const DEGREE: usize = 4;
+const REPS: usize = 3;
+
+struct ScaleResult {
+    n: usize,
+    serial: Duration,
+    parallel: Duration,
+    count: u64,
+}
+
+/// One timed engine build from a fresh structure; returns the answer
+/// count as a cross-configuration checksum.
+fn build_once(n: usize, src: &str, par: &ParConfig) -> (Duration, u64) {
+    let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
+    let q = parse_query(s.signature(), src).expect("parses");
+    let (engine, dt) = time(|| {
+        Engine::build_with_config(&s, &q, Epsilon::new(EPS), SkipMode::Eager, par)
+            .expect("localizable")
+    });
+    (dt, engine.count())
+}
+
+/// Best-of-`REPS` for both configurations, interleaved (serial, parallel,
+/// serial, …) after an untimed warm-up build, so allocator/page-cache
+/// warm-up drift cannot favor whichever configuration runs later.
+fn bench_scale(n: usize, src: &str, serial: &ParConfig, parallel: &ParConfig) -> ScaleResult {
+    build_once(n, src, serial); // warm-up, untimed
+    let mut best_serial = Duration::MAX;
+    let mut best_parallel = Duration::MAX;
+    let mut count = 0;
+    for rep in 0..REPS {
+        // swap the within-rep order each rep to cancel residual drift
+        let order: [(&ParConfig, bool); 2] = if rep % 2 == 0 {
+            [(serial, true), (parallel, false)]
+        } else {
+            [(parallel, false), (serial, true)]
+        };
+        for (cfg, is_serial) in order {
+            let (dt, c) = build_once(n, src, cfg);
+            if count == 0 {
+                count = c;
+            }
+            assert_eq!(
+                c, count,
+                "serial and parallel builds disagree on the answer count at n = {n}"
+            );
+            if is_serial {
+                best_serial = best_serial.min(dt);
+            } else {
+                best_parallel = best_parallel.min(dt);
+            }
+        }
+    }
+    ScaleResult {
+        n,
+        serial: best_serial,
+        parallel: best_parallel,
+        count,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench → repo root
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_preprocess.json")
+        });
+
+    let scales: &[usize] = if quick {
+        &[1 << 10, 1 << 11]
+    } else {
+        &[1 << 12, 1 << 14]
+    };
+    let serial_cfg = ParConfig::serial();
+    let par_cfg = ParConfig::with_threads(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "preprocess bench: query `{RUNNING_EXAMPLE}`, degree class bounded({DEGREE}), \
+         {} threads vs serial, {cores} core(s)",
+        par_cfg.threads()
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>12}",
+        "n", "serial", "parallel", "speedup", "count"
+    );
+
+    let mut results = Vec::new();
+    for &n in scales {
+        let r = bench_scale(n, RUNNING_EXAMPLE, &serial_cfg, &par_cfg);
+        println!(
+            "{n:>8} {:>12} {:>12} {:>8.2}x {:>12}",
+            fmt_dur(r.serial),
+            fmt_dur(r.parallel),
+            r.serial.as_secs_f64() / r.parallel.as_secs_f64().max(1e-9),
+            r.count
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, quick, cores, par_cfg.threads());
+    std::fs::write(&out, json).expect("write BENCH_preprocess.json");
+    println!("wrote {}", out.display());
+}
+
+fn render_json(results: &[ScaleResult], quick: bool, cores: usize, threads: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"preprocess\",\n");
+    s.push_str(&format!("  \"query\": \"{RUNNING_EXAMPLE}\",\n"));
+    s.push_str(&format!("  \"degree_class\": \"bounded({DEGREE})\",\n"));
+    s.push_str(&format!("  \"skip_mode\": \"eager\",\n  \"eps\": {EPS},\n"));
+    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"threads_parallel\": {threads},\n"));
+    s.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = r.serial.as_secs_f64() / r.parallel.as_secs_f64().max(1e-9);
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"count\": {}}}{}\n",
+            r.n,
+            r.serial.as_secs_f64() * 1e3,
+            r.parallel.as_secs_f64() * 1e3,
+            speedup,
+            r.count,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -6,10 +6,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lowdeg_core::Engine;
+use lowdeg_core::{Engine, SkipMode};
 use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
 use lowdeg_index::Epsilon;
 use lowdeg_logic::parse_query;
+use lowdeg_par::ParConfig;
 use lowdeg_storage::{parse_edge_list, parse_structure, write_structure, Node, Structure};
 use std::io::Write;
 
@@ -17,6 +18,10 @@ use std::io::Write;
 pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
     let mut args = args.to_vec();
     let eps = extract_eps(&mut args)?;
+    let par = extract_threads(&mut args)?;
+    let build = |db: &Structure, q: &lowdeg_logic::Query| {
+        Engine::build_with_config(db, q, eps, SkipMode::Eager, &par).map_err(|e| e.to_string())
+    };
     let mut it = args.into_iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<String> = it.collect();
@@ -59,14 +64,14 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
         "explain" => {
             let db = load(rest.first().ok_or_else(usage)?)?;
             let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
-            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            let engine = build(&db, &q)?;
             write!(out, "{}", engine.explain()).map_err(w)?;
             Ok(())
         }
         "count" => {
             let db = load(rest.first().ok_or_else(usage)?)?;
             let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
-            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            let engine = build(&db, &q)?;
             writeln!(out, "{}", engine.count()).map_err(w)?;
             Ok(())
         }
@@ -85,7 +90,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
                     tuple.len()
                 ));
             }
-            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            let engine = build(&db, &q)?;
             writeln!(out, "{}", engine.test(&tuple)).map_err(w)?;
             Ok(())
         }
@@ -96,7 +101,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
                 Some(s) => s.parse().map_err(|e| format!("bad limit: {e}"))?,
                 None => usize::MAX,
             };
-            let engine = Engine::build(&db, &q, eps).map_err(|e| e.to_string())?;
+            let engine = build(&db, &q)?;
             let mut emitted = 0usize;
             for t in engine.enumerate().take(limit) {
                 let row: Vec<String> = t.iter().map(|n| n.to_string()).collect();
@@ -160,6 +165,21 @@ fn extract_eps(args: &mut Vec<String>) -> Result<Epsilon, String> {
     }
 }
 
+fn extract_threads(args: &mut Vec<String>) -> Result<ParConfig, String> {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            return Err("--threads needs a value".into());
+        }
+        let n: usize = args[i + 1]
+            .parse()
+            .map_err(|e| format!("bad --threads value: {e}"))?;
+        args.drain(i..=i + 1);
+        Ok(ParConfig::with_threads(n))
+    } else {
+        Ok(ParConfig::from_env())
+    }
+}
+
 fn load(path: &str) -> Result<Structure, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     parse_structure(&text).map_err(|e| format!("parsing {path}: {e}"))
@@ -180,7 +200,10 @@ pub fn usage() -> String {
   lowdeg enumerate    <db> '<query>' [limit]
   lowdeg generate     <n> <degree> <seed> [path]
   lowdeg import-edges <edge-list> [path]
-options: --eps <x>   pseudo-linearity parameter (default 0.25)"
+options: --eps <x>       pseudo-linearity parameter (default 0.25)
+         --threads <n>   preprocessing worker threads; 0 = auto, 1 = serial
+                         (default: LOWDEG_THREADS, else auto). Enumeration
+                         itself is always single-threaded"
         .into()
 }
 
@@ -282,6 +305,17 @@ mod tests {
         assert_eq!(ok.trim(), "2");
         assert!(run_str(&["--eps", "0", "count", db.to_str().unwrap(), "B(x)"]).is_err());
         assert!(run_str(&["--eps"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parsed_and_validated() {
+        let db = temp_db();
+        let one = run_str(&["--threads", "1", "count", db.to_str().unwrap(), "B(x)"]).unwrap();
+        assert_eq!(one.trim(), "2");
+        let four = run_str(&["--threads", "4", "count", db.to_str().unwrap(), "B(x)"]).unwrap();
+        assert_eq!(four.trim(), "2");
+        assert!(run_str(&["--threads", "x", "count", db.to_str().unwrap(), "B(x)"]).is_err());
+        assert!(run_str(&["--threads"]).is_err());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   relabeling, isolated-vertex padding, and semantics-preserving
 //!   rewrites (simplify / De Morgan NNF / DNF);
 //! * the **dynamic-update oracle** ([`dynamic`]) — randomized
-//!   insert/delete scripts against a rebuilt-from-scratch baseline.
+//!   insert/delete scripts against a rebuilt-from-scratch baseline;
+//! * the **parallel-build oracle** ([`parcheck`]) — a serial
+//!   (`threads = 1`) and a forced-parallel build of every case must yield
+//!   the same count, enumeration order and per-clause plan statistics.
 //!
 //! Failures are shrunk ([`shrink`]) to a minimal pair and serialized as a
 //! JSON witness ([`repro`]) that `lowdeg-conformance replay` re-executes.
@@ -34,6 +37,7 @@ pub mod differential;
 pub mod dynamic;
 pub mod json;
 pub mod metamorphic;
+pub mod parcheck;
 pub mod querygen;
 pub mod repro;
 pub mod runner;

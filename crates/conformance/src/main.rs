@@ -17,9 +17,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  lowdeg-conformance run --profile smoke|full|mini [--seed N] [--out DIR] [--inject-bug drop-answer|dup-answer|inflate-count|flip-test]
+  lowdeg-conformance run --profile smoke|full|mini [--seed N] [--out DIR] [--threads N] [--inject-bug drop-answer|dup-answer|inflate-count|flip-test]
   lowdeg-conformance replay <witness.json>
-  lowdeg-conformance delay-gate [--small N] [--large N] [--seed N]";
+  lowdeg-conformance delay-gate [--small N] [--large N] [--seed N]
+
+--threads 0 (or unset) sizes the worker pool automatically; 1 forces a
+fully serial run. LOWDEG_THREADS provides the default.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +77,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(kind) = flag_value(args, "--inject-bug")? {
         opts.inject = Mutation::parse(&kind)?;
+    }
+    if let Some(t) = flag_value(args, "--threads")? {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads needs a number, got `{t}`"))?;
+        opts.par = lowdeg_par::ParConfig::with_threads(n);
     }
 
     println!(

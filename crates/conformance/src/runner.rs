@@ -1,15 +1,17 @@
 //! The conformance run loop: generate → check → shrink → report.
 
 use crate::delay::{delay_gates, DelayGate};
-use crate::differential::{differential_case, CaseConfig, Disagreement, Mutation};
+use crate::differential::{differential_case, CaseConfig, CaseStats, Disagreement, Mutation};
 use crate::dynamic::dynamic_case;
 use crate::json::Json;
 use crate::metamorphic::metamorphic_case;
+use crate::parcheck::parcheck_case;
 use crate::querygen::{QueryGen, QueryShape, ALL_SHAPES};
 use crate::repro::Witness;
 use crate::shrink::shrink_pair;
 use crate::structgen::{spec_pool, StructSpec};
 use lowdeg_logic::{format_formula, parse_query, Query};
+use lowdeg_par::{par_map, ParConfig};
 use lowdeg_storage::{write_structure, Structure};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -91,16 +93,23 @@ pub struct RunOptions {
     /// Skip the delay gate (used by tests that only exercise the
     /// differential loop).
     pub skip_delay_gate: bool,
+    /// Worker pool for the case loop: cases *check* in parallel, then
+    /// aggregate, shrink and write witnesses sequentially in case order —
+    /// so the summary and any witnesses are identical for every thread
+    /// count.
+    pub par: ParConfig,
 }
 
 impl RunOptions {
-    /// Defaults: seed 1, output to `target/conformance`, honest engine.
+    /// Defaults: seed 1, output to `target/conformance`, honest engine,
+    /// thread count from `LOWDEG_THREADS`.
     pub fn new(seed: u64) -> RunOptions {
         RunOptions {
             seed,
             out_dir: PathBuf::from("target/conformance"),
             inject: Mutation::None,
             skip_delay_gate: false,
+            par: ParConfig::from_env(),
         }
     }
 }
@@ -205,22 +214,44 @@ fn split_seed(master: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Check one pair; on failure shrink it and write a witness.
-#[allow(clippy::too_many_arguments)] // run-loop plumbing
-fn run_one(
-    s: &Structure,
-    q: &Query,
-    shape: QueryShape,
-    spec: &StructSpec,
+/// One generated case, ready to check.
+struct Case {
     case_seed: u64,
+    shape: QueryShape,
+    spec: StructSpec,
+    s: Structure,
+    q: Query,
+}
+
+/// The pure check phase of one case: every oracle, no side effects. Safe
+/// to run concurrently across cases.
+fn check_one(case: &Case, cfg: &CaseConfig, inject: Mutation) -> (CaseStats, Vec<Disagreement>) {
+    let (stats, mut bad) = differential_case(&case.s, &case.q, cfg, inject);
+    if inject == Mutation::None {
+        bad.extend(metamorphic_case(&case.s, &case.q, case.case_seed));
+        bad.extend(parcheck_case(&case.s, &case.q));
+    }
+    (stats, bad)
+}
+
+/// Fold one checked case into the summary; on failure shrink it and write
+/// a witness. Runs sequentially in case order.
+fn aggregate_one(
+    case: &Case,
+    stats: CaseStats,
+    mut bad: Vec<Disagreement>,
     opts: &RunOptions,
     cfg: &CaseConfig,
     summary: &mut RunSummary,
 ) {
-    let (stats, mut bad) = differential_case(s, q, cfg, opts.inject);
-    if opts.inject == Mutation::None {
-        bad.extend(metamorphic_case(s, q, case_seed));
-    }
+    let Case {
+        case_seed,
+        shape,
+        spec,
+        s,
+        q,
+    } = case;
+    let (case_seed, shape) = (*case_seed, *shape);
     summary.pairs_checked += 1;
     summary.worst_ops = summary.worst_ops.max(stats.worst_ops);
     if stats.engine_built {
@@ -247,6 +278,7 @@ fn run_one(
         let (_, mut b) = differential_case(s2, q2, cfg, inject);
         if inject == Mutation::None {
             b.extend(metamorphic_case(s2, q2, case_seed));
+            b.extend(parcheck_case(s2, q2));
         }
         b.iter().any(|d| d.check == first_check)
     };
@@ -277,16 +309,35 @@ pub fn run(profile: &Profile, opts: &RunOptions) -> RunSummary {
     let cfg = CaseConfig::default();
     let specs_base = spec_pool(0);
 
-    for i in 0..profile.cases {
-        let case_seed = split_seed(opts.seed, i as u64);
-        let shape = ALL_SHAPES[i % ALL_SHAPES.len()];
-        let n = profile.sizes[(i / ALL_SHAPES.len()) % profile.sizes.len()];
-        let spec =
-            specs_base[(i / (ALL_SHAPES.len() * profile.sizes.len())) % specs_base.len()].with_n(n);
-        let s = spec.generate(case_seed);
-        let src = QueryGen::new(case_seed).generate(shape);
-        let q = parse_query(s.signature(), &src).expect("generated queries parse");
-        run_one(&s, &q, shape, &spec, case_seed, opts, &cfg, &mut summary);
+    // generation is cheap and seed-driven; checking dominates, so the
+    // cases materialize first and then *check* on the worker pool (each
+    // check is pure), with aggregation/shrinking/witness-writing kept
+    // sequential in case order for a deterministic summary
+    let cases: Vec<Case> = (0..profile.cases)
+        .map(|i| {
+            let case_seed = split_seed(opts.seed, i as u64);
+            let shape = ALL_SHAPES[i % ALL_SHAPES.len()];
+            let n = profile.sizes[(i / ALL_SHAPES.len()) % profile.sizes.len()];
+            let spec = specs_base
+                [(i / (ALL_SHAPES.len() * profile.sizes.len())) % specs_base.len()]
+            .with_n(n);
+            let s = spec.generate(case_seed);
+            let src = QueryGen::new(case_seed).generate(shape);
+            let q = parse_query(s.signature(), &src).expect("generated queries parse");
+            Case {
+                case_seed,
+                shape,
+                spec,
+                s,
+                q,
+            }
+        })
+        .collect();
+    let checked = par_map(&opts.par.min_items(1), &cases, |case| {
+        check_one(case, &cfg, opts.inject)
+    });
+    for (case, (stats, bad)) in cases.iter().zip(checked) {
+        aggregate_one(case, stats, bad, opts, &cfg, &mut summary);
     }
 
     // dynamic update scripts (honest engine only: the mutation hook models

@@ -11,6 +11,7 @@
 use crate::connected_cq::{count_connected, ConnectedError};
 use crate::graph_query::{GraphClause, GraphQuery};
 use lowdeg_logic::{DistCmp, Formula, Var};
+use lowdeg_par::{par_map, ParConfig};
 use lowdeg_storage::Structure;
 use std::collections::BTreeSet;
 
@@ -195,6 +196,22 @@ pub fn count_clause_with(
     clause: &GraphClause,
     adjacency: &crate::enumerate::EdgeAdjacency,
 ) -> u64 {
+    count_clause_with_config(graph, gq, clause, adjacency, &ParConfig::serial())
+}
+
+/// [`count_clause_with`], evaluating the `2^m` inclusion–exclusion terms on
+/// the given worker pool. Each term `N(S)` (the positive-edge count for a
+/// subset `S` of the position pairs) is independent, so the expansion
+/// `Σ_{S⊆neg} (−1)^{|S|} N(S)` fans out per subset; the signed terms are
+/// summed in mask order in an `i128`, which reproduces the serial nested
+/// differences exactly.
+pub fn count_clause_with_config(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    par: &ParConfig,
+) -> u64 {
     let k = gq.k;
     let n = graph.cardinality();
     let lists: Vec<Vec<lowdeg_storage::Node>> = (0..k)
@@ -207,7 +224,34 @@ pub fn count_clause_with(
     let neg: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
         .collect();
-    ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
+
+    // Each of the 2^m terms costs a full component count over the candidate
+    // lists, so the per-item threshold is gated on the heavier of (number
+    // of terms, total list length) rather than the term count alone.
+    let masks = 1usize << neg.len();
+    let work: usize = lists.iter().map(|l| l.len()).sum();
+    if neg.len() >= 2 && !par.runs_serial(masks.max(work)) {
+        let mask_ids: Vec<usize> = (0..masks).collect();
+        let terms: Vec<i128> = par_map(par, &mask_ids, |&mask| {
+            let pos_edges: Vec<(usize, usize)> = neg
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| mask >> b & 1 == 1)
+                .map(|(_, &p)| p)
+                .collect();
+            let term = count_positive_clause(adjacency, &lists, &sets, &pos_edges) as i128;
+            if (mask.count_ones() & 1) == 1 {
+                -term
+            } else {
+                term
+            }
+        });
+        let total: i128 = terms.iter().sum();
+        debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
+        total.max(0) as u64
+    } else {
+        ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
+    }
 }
 
 fn ie_count(
@@ -413,12 +457,22 @@ fn rec_count(
 
 /// `|ψ(G)|`: sum over the mutually exclusive clauses.
 pub fn count_graph_query(graph: &Structure, gq: &GraphQuery) -> Result<u64, ConnectedError> {
+    count_graph_query_with(graph, gq, &ParConfig::serial())
+}
+
+/// [`count_graph_query`] on the given worker pool: clauses count in
+/// parallel (order-preserving), and each clause's inclusion–exclusion terms
+/// fan out further when large enough.
+pub fn count_graph_query_with(
+    graph: &Structure,
+    gq: &GraphQuery,
+    par: &ParConfig,
+) -> Result<u64, ConnectedError> {
     let adjacency = crate::enumerate::EdgeAdjacency::build(graph, gq.edge);
-    let mut total = 0u64;
-    for clause in &gq.clauses {
-        total += count_clause_with(graph, gq, clause, &adjacency);
-    }
-    Ok(total)
+    let counts = par_map(par, &gq.clauses, |clause| {
+        count_clause_with_config(graph, gq, clause, &adjacency, par)
+    });
+    Ok(counts.iter().sum())
 }
 
 /// Proposition 3.6's general path: count an arbitrary **quantifier-free**

@@ -1,0 +1,111 @@
+//! Compressed-sparse-row storage for binary relations over dense `u32`
+//! domains.
+//!
+//! The preprocessing hot paths (the `E_k` reachability relation of
+//! Prop 3.9 and its reverse index) were originally hash-based
+//! (`FxHashSet<(u32, u32)>` / `FxHashMap<u32, Vec<u32>>`). Freezing them
+//! into offsets + sorted-neighbor arrays buys three things:
+//!
+//! * membership by binary search over a short, cache-resident run instead
+//!   of a hash probe over a scattered table;
+//! * neighbor iteration as a contiguous slice (the skip-table builder walks
+//!   every `U(y)` once);
+//! * deterministic layout — the array is fully determined by the *set* of
+//!   pairs, never by hash iteration order, which is what lets the parallel
+//!   and serial builds produce bit-identical plans.
+
+/// A frozen binary relation `R ⊆ {0..n-1} × u32` in CSR form: for each
+/// left endpoint `u`, `neighbors(u)` is the sorted, duplicate-free slice of
+/// right endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct PairCsr {
+    /// `offsets[u] .. offsets[u+1]` indexes `targets` (length `n + 1`).
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor runs.
+    targets: Vec<u32>,
+}
+
+impl PairCsr {
+    /// Freeze a pair list (any order, duplicates allowed) into CSR over
+    /// left endpoints `0..n`.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(u32, u32)>) -> PairCsr {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &pairs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.into_iter().map(|(_, y)| y).collect();
+        PairCsr { offsets, targets }
+    }
+
+    /// Number of stored pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Sorted right endpoints of `u` (empty for out-of-range `u`).
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let u = u as usize;
+        if u + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Membership by binary search on `u`'s run.
+    #[inline]
+    pub fn contains(&self, u: u32, y: u32) -> bool {
+        self.neighbors(u).binary_search(&y).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_sorts_and_dedups() {
+        let csr = PairCsr::from_pairs(4, vec![(2, 7), (0, 3), (2, 1), (2, 7), (0, 3)]);
+        assert_eq!(csr.len(), 3);
+        assert_eq!(csr.neighbors(0), &[3]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[1, 7]);
+        assert!(csr.contains(2, 7));
+        assert!(!csr.contains(2, 3));
+        assert!(!csr.contains(3, 0));
+    }
+
+    #[test]
+    fn out_of_range_is_empty_not_panic() {
+        let csr = PairCsr::from_pairs(2, vec![(0, 1)]);
+        assert_eq!(csr.neighbors(9), &[] as &[u32]);
+        assert!(!csr.contains(9, 1));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let csr = PairCsr::from_pairs(3, Vec::new());
+        assert!(csr.is_empty());
+        assert_eq!(csr.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn layout_independent_of_input_order() {
+        let a = PairCsr::from_pairs(5, vec![(4, 0), (1, 9), (1, 2), (3, 3)]);
+        let b = PairCsr::from_pairs(5, vec![(1, 2), (3, 3), (1, 9), (4, 0)]);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+    }
+}

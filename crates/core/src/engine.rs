@@ -1,12 +1,13 @@
 //! The public façade tying the pipeline together.
 
-use crate::counting::count_graph_query;
+use crate::counting::{count_graph_query, count_graph_query_with};
 use crate::enumerate::{Enumerator, SkipMode};
-use crate::reduction::Reduction;
+use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
 use crate::testing::TestIndex;
 use crate::EngineError;
 use lowdeg_index::Epsilon;
 use lowdeg_logic::Query;
+use lowdeg_par::ParConfig;
 use lowdeg_storage::{Node, Structure};
 
 /// A fully preprocessed query over a fixed database: constant-time
@@ -42,12 +43,31 @@ impl Engine {
         Self::build_with(structure, query, eps, SkipMode::Eager)
     }
 
-    /// Preprocess with an explicit [`SkipMode`] (the E10 ablation).
+    /// Preprocess with an explicit [`SkipMode`] (the E10 ablation). Thread
+    /// count comes from `LOWDEG_THREADS` (see
+    /// [`Engine::build_with_config`]).
     pub fn build_with(
         structure: &Structure,
         query: &Query,
         eps: Epsilon,
         mode: SkipMode,
+    ) -> Result<Self, EngineError> {
+        Self::build_with_config(structure, query, eps, mode, &ParConfig::from_env())
+    }
+
+    /// Preprocess with an explicit [`SkipMode`] and worker-pool
+    /// configuration. Only the *build* phase parallelizes (reduction,
+    /// counting, skip-table construction); [`Engine::enumerate`] and
+    /// [`Engine::test`] are single-threaded regardless — the constant-delay
+    /// and constant-time guarantees are per-operation RAM bounds that
+    /// threads cannot (and must not) change. The built engine is identical
+    /// for every thread count.
+    pub fn build_with_config(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        mode: SkipMode,
+        par: &ParConfig,
     ) -> Result<Self, EngineError> {
         let arity = query.arity();
         if arity == 0 {
@@ -57,10 +77,12 @@ impl Engine {
                 kind: EngineKind::Sentence { truth },
             });
         }
-        let reduction = Reduction::build(structure, query, eps)?;
-        let count = count_graph_query(reduction.graph(), reduction.query())
+        let reduction =
+            Reduction::build_with_config(structure, query, eps, DEFAULT_COMBINATION_BUDGET, par)?;
+        let count = count_graph_query_with(reduction.graph(), reduction.query(), par)
             .expect("reduced clauses are well-formed generalized conjunctions");
-        let enumerator = Enumerator::build(reduction.graph(), reduction.query(), mode, eps);
+        let enumerator =
+            Enumerator::build_with_config(reduction.graph(), reduction.query(), mode, eps, par);
         let test = TestIndex::from_reduction(reduction, eps);
         Ok(Engine {
             arity,

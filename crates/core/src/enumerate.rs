@@ -33,8 +33,10 @@
 //! `d̂^{3k²}` budget ([`SkipMode::Eager`]), or memoized on demand
 //! ([`SkipMode::Lazy`] — the E10 ablation compares both).
 
+use crate::csr::PairCsr;
 use crate::graph_query::{position_list, GraphClause, GraphQuery};
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore};
+use lowdeg_par::{par_flat_map, par_map, ParConfig};
 use lowdeg_storage::{Node, Structure};
 
 /// How the `skip` function is materialized.
@@ -139,10 +141,11 @@ pub struct LevelPlan {
     pub list: Vec<Node>,
     /// `node → index in list` (or `VOID`).
     index_in_list: Vec<u32>,
-    /// The `E_k` relation restricted to pairs `(u, y)` with `y` in the list:
-    /// directed membership set. Only materialized when the eager table is
-    /// built (the lazy skip does not need it).
-    ek: Option<FxHashSet<(u32, u32)>>,
+    /// The `E_k` relation in CSR form, keyed by the non-list endpoint `u`
+    /// (sorted-run binary search, see [`crate::csr::PairCsr`]). Only
+    /// materialized when the eager table is built (the lazy skip does not
+    /// need it).
+    ek: Option<PairCsr>,
     /// Eager skip table (when built): key = `(y, V padded)`, value = skip
     /// result (`VOID` = none).
     skip_store: Option<RadixFuncStore<u32>>,
@@ -158,6 +161,7 @@ impl LevelPlan {
         n_graph: usize,
         mode: SkipMode,
         eps: Epsilon,
+        par: &ParConfig,
     ) -> Self {
         let mut index_in_list = vec![VOID; n_graph];
         for (i, &v) in list.iter().enumerate() {
@@ -178,22 +182,35 @@ impl LevelPlan {
                 SkipMode::Lazy => false,
             };
 
-        let mut ek: Option<FxHashSet<(u32, u32)>> = None;
+        let mut ek: Option<PairCsr> = None;
         let mut skip_store = None;
         let mut eager_built = false;
 
         if try_eager {
             // E_1 = E' ; E_{i+1}(u,y) = E_i(u,y) ∨ ∃ z z' v:
             //    E'(z,u) ∧ next(z',z) ∧ E'(v,z') ∧ E_i(v,y)
-            let mut rel: FxHashSet<(u32, u32)> = FxHashSet::default();
+            //
+            // Semi-naive fixpoint: a pair discovered in round i produces the
+            // same expansions whenever it is re-visited, so each round only
+            // walks the *frontier* — the pairs newly added by the previous
+            // round — instead of re-snapshotting the whole relation.
+            // Frontier expansion is pure per pair and fans out over the
+            // worker pool; dedup against `seen` stays sequential.
+            let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+            let mut frontier: Vec<(u32, u32)> = Vec::new();
             for (u, l) in adjacency.neighbors.iter().enumerate() {
                 for &y in l {
-                    rel.insert((u as u32, y.0));
+                    if seen.insert((u as u32, y.0)) {
+                        frontier.push((u as u32, y.0));
+                    }
                 }
             }
             for _ in 1..k {
-                let snapshot: Vec<(u32, u32)> = rel.iter().copied().collect();
-                for (v, y) in snapshot {
+                if frontier.is_empty() {
+                    break;
+                }
+                let candidates: Vec<(u32, u32)> = par_flat_map(par, &frontier, |&(v, y)| {
+                    let mut out = Vec::new();
                     for &zp in adjacency.neighbors(Node(v)) {
                         // z' must be a non-final list element; z = next(z')
                         let zi = index_in_list[zp.index()];
@@ -202,23 +219,38 @@ impl LevelPlan {
                         }
                         let z = list[zi as usize + 1];
                         for &u in adjacency.neighbors(z) {
-                            rel.insert((u.0, y));
+                            out.push((u.0, y));
                         }
                     }
+                    out
+                });
+                let mut next = Vec::new();
+                for p in candidates {
+                    if seen.insert(p) {
+                        next.push(p);
+                    }
                 }
+                frontier = next;
             }
 
-            // group E_k by the list-side endpoint
-            let mut rev: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-            for &(u, y) in &rel {
-                if index_in_list[y as usize] != VOID {
-                    rev.entry(y).or_default().push(u);
-                }
-            }
+            // Freeze: E_k keyed by u for membership, and the reverse index
+            // keyed by the list-side endpoint y for table generation. CSR
+            // layout is determined by the pair *set*, so serial and
+            // parallel builds agree bit for bit.
+            let pairs: Vec<(u32, u32)> = seen.into_iter().collect();
+            let rev = PairCsr::from_pairs(
+                n_graph,
+                pairs
+                    .iter()
+                    .filter(|&&(_, y)| index_in_list[y as usize] != VOID)
+                    .map(|&(u, y)| (y, u))
+                    .collect(),
+            );
+            let rel = PairCsr::from_pairs(n_graph, pairs);
             // estimate table size: Σ_y Σ_{s<k} C(|U(y)|, s)
             let mut est: u64 = 0;
             for &y in &list {
-                let u_len = rev.get(&y.0).map(|v| v.len()).unwrap_or(0) as u64;
+                let u_len = rev.neighbors(y.0).len() as u64;
                 let mut binom: u64 = 1;
                 let mut sum: u64 = 1; // empty subset
                 for s in 1..k as u64 {
@@ -228,16 +260,19 @@ impl LevelPlan {
                 est = est.saturating_add(sum);
             }
             if est <= EAGER_SKIP_LIMIT || mode == SkipMode::EagerForce {
-                let mut store = RadixFuncStore::new(n_graph + 1, k, eps);
+                // Per-y table entries are pure (walk_skip reads only frozen
+                // data): generate them in parallel as flattened
+                // (keys, values) runs, then insert sequentially in list
+                // order — the store sees exactly the serial insertion
+                // sequence.
                 let sentinel = Node(n_graph as u32);
-                let mut key = vec![sentinel; k];
-                for &y in &list {
-                    let mut u_list: Vec<u32> = rev.get(&y.0).cloned().unwrap_or_default();
-                    u_list.sort_unstable();
-                    u_list.dedup();
-                    // all subsets of size < k
+                let entries: Vec<(Vec<Node>, Vec<u32>)> = par_map(par, &list, |&y| {
+                    let u_list = rev.neighbors(y.0);
+                    let mut keys: Vec<Node> = Vec::new();
+                    let mut vals: Vec<u32> = Vec::new();
                     let mut subset: Vec<u32> = Vec::new();
-                    enumerate_subsets(&u_list, k - 1, &mut subset, &mut |vset| {
+                    // all subsets of size < k
+                    enumerate_subsets(u_list, k - 1, &mut subset, &mut |vset| {
                         let z = walk_skip(
                             &list,
                             &index_in_list,
@@ -245,15 +280,19 @@ impl LevelPlan {
                             y,
                             vset.iter().map(|&v| Node(v)),
                         );
-                        key[0] = y;
-                        for slot in key.iter_mut().skip(1) {
-                            *slot = sentinel;
+                        keys.push(y);
+                        for i in 0..k - 1 {
+                            keys.push(vset.get(i).map(|&v| Node(v)).unwrap_or(sentinel));
                         }
-                        for (i, &v) in vset.iter().enumerate() {
-                            key[i + 1] = Node(v);
-                        }
-                        store.insert(&key, z.map(|n| n.0).unwrap_or(VOID));
+                        vals.push(z.map(|n| n.0).unwrap_or(VOID));
                     });
+                    (keys, vals)
+                });
+                let mut store = RadixFuncStore::new(n_graph + 1, k, eps);
+                for (keys, vals) in &entries {
+                    for (key, &val) in keys.chunks_exact(k).zip(vals) {
+                        store.insert(key, val);
+                    }
                 }
                 skip_store = Some(store);
                 ek = Some(rel);
@@ -282,7 +321,7 @@ impl LevelPlan {
         self.ek
             .as_ref()
             .expect("E_k only materialized for eager levels")
-            .contains(&(u.0, y.0))
+            .contains(u.0, y.0)
     }
 
     /// Number of `E_k` pairs (diagnostics for E9/E10; 0 for lazy levels).
@@ -357,6 +396,7 @@ impl ClausePlan {
         adjacency: &EdgeAdjacency,
         mode: SkipMode,
         eps: Epsilon,
+        par: &ParConfig,
     ) -> Self {
         let k = gq.k;
         let n_graph = graph.cardinality();
@@ -385,6 +425,7 @@ impl ClausePlan {
                     n_graph,
                     mode,
                     eps,
+                    par,
                 )),
                 Strategy::Small => None,
             })
@@ -662,14 +703,27 @@ pub struct Enumerator {
 }
 
 impl Enumerator {
-    /// Preprocess every clause of the reduced query.
+    /// Preprocess every clause of the reduced query, with the thread count
+    /// taken from `LOWDEG_THREADS` (see [`Enumerator::build_with_config`]).
     pub fn build(graph: &Structure, gq: &GraphQuery, mode: SkipMode, eps: Epsilon) -> Self {
+        Self::build_with_config(graph, gq, mode, eps, &ParConfig::from_env())
+    }
+
+    /// Preprocess every clause of the reduced query, running per-clause plan
+    /// construction (and the inner `E_k` / skip-table passes) on the given
+    /// worker pool. Parallel and serial builds produce identical plans —
+    /// only preprocessing parallelizes, never enumeration.
+    pub fn build_with_config(
+        graph: &Structure,
+        gq: &GraphQuery,
+        mode: SkipMode,
+        eps: Epsilon,
+        par: &ParConfig,
+    ) -> Self {
         let adjacency = EdgeAdjacency::build(graph, gq.edge);
-        let plans = gq
-            .clauses
-            .iter()
-            .map(|c| ClausePlan::build(graph, gq, c, &adjacency, mode, eps))
-            .collect();
+        let plans = par_map(par, &gq.clauses, |c| {
+            ClausePlan::build(graph, gq, c, &adjacency, mode, eps, par)
+        });
         Enumerator { adjacency, plans }
     }
 

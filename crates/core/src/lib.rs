@@ -41,6 +41,7 @@
 pub mod bluered;
 pub mod connected_cq;
 pub mod counting;
+pub mod csr;
 pub mod dynamic;
 mod engine;
 pub mod enumerate;

@@ -36,6 +36,7 @@ use lowdeg_index::{Epsilon, FxHashMap, RadixFuncStore};
 use lowdeg_locality::{localize, LocalQuery, TypeId, TypeInterner};
 use lowdeg_logic::eval::{eval, Assignment};
 use lowdeg_logic::Query;
+use lowdeg_par::{par_flat_map, par_map, ParConfig};
 use lowdeg_storage::{Node, RelId, Signature, Structure};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -91,7 +92,8 @@ pub struct Reduction {
 
 impl Reduction {
     /// Run the full preprocessing. `φ` must have arity ≥ 1 and be
-    /// localizable.
+    /// localizable. Thread count comes from `LOWDEG_THREADS` (see
+    /// [`Reduction::build_with_config`]).
     pub fn build(structure: &Structure, query: &Query, eps: Epsilon) -> Result<Self, EngineError> {
         Self::build_with_budget(structure, query, eps, DEFAULT_COMBINATION_BUDGET)
     }
@@ -103,6 +105,20 @@ impl Reduction {
         eps: Epsilon,
         budget: u64,
     ) -> Result<Self, EngineError> {
+        Self::build_with_config(structure, query, eps, budget, &ParConfig::from_env())
+    }
+
+    /// The full entry point: explicit budget and an explicit worker-pool
+    /// configuration. The parallel passes (cluster-tuple enumeration,
+    /// canonical encoding, `E`-edge generation) are order-preserving, so
+    /// the result is identical for every thread count.
+    pub fn build_with_config(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        budget: u64,
+        par: &ParConfig,
+    ) -> Result<Self, EngineError> {
         let k = query.arity();
         assert!(
             k >= 1,
@@ -113,7 +129,7 @@ impl Reduction {
         let two_r1 = 2 * r + 1;
         let rhat = k * two_r1;
         let n = structure.cardinality();
-        let g = structure.gaifman();
+        let g = structure.gaifman_with(par);
 
         // --- Step 5's relation R: pairs within 2r+1, via the Storing Theorem.
         let mut near = RadixFuncStore::new(n, 2, eps);
@@ -136,17 +152,13 @@ impl Reduction {
         //
         // The two expensive phases — connected-tuple enumeration per anchor
         // and the canonical encoding of each tuple's neighborhood — are
-        // pure per item, so they fan out over scoped threads. Interning
-        // stays sequential (in anchor order), which keeps type-id
-        // assignment deterministic.
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(16);
+        // pure per item, so they fan out over the shared worker pool
+        // (`lowdeg-par`). Interning stays sequential (in anchor order),
+        // which keeps type-id assignment deterministic.
         let anchors: Vec<Node> = structure.domain().collect();
 
         // Phase A: connected cluster tuples, per anchor (parallel).
-        let tuples: Vec<Vec<Node>> = parallel_flat_map(&anchors, threads, |&a| {
+        let tuples: Vec<Vec<Node>> = par_flat_map(par, &anchors, |&a| {
             let ball = g.ball(a, rhat);
             let mut local: Vec<Vec<Node>> = Vec::new();
             let mut tuple: Vec<Node> = Vec::with_capacity(k);
@@ -160,16 +172,13 @@ impl Reduction {
         // Phase B: canonical encodings (parallel), then deterministic
         // sequential interning; representatives are recomputed only for the
         // first occurrence of each type.
-        let encodings: Vec<Vec<u8>> = parallel_flat_map(&tuples, threads, |t| {
+        let encodings: Vec<Vec<u8>> = par_map(par, &tuples, |t| {
             let nb = structure.neighborhood_of_tuple(t, r);
             let local_tuple: Vec<Node> = t
                 .iter()
                 .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
                 .collect();
-            vec![lowdeg_locality::types::canonical_encoding(
-                nb.structure(),
-                &local_tuple,
-            )]
+            lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple)
         });
 
         let mut interner = TypeInterner::new();
@@ -274,7 +283,7 @@ impl Reduction {
         // (this relation dominates the memory footprint of G) and handed to
         // the builder's bulk path.
         let indexed: Vec<(usize, &VertexInfo)> = vertices.iter().enumerate().collect();
-        let edges: Vec<(Node, Node)> = parallel_flat_map(&indexed, threads, |&(idx, v)| {
+        let edges: Vec<(Node, Node)> = par_flat_map(par, &indexed, |&(idx, v)| {
             let mut reached: Vec<Node> = Vec::new();
             for &b in &v.tuple {
                 reached.extend(g.ball_unsorted(b, two_r1));
@@ -583,31 +592,6 @@ fn accepts_combo(
         );
     }
     eval(&assembled, &local.matrix, &mut asg)
-}
-
-/// Order-preserving parallel flat-map over scoped threads. Falls back to
-/// sequential for small inputs. The closure must be pure (it runs
-/// concurrently over disjoint chunks).
-fn parallel_flat_map<T: Sync, U: Send>(
-    items: &[T],
-    threads: usize,
-    f: impl Fn(&T) -> Vec<U> + Sync,
-) -> Vec<U> {
-    if threads <= 1 || items.len() < 256 {
-        return items.iter().flat_map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut per_chunk: Vec<Vec<U>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(|| c.iter().flat_map(&f).collect::<Vec<U>>()))
-            .collect();
-        for h in handles {
-            per_chunk.push(h.join().expect("reduction worker panicked"));
-        }
-    });
-    per_chunk.into_iter().flatten().collect()
 }
 
 /// All injections `{0..s-1} → {0..k-1}` for `s = 1..=k`, each as its list of

@@ -1,0 +1,358 @@
+//! # lowdeg-par
+//!
+//! A small, dependency-free scoped worker pool for the *preprocessing* side
+//! of the pipeline (the pseudo-linear phase of Theorems 2.5–2.7). The
+//! enumeration/delay phase stays single-threaded by design — the
+//! constant-delay claim is about sequential RAM operations per output — so
+//! everything here is aimed at build-time fan-out: anchor passes, canonical
+//! encodings, `E`-edge generation, skip-table construction, the `2^m`
+//! inclusion–exclusion terms, Gaifman-graph extraction and conformance
+//! cases.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Every combinator is order-preserving: the output of
+//!    [`par_map`]/[`par_flat_map`]/[`par_chunks`] is byte-for-byte identical
+//!    to the serial fallback, regardless of thread count or scheduling.
+//!    Work is split into fixed chunks, workers claim chunks through an
+//!    atomic counter (dynamic load balancing), and results are reassembled
+//!    by chunk index before returning.
+//! 2. **No globals where practical.** Callers thread an explicit
+//!    [`ParConfig`]; [`ParConfig::from_env`] is the single place the
+//!    process-wide `LOWDEG_THREADS` knob is read.
+//! 3. **Panic transparency.** A panic in a worker closure is re-raised on
+//!    the calling thread with its original payload (no deadlock, no
+//!    swallowed result).
+//! 4. **Serial fallback.** Below [`ParConfig::min_items`] items (or with
+//!    `threads == 1`) no thread is spawned at all — small inputs must not
+//!    pay spawn latency, and `LOWDEG_THREADS=1` must produce a genuinely
+//!    single-threaded run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count (`0` or unset
+/// means "auto": one worker per available core, capped at
+/// [`ParConfig::MAX_AUTO_THREADS`]).
+pub const THREADS_ENV: &str = "LOWDEG_THREADS";
+
+/// Parallelism knobs threaded explicitly through every build stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParConfig {
+    threads: usize,
+    min_items: usize,
+}
+
+impl ParConfig {
+    /// Auto mode never spawns more workers than this, however many cores
+    /// the machine reports: the build stages are memory-bound well before
+    /// 16 threads.
+    pub const MAX_AUTO_THREADS: usize = 16;
+
+    /// Default serial-fallback threshold: inputs shorter than this run
+    /// inline. Matches the threshold the reduction used before the pool
+    /// was extracted.
+    pub const DEFAULT_MIN_ITEMS: usize = 256;
+
+    /// A config with an explicit worker count (`0` means auto).
+    pub fn with_threads(threads: usize) -> ParConfig {
+        ParConfig {
+            threads: if threads == 0 {
+                auto_threads()
+            } else {
+                threads
+            },
+            min_items: Self::DEFAULT_MIN_ITEMS,
+        }
+    }
+
+    /// The process-wide default: `LOWDEG_THREADS` when set and parseable,
+    /// otherwise one worker per available core (capped).
+    pub fn from_env() -> ParConfig {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(auto_threads);
+        ParConfig::with_threads(threads)
+    }
+
+    /// A genuinely single-threaded config (every combinator runs inline).
+    pub fn serial() -> ParConfig {
+        ParConfig::with_threads(1)
+    }
+
+    /// Override the serial-fallback threshold. `min_items(1)` forces the
+    /// pool to engage even on tiny inputs — the conformance oracle uses
+    /// this so the parallel code paths are exercised on shrunk instances.
+    pub fn min_items(mut self, min_items: usize) -> ParConfig {
+        self.min_items = min_items.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether every combinator will run inline.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Whether an input of `len` items would run inline under this config.
+    pub fn runs_serial(&self, len: usize) -> bool {
+        self.threads <= 1 || len < self.min_items
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> ParConfig {
+        ParConfig::from_env()
+    }
+}
+
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(ParConfig::MAX_AUTO_THREADS)
+}
+
+/// Order-preserving parallel map: `items.iter().map(f).collect()`, fanned
+/// out over scoped workers. The closure must be pure up to its output —
+/// it runs concurrently over disjoint chunks.
+pub fn par_map<T: Sync, U: Send>(
+    cfg: &ParConfig,
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    if cfg.runs_serial(items.len()) {
+        return items.iter().map(f).collect();
+    }
+    run_chunked(cfg, items, |chunk| chunk.iter().map(&f).collect())
+}
+
+/// Order-preserving parallel flat-map: `items.iter().flat_map(f).collect()`.
+pub fn par_flat_map<T: Sync, U: Send>(
+    cfg: &ParConfig,
+    items: &[T],
+    f: impl Fn(&T) -> Vec<U> + Sync,
+) -> Vec<U> {
+    if cfg.runs_serial(items.len()) {
+        return items.iter().flat_map(f).collect();
+    }
+    run_chunked(cfg, items, |chunk| chunk.iter().flat_map(&f).collect())
+}
+
+/// Map over *fixed-size* contiguous chunks of `items` (the last chunk may
+/// be shorter), producing one result per chunk, in chunk order. Because the
+/// chunk boundaries are fixed by `chunk_len` — not by the thread count —
+/// the result is identical under any parallelism.
+pub fn par_chunks<T: Sync, U: Send>(
+    cfg: &ParConfig,
+    items: &[T],
+    chunk_len: usize,
+    f: impl Fn(&[T]) -> U + Sync,
+) -> Vec<U> {
+    let chunk_len = chunk_len.max(1);
+    if cfg.runs_serial(items.len()) {
+        return items.chunks(chunk_len).map(f).collect();
+    }
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    if chunks.len() < 2 {
+        return chunks.into_iter().map(f).collect();
+    }
+    run_chunked(cfg, &chunks, |group| group.iter().map(|c| f(c)).collect())
+}
+
+/// The shared engine: split `items` into fixed chunks, let workers claim
+/// chunks through an atomic cursor, reassemble per-chunk outputs in index
+/// order. Worker panics are re-raised on the caller with their original
+/// payload.
+fn run_chunked<T: Sync, U: Send>(
+    cfg: &ParConfig,
+    items: &[T],
+    per_chunk: impl Fn(&[T]) -> Vec<U> + Sync,
+) -> Vec<U> {
+    // Over-split relative to the worker count so uneven chunks (skewed
+    // ball sizes, hub vertices) rebalance dynamically.
+    let target_chunks = cfg.threads * 4;
+    let chunk_len = items.len().div_ceil(target_chunks).max(1);
+    let n_chunks = items.len().div_ceil(chunk_len);
+    let workers = cfg.threads.min(n_chunks);
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<U>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_chunks {
+                        return;
+                    }
+                    let lo = idx * chunk_len;
+                    let hi = (lo + chunk_len).min(items.len());
+                    let out = per_chunk(&items[lo..hi]);
+                    *slots[idx].lock().expect("result slot poisoned") = out;
+                })
+            })
+            .collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.append(&mut slot.into_inner().expect("result slot poisoned"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn cfg(threads: usize) -> ParConfig {
+        ParConfig::with_threads(threads).min_items(1)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(&cfg(threads), &items, |&x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_flat_map_preserves_order_with_uneven_outputs() {
+        let items: Vec<usize> = (0..3_000).collect();
+        let f = |&x: &usize| -> Vec<usize> { (0..x % 7).map(|i| x * 10 + i).collect() };
+        let expect: Vec<usize> = items.iter().flat_map(f).collect();
+        for threads in [2, 5, 16] {
+            assert_eq!(par_flat_map(&cfg(threads), &items, f), expect);
+        }
+    }
+
+    #[test]
+    fn par_chunks_is_chunklen_stable() {
+        let items: Vec<u32> = (0..1_001).collect();
+        let f = |c: &[u32]| c.iter().map(|&x| x as u64).sum::<u64>();
+        let expect: Vec<u64> = items.chunks(64).map(f).collect();
+        for threads in [1, 4, 9] {
+            assert_eq!(par_chunks(&cfg(threads), &items, 64, f), expect);
+        }
+        // total is the full sum whatever the chunking
+        let total: u64 = par_chunks(&cfg(4), &items, 17, f).iter().sum();
+        assert_eq!(total, 1_000 * 1_001 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..4_096).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&cfg(4), &items, |&x| {
+                if x == 2_000 {
+                    panic!("worker exploded at {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(msg.contains("worker exploded at 2000"), "{msg}");
+    }
+
+    #[test]
+    fn below_threshold_runs_inline() {
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..100).collect();
+        // default min_items (256) > 100: must not spawn
+        let out = par_map(&ParConfig::with_threads(8), &items, |&x| {
+            seen.lock()
+                .unwrap()
+                .insert(format!("{:?}", std::thread::current().id()));
+            x + 1
+        });
+        assert_eq!(out.len(), 100);
+        let ids = seen.into_inner().unwrap();
+        assert_eq!(ids.len(), 1);
+        assert!(ids.contains(&format!("{:?}", std::thread::current().id())));
+    }
+
+    #[test]
+    fn serial_config_never_spawns() {
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..10_000).collect();
+        par_map(&ParConfig::serial().min_items(1), &items, |&x| {
+            seen.lock()
+                .unwrap()
+                .insert(format!("{:?}", std::thread::current().id()));
+            x
+        });
+        let ids = seen.into_inner().unwrap();
+        assert_eq!(ids.len(), 1);
+        assert!(ids.contains(&format!("{:?}", std::thread::current().id())));
+    }
+
+    #[test]
+    fn large_inputs_actually_fan_out() {
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..50_000).collect();
+        par_map(&cfg(4), &items, |&x| {
+            seen.lock()
+                .unwrap()
+                .insert(format!("{:?}", std::thread::current().id()));
+            x
+        });
+        assert!(
+            seen.into_inner().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&cfg(8), &empty, |&x| x).is_empty());
+        assert!(par_flat_map(&cfg(8), &empty, |&x| vec![x]).is_empty());
+        assert!(par_chunks(&cfg(8), &empty, 4, |c| c.len()).is_empty());
+        assert_eq!(par_map(&cfg(8), &[7u32], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn with_threads_zero_means_auto() {
+        let c = ParConfig::with_threads(0);
+        assert!(c.threads() >= 1);
+        assert!(c.threads() <= ParConfig::MAX_AUTO_THREADS);
+    }
+
+    #[test]
+    fn runs_serial_thresholds() {
+        let c = ParConfig::with_threads(8);
+        assert!(c.runs_serial(ParConfig::DEFAULT_MIN_ITEMS - 1));
+        assert!(!c.runs_serial(ParConfig::DEFAULT_MIN_ITEMS));
+        assert!(ParConfig::serial().runs_serial(usize::MAX));
+        assert!(!c.min_items(1).runs_serial(1));
+    }
+}

@@ -1,0 +1,40 @@
+//! `LOWDEG_THREADS` handling, isolated in its own test binary so the env
+//! mutation cannot race with the library's unit tests.
+
+use lowdeg_par::{par_map, ParConfig, THREADS_ENV};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+#[test]
+fn threads_env_forces_serial_and_parses() {
+    std::env::set_var(THREADS_ENV, "1");
+    let cfg = ParConfig::from_env();
+    assert_eq!(cfg.threads(), 1);
+    assert!(cfg.is_serial());
+
+    // the combinators genuinely stay on the calling thread
+    let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    let items: Vec<u32> = (0..20_000).collect();
+    let out = par_map(&cfg.min_items(1), &items, |&x| {
+        seen.lock()
+            .unwrap()
+            .insert(format!("{:?}", std::thread::current().id()));
+        x ^ 1
+    });
+    assert_eq!(out.len(), items.len());
+    let ids = seen.into_inner().unwrap();
+    assert_eq!(ids.len(), 1);
+    assert!(ids.contains(&format!("{:?}", std::thread::current().id())));
+
+    std::env::set_var(THREADS_ENV, "6");
+    assert_eq!(ParConfig::from_env().threads(), 6);
+
+    // unparseable and zero fall back to auto
+    for bad in ["zero", "", "0", "-3"] {
+        std::env::set_var(THREADS_ENV, bad);
+        let auto = ParConfig::from_env();
+        assert!(auto.threads() >= 1, "{bad:?}");
+        assert!(auto.threads() <= ParConfig::MAX_AUTO_THREADS, "{bad:?}");
+    }
+    std::env::remove_var(THREADS_ENV);
+}

@@ -1,6 +1,12 @@
 //! Gaifman graphs: adjacency structure, degree, balls and bounded distances.
 
 use crate::{Node, Structure};
+use lowdeg_par::{par_chunks, ParConfig};
+
+/// Rows per extraction chunk when building the Gaifman graph in parallel.
+/// Fixed (not derived from the thread count) so chunk boundaries — and with
+/// them the pre-sort edge order — never depend on the pool size.
+const GAIFMAN_CHUNK_ROWS: usize = 4096;
 
 /// The Gaifman graph of a structure (Section 2.1): the undirected graph on
 /// `dom(A)` with an edge between two distinct nodes whenever they co-occur in
@@ -17,24 +23,45 @@ pub struct GaifmanGraph {
 }
 
 impl GaifmanGraph {
-    /// Build the Gaifman graph of `structure`.
+    /// Build the Gaifman graph of `structure`, serially.
     pub fn build(structure: &Structure) -> Self {
+        Self::build_with(structure, &ParConfig::serial())
+    }
+
+    /// Build the Gaifman graph of `structure`, extracting co-occurrence
+    /// edges on the given worker pool. The extracted edge multiset is
+    /// sorted and deduplicated afterwards, so the result is identical for
+    /// every thread count.
+    pub fn build_with(structure: &Structure, par: &ParConfig) -> Self {
         let n = structure.cardinality();
         let mut edges: Vec<(Node, Node)> = Vec::new();
         for rel in structure.signature().rel_ids() {
             let r = structure.relation(rel);
-            if r.arity() < 2 {
+            let arity = r.arity();
+            if arity < 2 {
                 continue;
             }
-            for t in r.iter() {
-                for i in 0..t.len() {
-                    for j in (i + 1)..t.len() {
-                        if t[i] != t[j] {
-                            edges.push((t[i], t[j]));
-                            edges.push((t[j], t[i]));
+            let per_chunk: Vec<Vec<(Node, Node)>> = par_chunks(
+                par,
+                r.as_flat(),
+                GAIFMAN_CHUNK_ROWS * arity,
+                |rows: &[Node]| {
+                    let mut out = Vec::new();
+                    for t in rows.chunks_exact(arity) {
+                        for i in 0..t.len() {
+                            for j in (i + 1)..t.len() {
+                                if t[i] != t[j] {
+                                    out.push((t[i], t[j]));
+                                    out.push((t[j], t[i]));
+                                }
+                            }
                         }
                     }
-                }
+                    out
+                },
+            );
+            for chunk in per_chunk {
+                edges.extend(chunk);
             }
         }
         edges.sort_unstable();

@@ -74,6 +74,14 @@ impl Relation {
         self.data.chunks_exact(self.arity)
     }
 
+    /// The flattened row-major tuple array (`len() * arity()` nodes). Lets
+    /// bulk passes chunk the relation at arbitrary row boundaries without
+    /// materializing per-tuple vectors.
+    #[inline]
+    pub fn as_flat(&self) -> &[Node] {
+        &self.data
+    }
+
     /// Membership test by binary search (`O(arity · log len)`).
     pub fn contains(&self, t: &[Node]) -> bool {
         if t.len() != self.arity {

@@ -84,8 +84,18 @@ impl Structure {
     }
 
     /// The structure's Gaifman graph (built on first call, then cached).
+    /// The first build runs on a pool sized by `LOWDEG_THREADS`; use
+    /// [`Structure::gaifman_with`] for an explicit configuration.
     pub fn gaifman(&self) -> &GaifmanGraph {
-        self.gaifman.get_or_init(|| GaifmanGraph::build(self))
+        self.gaifman_with(&lowdeg_par::ParConfig::from_env())
+    }
+
+    /// As [`Structure::gaifman`], building (if not yet cached) on the given
+    /// worker pool. The graph is identical for every thread count, so mixed
+    /// callers still see one consistent cached value.
+    pub fn gaifman_with(&self, par: &lowdeg_par::ParConfig) -> &GaifmanGraph {
+        self.gaifman
+            .get_or_init(|| GaifmanGraph::build_with(self, par))
     }
 
     /// Per-node fact incidence lists (built on first call, then cached).
