@@ -1,0 +1,258 @@
+//! Boxed-vs-streaming answer throughput + delay distribution →
+//! `BENCH_enumerate.json`.
+//!
+//! ```bash
+//! cargo run --release -p lowdeg-bench --bin bench_enumerate             # full scales
+//! cargo run --release -p lowdeg-bench --bin bench_enumerate -- quick   # CI smoke
+//! cargo run --release -p lowdeg-bench --bin bench_enumerate -- --out e.json
+//! ```
+//!
+//! The engine is built once per scale; measured is the *serving-side* path
+//! Theorem 2.7 is about. Two consumers walk the identical answer set:
+//!
+//! * **boxed** — `Engine::enumerate()`, the `Box<dyn Iterator>` API that
+//!   clones one `Vec<Node>` per answer;
+//! * **streaming** — `Engine::for_each_answer`, the visitor API that reuses
+//!   one tuple buffer and allocates nothing per answer.
+//!
+//! Both fold the answer components into a checksum through
+//! `std::hint::black_box`, so neither loop can be optimized away and both
+//! pay the same read cost. Runs are interleaved best-of-3 after an untimed
+//! warm-up (the `bench_preprocess` protocol), so allocator/page-cache drift
+//! cannot favor whichever path runs later.
+//!
+//! A separate instrumented streaming pass records the *inter-answer delay
+//! distribution* — wall-clock nanoseconds between consecutive answers and
+//! the engine's own RAM-op accounting — reported as p50/p99/max. Wall-time
+//! percentiles include the `Instant::now()` probe overhead and OS jitter
+//! (the max is a scheduling artifact, not an algorithmic one); the RAM-op
+//! distribution is exact and deterministic.
+
+use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
+use lowdeg_bench::{fmt_dur, time};
+use lowdeg_core::{Engine, SkipMode};
+use lowdeg_gen::DegreeClass;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::parse_query;
+use std::hint::black_box;
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const EPS: f64 = 0.5;
+const DEGREE: usize = 4;
+const REPS: usize = 3;
+
+struct Dist {
+    p50: u64,
+    p99: u64,
+    max: u64,
+}
+
+struct ScaleResult {
+    n: usize,
+    count: u64,
+    boxed: Duration,
+    streaming: Duration,
+    delay_wall_ns: Dist,
+    delay_ops: Dist,
+}
+
+/// Percentiles of a delay sample (nearest-rank on the sorted sample).
+fn dist(mut sample: Vec<u64>) -> Dist {
+    if sample.is_empty() {
+        return Dist {
+            p50: 0,
+            p99: 0,
+            max: 0,
+        };
+    }
+    sample.sort_unstable();
+    let rank = |p: f64| sample[((p * (sample.len() - 1) as f64).round()) as usize];
+    Dist {
+        p50: rank(0.50),
+        p99: rank(0.99),
+        max: *sample.last().expect("non-empty"),
+    }
+}
+
+/// One full boxed-iterator pass; returns (checksum, answers).
+fn run_boxed(engine: &Engine) -> (u64, u64) {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for t in engine.enumerate() {
+        for &c in &t {
+            sum = sum.wrapping_add(c.0 as u64);
+        }
+        count += 1;
+    }
+    (black_box(sum), count)
+}
+
+/// One full streaming-visitor pass; returns (checksum, answers).
+fn run_streaming(engine: &Engine) -> (u64, u64) {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    engine.for_each_answer(|t| {
+        for &c in t {
+            sum = sum.wrapping_add(c.0 as u64);
+        }
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    (black_box(sum), count)
+}
+
+fn bench_scale(n: usize, src: &str) -> ScaleResult {
+    let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
+    let q = parse_query(s.signature(), src).expect("parses");
+    let engine = Engine::build_with(&s, &q, Epsilon::new(EPS), SkipMode::Eager).expect("builds");
+
+    // warm-up, untimed; also pins the expected checksum and count
+    let (checksum, count) = run_streaming(&engine);
+
+    let mut best_boxed = Duration::MAX;
+    let mut best_streaming = Duration::MAX;
+    for rep in 0..REPS {
+        // swap the within-rep order each rep to cancel residual drift
+        let order: [bool; 2] = if rep % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for is_boxed in order {
+            if is_boxed {
+                let ((sum, c), dt) = time(|| run_boxed(&engine));
+                assert_eq!((sum, c), (checksum, count), "boxed pass diverged");
+                best_boxed = best_boxed.min(dt);
+            } else {
+                let ((sum, c), dt) = time(|| run_streaming(&engine));
+                assert_eq!((sum, c), (checksum, count), "streaming pass diverged");
+                best_streaming = best_streaming.min(dt);
+            }
+        }
+    }
+
+    // instrumented pass: per-answer wall-ns and RAM-op delays
+    let mut wall: Vec<u64> = Vec::with_capacity(count as usize);
+    let mut ops: Vec<u64> = Vec::with_capacity(count as usize);
+    let mut last = Instant::now();
+    engine.for_each_answer_with_ops(|t, d| {
+        black_box(t);
+        let now = Instant::now();
+        wall.push(now.duration_since(last).as_nanos() as u64);
+        ops.push(d);
+        last = now;
+        ControlFlow::Continue(())
+    });
+
+    ScaleResult {
+        n,
+        count,
+        boxed: best_boxed,
+        streaming: best_streaming,
+        delay_wall_ns: dist(wall),
+        delay_ops: dist(ops),
+    }
+}
+
+/// Answers per second for a full pass.
+fn throughput(count: u64, d: Duration) -> f64 {
+    count as f64 / d.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench → repo root
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enumerate.json")
+        });
+
+    let scales: &[usize] = if quick {
+        &[1 << 9, 1 << 10]
+    } else {
+        &[1 << 11, 1 << 12]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "enumerate bench: query `{RUNNING_EXAMPLE}`, degree class bounded({DEGREE}), \
+         boxed vs streaming, {cores} core(s)"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9} {:>22} {:>22}",
+        "n", "answers", "boxed", "streaming", "speedup", "wall p50/p99/max ns", "ops p50/p99/max"
+    );
+
+    let mut results = Vec::new();
+    for &n in scales {
+        let r = bench_scale(n, RUNNING_EXAMPLE);
+        println!(
+            "{n:>8} {:>10} {:>12} {:>12} {:>8.2}x {:>22} {:>22}",
+            r.count,
+            fmt_dur(r.boxed),
+            fmt_dur(r.streaming),
+            r.boxed.as_secs_f64() / r.streaming.as_secs_f64().max(1e-12),
+            format!(
+                "{}/{}/{}",
+                r.delay_wall_ns.p50, r.delay_wall_ns.p99, r.delay_wall_ns.max
+            ),
+            format!(
+                "{}/{}/{}",
+                r.delay_ops.p50, r.delay_ops.p99, r.delay_ops.max
+            ),
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, quick, cores);
+    std::fs::write(&out, json).expect("write BENCH_enumerate.json");
+    println!("wrote {}", out.display());
+}
+
+fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"enumerate\",\n");
+    s.push_str(&format!("  \"query\": \"{RUNNING_EXAMPLE}\",\n"));
+    s.push_str(&format!("  \"degree_class\": \"bounded({DEGREE})\",\n"));
+    s.push_str(&format!("  \"skip_mode\": \"eager\",\n  \"eps\": {EPS},\n"));
+    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"count\": {}, \
+             \"boxed_ms\": {:.3}, \"streaming_ms\": {:.3}, \
+             \"boxed_answers_per_s\": {:.0}, \"streaming_answers_per_s\": {:.0}, \
+             \"speedup\": {:.3}, \
+             \"delay_wall_ns\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"delay_ops\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
+            r.n,
+            r.count,
+            r.boxed.as_secs_f64() * 1e3,
+            r.streaming.as_secs_f64() * 1e3,
+            throughput(r.count, r.boxed),
+            throughput(r.count, r.streaming),
+            r.boxed.as_secs_f64() / r.streaming.as_secs_f64().max(1e-12),
+            r.delay_wall_ns.p50,
+            r.delay_wall_ns.p99,
+            r.delay_wall_ns.max,
+            r.delay_ops.p50,
+            r.delay_ops.p99,
+            r.delay_ops.max,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

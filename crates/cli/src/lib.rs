@@ -13,12 +13,24 @@ use lowdeg_logic::parse_query;
 use lowdeg_par::ParConfig;
 use lowdeg_storage::{parse_edge_list, parse_structure, write_structure, Node, Structure};
 use std::io::Write;
+use std::ops::ControlFlow;
+
+/// Answer-row rendering of the `enumerate` command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutputFormat {
+    /// Tab-separated rows plus a trailing `# N answers` comment (default).
+    Tsv,
+    /// One JSON array per answer, streamed through the visitor API — no
+    /// materialization, no trailing comment (every line is valid JSON).
+    Ndjson,
+}
 
 /// Execute one CLI invocation; `args` excludes the program name.
 pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
     let mut args = args.to_vec();
     let eps = extract_eps(&mut args)?;
     let par = extract_threads(&mut args)?;
+    let format = extract_format(&mut args)?;
     let build = |db: &Structure, q: &lowdeg_logic::Query| {
         Engine::build_with_config(db, q, eps, SkipMode::Eager, &par).map_err(|e| e.to_string())
     };
@@ -102,13 +114,48 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
                 None => usize::MAX,
             };
             let engine = build(&db, &q)?;
-            let mut emitted = 0usize;
-            for t in engine.enumerate().take(limit) {
-                let row: Vec<String> = t.iter().map(|n| n.to_string()).collect();
-                writeln!(out, "{}", row.join("\t")).map_err(w)?;
-                emitted += 1;
+            match format {
+                OutputFormat::Tsv => {
+                    let mut emitted = 0usize;
+                    for t in engine.enumerate().take(limit) {
+                        let row: Vec<String> = t.iter().map(|n| n.to_string()).collect();
+                        writeln!(out, "{}", row.join("\t")).map_err(w)?;
+                        emitted += 1;
+                    }
+                    writeln!(out, "# {emitted} answers").map_err(w)?;
+                }
+                OutputFormat::Ndjson => {
+                    // stream through the visitor: one reused line buffer,
+                    // answers printed as they are produced
+                    use std::fmt::Write as _;
+                    let mut emitted = 0usize;
+                    let mut line = String::new();
+                    let mut werr: Option<std::io::Error> = None;
+                    engine.for_each_answer(|t| {
+                        if emitted == limit {
+                            return ControlFlow::Break(());
+                        }
+                        line.clear();
+                        line.push('[');
+                        for (i, n) in t.iter().enumerate() {
+                            if i > 0 {
+                                line.push(',');
+                            }
+                            write!(line, "{n}").expect("string write");
+                        }
+                        line.push(']');
+                        if let Err(e) = writeln!(out, "{line}") {
+                            werr = Some(e);
+                            return ControlFlow::Break(());
+                        }
+                        emitted += 1;
+                        ControlFlow::Continue(())
+                    });
+                    if let Some(e) = werr {
+                        return Err(w(e));
+                    }
+                }
             }
-            writeln!(out, "# {emitted} answers").map_err(w)?;
             Ok(())
         }
         "generate" => {
@@ -165,6 +212,25 @@ fn extract_eps(args: &mut Vec<String>) -> Result<Epsilon, String> {
     }
 }
 
+fn extract_format(args: &mut Vec<String>) -> Result<OutputFormat, String> {
+    if let Some(i) = args.iter().position(|a| a == "--format") {
+        if i + 1 >= args.len() {
+            return Err("--format needs a value".into());
+        }
+        let v = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        match v.as_str() {
+            "tsv" => Ok(OutputFormat::Tsv),
+            "ndjson" => Ok(OutputFormat::Ndjson),
+            other => Err(format!(
+                "bad --format value `{other}` (expected tsv or ndjson)"
+            )),
+        }
+    } else {
+        Ok(OutputFormat::Tsv)
+    }
+}
+
 fn extract_threads(args: &mut Vec<String>) -> Result<ParConfig, String> {
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if i + 1 >= args.len() {
@@ -203,7 +269,9 @@ pub fn usage() -> String {
 options: --eps <x>       pseudo-linearity parameter (default 0.25)
          --threads <n>   preprocessing worker threads; 0 = auto, 1 = serial
                          (default: LOWDEG_THREADS, else auto). Enumeration
-                         itself is always single-threaded"
+                         itself is always single-threaded
+         --format <f>    enumerate output: tsv (default) or ndjson, the
+                         latter streamed answer-by-answer (constant memory)"
         .into()
 }
 
@@ -324,6 +392,53 @@ mod tests {
         let out = run_str(&["explain", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]).unwrap();
         assert!(out.contains("arity: 2"));
         assert!(out.contains("colored graph:"));
+    }
+
+    #[test]
+    fn ndjson_format_streams_answers() {
+        let db = temp_db();
+        let q = "B(x) & R(y) & !E(x, y)";
+        let tsv = run_str(&["enumerate", db.to_str().unwrap(), q]).unwrap();
+        let nd = run_str(&["--format", "ndjson", "enumerate", db.to_str().unwrap(), q]).unwrap();
+        // same answers in the same order, one JSON array per line, no
+        // trailing comment
+        let tsv_rows: Vec<Vec<&str>> = tsv
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split('\t').collect())
+            .collect();
+        let nd_rows: Vec<Vec<&str>> = nd
+            .lines()
+            .map(|l| {
+                assert!(l.starts_with('[') && l.ends_with(']'), "bad ndjson: {l}");
+                l[1..l.len() - 1].split(',').collect()
+            })
+            .collect();
+        assert_eq!(nd_rows, tsv_rows);
+        assert_eq!(nd_rows.len(), 3);
+    }
+
+    #[test]
+    fn ndjson_format_respects_limit() {
+        let db = temp_db();
+        let q = "B(x) & R(y) & !E(x, y)";
+        let nd = run_str(&[
+            "--format",
+            "ndjson",
+            "enumerate",
+            db.to_str().unwrap(),
+            q,
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(nd.lines().count(), 1);
+    }
+
+    #[test]
+    fn format_flag_validated() {
+        let db = temp_db();
+        assert!(run_str(&["--format", "xml", "enumerate", db.to_str().unwrap(), "B(x)"]).is_err());
+        assert!(run_str(&["--format"]).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use lowdeg_core::{Engine, SkipMode};
 use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
 use lowdeg_index::Epsilon;
 use lowdeg_logic::parse_query;
+use std::ops::ControlFlow;
 
 /// One gate measurement.
 #[derive(Clone, Debug)]
@@ -55,11 +56,14 @@ fn worst_ops(n: usize, seed: u64, src: &str, mode: SkipMode) -> u64 {
     let q = parse_query(s.signature(), src).expect("gate query parses");
     let engine =
         Engine::build_with(&s, &q, Epsilon::new(0.5), mode).expect("gate query is localizable");
-    engine
-        .enumerate_with_ops()
-        .map(|(_, ops)| ops)
-        .max()
-        .unwrap_or(0)
+    // the streaming visitor: the gate measures the same allocation-free
+    // path the throughput benchmark exercises, not the boxed adapter
+    let mut worst = 0u64;
+    engine.for_each_answer_with_ops(|_, ops| {
+        worst = worst.max(ops);
+        ControlFlow::Continue(())
+    });
+    worst
 }
 
 /// Run the gate at the two sizes across both the running example and a

@@ -22,6 +22,7 @@ use lowdeg_logic::eval::{answers_naive, check_naive, model_check_naive};
 use lowdeg_logic::Query;
 use lowdeg_storage::{Node, Structure};
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
 /// A deliberately injected engine bug (`--inject-bug`, self-tests).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -254,6 +255,36 @@ fn check_engine(
 
     // enumeration (Theorem 2.7)
     let mut got: Vec<Vec<Node>> = engine.enumerate().collect();
+
+    // the streaming visitor must agree with the boxed iterator on answers,
+    // order, and per-answer delays (compared before mutation: both sides
+    // read the honest engine, and mutations are caught by the oracle
+    // comparisons below)
+    let mut streamed: Vec<Vec<Node>> = Vec::new();
+    let mut stream_delays: Vec<u64> = Vec::new();
+    engine.for_each_answer_with_ops(|t, d| {
+        streamed.push(t.to_vec());
+        stream_delays.push(d);
+        ControlFlow::Continue(())
+    });
+    if streamed != got {
+        bad.push(Disagreement::new(
+            "engine-streaming-vs-boxed",
+            format!(
+                "[{tag}] streaming emitted {} tuples, boxed {} (first diff at {:?})",
+                streamed.len(),
+                got.len(),
+                first_diff(&streamed, &got)
+            ),
+        ));
+    }
+    if engine.first() != streamed.first().cloned() {
+        bad.push(Disagreement::new(
+            "engine-first",
+            format!("[{tag}] first() disagrees with the streaming head"),
+        ));
+    }
+
     match mutation {
         Mutation::DropAnswer => {
             got.pop();
@@ -289,6 +320,16 @@ fn check_engine(
         bad.push(Disagreement::new(
             "engine-ops-iterator",
             format!("[{tag}] enumerate_with_ops emits different tuples than enumerate"),
+        ));
+    }
+    if with_ops
+        .iter()
+        .map(|(_, d)| *d)
+        .ne(stream_delays.iter().copied())
+    {
+        bad.push(Disagreement::new(
+            "engine-streaming-ops",
+            format!("[{tag}] streaming delays differ from enumerate_with_ops delays"),
         ));
     }
     for (_, ops) in &with_ops {

@@ -108,4 +108,39 @@ mod tests {
         assert_eq!(a.offsets, b.offsets);
         assert_eq!(a.targets, b.targets);
     }
+
+    #[test]
+    fn empty_domain() {
+        let csr = PairCsr::from_pairs(0, Vec::new());
+        assert!(csr.is_empty());
+        assert_eq!(csr.len(), 0);
+        assert_eq!(csr.neighbors(0), &[] as &[u32]);
+        assert!(!csr.contains(0, 0));
+    }
+
+    #[test]
+    fn all_duplicates_collapse_to_one() {
+        let csr = PairCsr::from_pairs(2, vec![(1, 5); 7]);
+        assert_eq!(csr.len(), 1);
+        assert_eq!(csr.neighbors(1), &[5]);
+        assert!(csr.contains(1, 5));
+        assert!(!csr.is_empty());
+    }
+
+    #[test]
+    fn last_left_endpoint_run_is_closed() {
+        // the u = n-1 run must end at targets.len(), not past it
+        let csr = PairCsr::from_pairs(3, vec![(2, 4), (2, 2), (0, 1)]);
+        assert_eq!(csr.neighbors(2), &[2, 4]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.len(), 3);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let csr = PairCsr::default();
+        assert!(csr.is_empty());
+        assert_eq!(csr.neighbors(0), &[] as &[u32]);
+        assert!(!csr.contains(0, 0));
+    }
 }

@@ -1,7 +1,7 @@
 //! The public façade tying the pipeline together.
 
 use crate::counting::{count_graph_query, count_graph_query_with};
-use crate::enumerate::{Enumerator, SkipMode};
+use crate::enumerate::{Enumerator, SkipMode, VertexStream};
 use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
 use crate::testing::TestIndex;
 use crate::EngineError;
@@ -9,6 +9,7 @@ use lowdeg_index::Epsilon;
 use lowdeg_logic::Query;
 use lowdeg_par::ParConfig;
 use lowdeg_storage::{Node, Structure};
+use std::ops::ControlFlow;
 
 /// A fully preprocessed query over a fixed database: constant-time
 /// [`Engine::test`], pseudo-linear [`Engine::count`], constant-delay
@@ -155,27 +156,65 @@ impl Engine {
         }
     }
 
-    /// Theorem 2.7: constant-delay enumeration of `φ(A)`.
-    pub fn enumerate(&self) -> Box<dyn Iterator<Item = Vec<Node>> + '_> {
-        match &self.kind {
-            EngineKind::Sentence { truth } => {
-                if *truth {
-                    Box::new(std::iter::once(Vec::new()))
-                } else {
-                    Box::new(std::iter::empty())
-                }
-            }
+    /// The streaming cursor over `φ(A)` — the zero-allocation core every
+    /// enumeration consumer is layered on. Each `advance` overwrites one
+    /// reused answer buffer; nothing is heap-allocated per answer (see
+    /// [`AnswerStream`]).
+    pub fn answers(&self) -> AnswerStream<'_> {
+        let kind = match &self.kind {
+            EngineKind::Sentence { truth } => StreamKind::Sentence {
+                truth: *truth,
+                emitted: false,
+            },
             EngineKind::Reduced {
                 test, enumerator, ..
-            } => {
-                let reduction = test.reduction();
-                Box::new(enumerator.vertex_tuples().map(move |v| {
-                    reduction
-                        .backward(&v)
-                        .expect("ψ(G) answers lie in the image of f")
-                }))
+            } => StreamKind::Reduced {
+                stream: enumerator.stream(),
+                reduction: test.reduction(),
+            },
+        };
+        AnswerStream {
+            kind,
+            answer: Vec::with_capacity(self.arity),
+            delay: 0,
+        }
+    }
+
+    /// Theorem 2.7, visitor form: drive the streaming cursor through every
+    /// answer, passing each as a borrowed slice into `f`. Return
+    /// [`ControlFlow::Break`] to stop early. The whole traversal reuses one
+    /// tuple buffer — no per-answer allocation.
+    pub fn for_each_answer(&self, mut f: impl FnMut(&[Node]) -> ControlFlow<()>) {
+        let mut s = self.answers();
+        while s.advance() {
+            if f(s.answer()).is_break() {
+                return;
             }
         }
+    }
+
+    /// As [`Engine::for_each_answer`], also passing the RAM-operation delay
+    /// since the previous answer (the quantity Theorem 2.7 bounds by a
+    /// constant).
+    pub fn for_each_answer_with_ops(&self, mut f: impl FnMut(&[Node], u64) -> ControlFlow<()>) {
+        let mut s = self.answers();
+        while s.advance() {
+            if f(s.answer(), s.last_delay()).is_break() {
+                return;
+            }
+        }
+    }
+
+    /// Theorem 2.7: constant-delay enumeration of `φ(A)`.
+    ///
+    /// A cloning adapter over [`Engine::answers`]: the per-item `Vec` is
+    /// the boxed API's copy at the boundary, not part of the emission loop.
+    /// Allocation-sensitive callers should use [`Engine::for_each_answer`].
+    pub fn enumerate(&self) -> Box<dyn Iterator<Item = Vec<Node>> + '_> {
+        let mut s = self.answers();
+        Box::new(std::iter::from_fn(move || {
+            s.advance().then(|| s.answer().to_vec())
+        }))
     }
 
     /// Theorem 2.7, instrumented: enumerate answers together with the
@@ -183,28 +222,10 @@ impl Engine {
     /// predicts this delay is bounded by a function of the query and ε
     /// only — independent of `n` (see experiment E4).
     pub fn enumerate_with_ops(&self) -> Box<dyn Iterator<Item = (Vec<Node>, u64)> + '_> {
-        match &self.kind {
-            EngineKind::Sentence { truth } => {
-                if *truth {
-                    Box::new(std::iter::once((Vec::new(), 1)))
-                } else {
-                    Box::new(std::iter::empty())
-                }
-            }
-            EngineKind::Reduced {
-                test, enumerator, ..
-            } => {
-                let reduction = test.reduction();
-                Box::new(enumerator.vertex_tuples_with_ops().map(move |(v, ops)| {
-                    (
-                        reduction
-                            .backward(&v)
-                            .expect("ψ(G) answers lie in the image of f"),
-                        ops,
-                    )
-                }))
-            }
-        }
+        let mut s = self.answers();
+        Box::new(std::iter::from_fn(move || {
+            s.advance().then(|| (s.answer().to_vec(), s.last_delay()))
+        }))
     }
 
     /// Whether the query has any answer (constant time after build: the
@@ -215,8 +236,15 @@ impl Engine {
 
     /// The first answer, if any (pseudo-linear preprocessing already done;
     /// this is the paper's "first solution in pseudo-linear time" remark).
+    /// Short-circuits the streaming cursor after one answer instead of
+    /// constructing the boxed iterator.
     pub fn first(&self) -> Option<Vec<Node>> {
-        self.enumerate().next()
+        let mut out = None;
+        self.for_each_answer(|a| {
+            out = Some(a.to_vec());
+            ControlFlow::Break(())
+        });
+        out
     }
 
     /// All answers sorted lexicographically.
@@ -256,6 +284,77 @@ impl Engine {
     }
 }
 
+/// Streaming cursor over `φ(A)` with per-answer delay accounting.
+///
+/// Wraps the enumerator's [`VertexStream`] and pulls each vertex tuple back
+/// through `f⁻¹` into one reused answer buffer
+/// ([`Reduction::backward_into`]). The per-answer step performs zero heap
+/// allocations: the only allocations over a full traversal are the
+/// per-*clause* cursor setups inside [`VertexStream`], bounded by the query,
+/// never by the answer count.
+pub struct AnswerStream<'a> {
+    kind: StreamKind<'a>,
+    answer: Vec<Node>,
+    delay: u64,
+}
+
+#[allow(clippy::large_enum_variant)] // one stream per traversal: boxing buys nothing
+enum StreamKind<'a> {
+    Sentence {
+        truth: bool,
+        emitted: bool,
+    },
+    Reduced {
+        stream: VertexStream<'a>,
+        reduction: &'a Reduction,
+    },
+}
+
+impl AnswerStream<'_> {
+    /// Advance to the next answer. Returns `true` when one is available
+    /// through [`AnswerStream::answer`]; `false` once exhausted (and
+    /// forever after).
+    pub fn advance(&mut self) -> bool {
+        match &mut self.kind {
+            StreamKind::Sentence { truth, emitted } => {
+                if *truth && !*emitted {
+                    *emitted = true;
+                    self.answer.clear();
+                    self.delay = 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            StreamKind::Reduced { stream, reduction } => {
+                if stream.advance() {
+                    let ok = reduction.backward_into(stream.tuple(), &mut self.answer);
+                    assert!(ok, "ψ(G) answers lie in the image of f");
+                    self.delay = stream.last_delay();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The current answer tuple. Only meaningful after
+    /// [`AnswerStream::advance`] returned `true`; overwritten by the next
+    /// `advance`.
+    #[inline]
+    pub fn answer(&self) -> &[Node] {
+        &self.answer
+    }
+
+    /// RAM operations spent between the previous answer and the current
+    /// one — the per-answer delay Theorem 2.7 bounds by a constant.
+    #[inline]
+    pub fn last_delay(&self) -> u64 {
+        self.delay
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +383,35 @@ mod tests {
             for t in &oracle {
                 assert!(engine.test(t), "`{src}` test+ on {t:?}");
             }
+
+            // the streaming visitor agrees with the boxed iterator on
+            // answers, order and delays, and `first` short-circuits to the
+            // same head
+            let mut streamed: Vec<Vec<Node>> = Vec::new();
+            let mut delays: Vec<u64> = Vec::new();
+            engine.for_each_answer_with_ops(|a, d| {
+                streamed.push(a.to_vec());
+                delays.push(d);
+                ControlFlow::Continue(())
+            });
+            assert_eq!(streamed, got, "`{src}` streaming order ({mode:?})");
+            let boxed_delays: Vec<u64> = engine.enumerate_with_ops().map(|(_, d)| d).collect();
+            assert_eq!(delays, boxed_delays, "`{src}` streaming ops ({mode:?})");
+            assert_eq!(
+                engine.first(),
+                got.first().cloned(),
+                "`{src}` first ({mode:?})"
+            );
+            let mut seen = 0usize;
+            engine.for_each_answer(|_| {
+                seen += 1;
+                if seen == 1 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            assert_eq!(seen, got.len().min(1), "`{src}` break stops ({mode:?})");
         }
     }
 

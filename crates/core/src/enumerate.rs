@@ -35,7 +35,7 @@
 
 use crate::csr::PairCsr;
 use crate::graph_query::{position_list, GraphClause, GraphQuery};
-use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore};
+use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
 use lowdeg_par::{par_flat_map, par_map, ParConfig};
 use lowdeg_storage::{Node, Structure};
 
@@ -456,7 +456,10 @@ impl ClausePlan {
             tuple: vec![Node(0); self.k],
             started: false,
             done: false,
-            lazy_skip: FxHashMap::default(),
+            lazy_skip: vec![FxHashMap::default(); self.k],
+            vsets: SliceInterner::new(),
+            v_scratch: Vec::with_capacity(self.k),
+            key_scratch: Vec::with_capacity(self.k),
             ops: 0,
         }
     }
@@ -469,7 +472,16 @@ struct LevelState {
     cursor: usize,
 }
 
-/// Iterator over one clause's satisfying vertex tuples.
+/// Streaming cursor (and [`Iterator`]) over one clause's satisfying vertex
+/// tuples.
+///
+/// The emission loop is **allocation-free by construction**: the current
+/// tuple lives in one reused buffer ([`ClauseIter::tuple`] borrows it), the
+/// eager skip probe reuses `key_scratch`, and the lazy skip memo keys on a
+/// packed `u64` of `(y, interned forbidden-set id)` — the only steady-state
+/// heap traffic left is the *first* occurrence of a distinct forbidden set
+/// (interned once) and the memo's own growth (first-touch, amortized into
+/// the lazy mode's warm-up just like the walk it memoizes).
 pub struct ClauseIter<'a> {
     plan: &'a ClausePlan,
     adjacency: &'a EdgeAdjacency,
@@ -477,8 +489,15 @@ pub struct ClauseIter<'a> {
     tuple: Vec<Node>,
     started: bool,
     done: bool,
-    /// Memo table for lazy skip: `(position, y, sorted V) → result`.
-    lazy_skip: FxHashMap<(u32, u32, Vec<u32>), Option<Node>>,
+    /// Per-position memo for lazy skip: packed `(y << 32) | vset_id` →
+    /// result node id (`VOID` = none).
+    lazy_skip: Vec<FxHashMap<u64, u32>>,
+    /// Distinct forbidden sets seen by lazy probes, interned to dense ids.
+    vsets: SliceInterner<u32>,
+    /// Reused buffer for assembling the sorted forbidden set of one probe.
+    v_scratch: Vec<u32>,
+    /// Reused buffer for assembling one eager-store key.
+    key_scratch: Vec<Node>,
     /// RAM-operation counter: each skip lookup/walk step, adjacency test,
     /// `E_k` membership test and cursor move counts as one operation. The
     /// constant-delay claim of Theorem 2.7 is about *this* number per
@@ -495,20 +514,26 @@ impl ClauseIter<'_> {
     }
 
     /// skip(y, V) at large position `pos`, through the eager store or the
-    /// lazy memo.
+    /// lazy memo. Zero heap allocation per probe: the forbidden set is
+    /// assembled in a reused scratch buffer, the eager key in another, and
+    /// the lazy memo is probed with a packed integer key (the set itself is
+    /// interned once per distinct value, then referenced by id).
     fn skip(&mut self, pos: usize, depth: usize, y: Node) -> Option<Node> {
         let level = self.plan.levels[pos].as_ref().expect("large level");
         self.ops += depth as u64 + 1; // E_k membership tests + the lookup
                                       // Eager levels restrict V to the E_k-related forbidden vertices (the
                                       // table is keyed that way); lazy levels use the full forbidden set.
-        let mut v: Vec<u32> = if level.eager_built {
-            self.forbidden(depth)
-                .filter(|&u| level.ek_related(u, y))
-                .map(|u| u.0)
-                .collect()
+        let mut v = std::mem::take(&mut self.v_scratch);
+        v.clear();
+        if level.eager_built {
+            v.extend(
+                self.forbidden(depth)
+                    .filter(|&u| level.ek_related(u, y))
+                    .map(|u| u.0),
+            );
         } else {
-            self.forbidden(depth).map(|u| u.0).collect()
-        };
+            v.extend(self.forbidden(depth).map(|u| u.0));
+        }
         v.sort_unstable();
         v.dedup();
         debug_assert!(v.len() < self.plan.k);
@@ -516,18 +541,24 @@ impl ClauseIter<'_> {
         if let Some(store) = &level.skip_store {
             let n_graph = level.index_in_list.len();
             let sentinel = Node(n_graph as u32);
-            let mut key = vec![sentinel; self.plan.k];
+            let mut key = std::mem::take(&mut self.key_scratch);
+            key.clear();
+            key.resize(self.plan.k, sentinel);
             key[0] = y;
             for (i, &u) in v.iter().enumerate() {
                 key[i + 1] = Node(u);
             }
             let raw = *store.get(&key).expect("eager table is total");
+            self.key_scratch = key;
+            self.v_scratch = v;
             return (raw != VOID).then_some(Node(raw));
         }
-        // lazy
-        let memo_key = (pos as u32, y.0, v.clone());
-        if let Some(&hit) = self.lazy_skip.get(&memo_key) {
-            return hit;
+        // lazy: intern the forbidden set (allocates only on its first
+        // occurrence), probe the memo with the packed (y, set-id) key
+        let memo_key = ((y.0 as u64) << 32) | self.vsets.intern(&v) as u64;
+        if let Some(&hit) = self.lazy_skip[pos].get(&memo_key) {
+            self.v_scratch = v;
+            return (hit != VOID).then_some(Node(hit));
         }
         let start = level.index_in_list[y.index()] as usize;
         let z = walk_skip(
@@ -543,7 +574,8 @@ impl ClauseIter<'_> {
             .and_then(|zz| level.index_of(zz))
             .unwrap_or(level.list.len());
         self.ops += (end.saturating_sub(start) as u64) * (v.len().max(1) as u64);
-        self.lazy_skip.insert(memo_key, z);
+        self.lazy_skip[pos].insert(memo_key, z.map(|n| n.0).unwrap_or(VOID));
+        self.v_scratch = v;
         z
     }
 
@@ -637,6 +669,35 @@ impl ClauseIter<'_> {
         self.ops
     }
 
+    /// Advance the cursor to the next satisfying tuple. Returns `true` when
+    /// one is available through [`ClauseIter::tuple`]; `false` once the
+    /// clause is exhausted (and forever after). Unlike `next()`, advancing
+    /// never clones the tuple — this is the allocation-free core every
+    /// consumer (boxed iterators, visitors, `first()`) is built on.
+    pub fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let found = if self.started {
+            self.run(self.plan.k - 1, false)
+        } else {
+            self.started = true;
+            self.run(0, true)
+        };
+        if !found {
+            self.done = true;
+        }
+        found
+    }
+
+    /// The tuple the cursor currently rests on. Only meaningful after
+    /// [`ClauseIter::advance`] returned `true`; the slice is overwritten by
+    /// the next `advance`.
+    #[inline]
+    pub fn tuple(&self) -> &[Node] {
+        &self.tuple
+    }
+
     /// The backtracking engine. With `initializing`, levels `< depth` hold
     /// valid values and levels `≥ depth` must be (re)initialized; without,
     /// level `depth` must advance past its current value. Returns `true`
@@ -677,21 +738,7 @@ impl Iterator for ClauseIter<'_> {
     type Item = Vec<Node>;
 
     fn next(&mut self) -> Option<Vec<Node>> {
-        if self.done {
-            return None;
-        }
-        let found = if self.started {
-            self.run(self.plan.k - 1, false)
-        } else {
-            self.started = true;
-            self.run(0, true)
-        };
-        if found {
-            Some(self.tuple.clone())
-        } else {
-            self.done = true;
-            None
-        }
+        self.advance().then(|| self.tuple.clone())
     }
 }
 
@@ -727,9 +774,26 @@ impl Enumerator {
         Enumerator { adjacency, plans }
     }
 
-    /// Enumerate all vertex tuples of `ψ(G)`, clause by clause.
+    /// The streaming cursor over all vertex tuples of `ψ(G)`, clause by
+    /// clause — the single allocation-free core every enumeration consumer
+    /// is layered on (see [`VertexStream`]).
+    pub fn stream(&self) -> VertexStream<'_> {
+        VertexStream {
+            enumerator: self,
+            clause_idx: 0,
+            current: None,
+            last_ops: 0,
+            carry: 0,
+            delay: 0,
+        }
+    }
+
+    /// Enumerate all vertex tuples of `ψ(G)`, clause by clause. A thin
+    /// cloning adapter over [`Enumerator::stream`]; the per-item `Vec` is
+    /// the API boundary's copy, not part of the emission loop.
     pub fn vertex_tuples(&self) -> impl Iterator<Item = Vec<Node>> + '_ {
-        self.plans.iter().flat_map(move |p| p.iter(&self.adjacency))
+        let mut s = self.stream();
+        std::iter::from_fn(move || s.advance().then(|| s.tuple().to_vec()))
     }
 
     /// As [`Enumerator::vertex_tuples`], also yielding the number of RAM
@@ -738,11 +802,7 @@ impl Enumerator {
     /// charged to the next output.
     pub fn vertex_tuples_with_ops(&self) -> OpsIter<'_> {
         OpsIter {
-            enumerator: self,
-            clause_idx: 0,
-            current: None,
-            last_ops: 0,
-            carry: 0,
+            stream: self.stream(),
         }
     }
 
@@ -766,42 +826,79 @@ impl Enumerator {
     }
 }
 
-/// Iterator pairing each output with its RAM-operation delay (see
-/// [`Enumerator::vertex_tuples_with_ops`]).
-pub struct OpsIter<'a> {
+/// Streaming cursor over all vertex tuples of the reduced query, clause by
+/// clause, with per-output delay accounting.
+///
+/// Between two consecutive `advance` calls the only heap traffic is the
+/// per-*clause* setup of a fresh [`ClauseIter`] (state, tuple buffer, memo
+/// shells — bounded by the number of clauses, never by the answer count);
+/// the per-answer step reuses the clause cursor's buffers throughout.
+/// Clause-exhaustion costs are charged to the next output via `carry`.
+pub struct VertexStream<'a> {
     enumerator: &'a Enumerator,
     clause_idx: usize,
     current: Option<ClauseIter<'a>>,
     last_ops: u64,
     carry: u64,
+    delay: u64,
+}
+
+impl VertexStream<'_> {
+    /// Advance to the next vertex tuple. Returns `true` when one is
+    /// available through [`VertexStream::tuple`].
+    pub fn advance(&mut self) -> bool {
+        loop {
+            if self.current.is_none() {
+                let Some(plan) = self.enumerator.plans.get(self.clause_idx) else {
+                    return false;
+                };
+                self.current = Some(plan.iter(&self.enumerator.adjacency));
+                self.last_ops = 0;
+            }
+            let iter = self.current.as_mut().expect("just installed");
+            if iter.advance() {
+                let now = iter.ops();
+                self.delay = now - self.last_ops + self.carry;
+                self.last_ops = now;
+                self.carry = 0;
+                return true;
+            }
+            self.carry += iter.ops() - self.last_ops;
+            self.current = None;
+            self.clause_idx += 1;
+        }
+    }
+
+    /// The current vertex tuple. Only meaningful after
+    /// [`VertexStream::advance`] returned `true`; overwritten by the next
+    /// `advance`.
+    #[inline]
+    pub fn tuple(&self) -> &[Node] {
+        self.current.as_ref().map(|c| c.tuple()).unwrap_or(&[])
+    }
+
+    /// RAM operations spent between the previous output and the current
+    /// one — the per-answer delay Theorem 2.7 bounds by a constant.
+    #[inline]
+    pub fn last_delay(&self) -> u64 {
+        self.delay
+    }
+}
+
+/// Iterator pairing each output with its RAM-operation delay (see
+/// [`Enumerator::vertex_tuples_with_ops`]). A cloning adapter over
+/// [`VertexStream`].
+pub struct OpsIter<'a> {
+    stream: VertexStream<'a>,
 }
 
 impl Iterator for OpsIter<'_> {
     type Item = (Vec<Node>, u64);
 
     fn next(&mut self) -> Option<(Vec<Node>, u64)> {
-        loop {
-            if self.current.is_none() {
-                let plan = self.enumerator.plans.get(self.clause_idx)?;
-                self.current = Some(plan.iter(&self.enumerator.adjacency));
-                self.last_ops = 0;
-            }
-            let iter = self.current.as_mut().expect("just installed");
-            match iter.next() {
-                Some(tuple) => {
-                    let now = iter.ops();
-                    let delta = now - self.last_ops + self.carry;
-                    self.last_ops = now;
-                    self.carry = 0;
-                    return Some((tuple, delta));
-                }
-                None => {
-                    self.carry += iter.ops() - self.last_ops;
-                    self.current = None;
-                    self.clause_idx += 1;
-                }
-            }
-        }
+        self.stream
+            .advance()
+            .then(|| (self.stream.tuple().to_vec(), self.stream.last_delay()))
     }
 }
 

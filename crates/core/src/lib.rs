@@ -52,8 +52,8 @@ pub mod naive;
 pub mod reduction;
 pub mod testing;
 
-pub use engine::Engine;
-pub use enumerate::SkipMode;
+pub use engine::{AnswerStream, Engine};
+pub use enumerate::{SkipMode, VertexStream};
 pub use error::EngineError;
 pub use graph_query::{position_list, GraphClause, GraphQuery};
 pub use reduction::Reduction;

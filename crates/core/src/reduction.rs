@@ -32,7 +32,7 @@
 
 use crate::graph_query::{GraphClause, GraphQuery};
 use crate::EngineError;
-use lowdeg_index::{Epsilon, FxHashMap, RadixFuncStore};
+use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
 use lowdeg_locality::{localize, LocalQuery, TypeId, TypeInterner};
 use lowdeg_logic::eval::{eval, Assignment};
 use lowdeg_logic::Query;
@@ -43,6 +43,29 @@ use std::sync::Arc;
 
 /// Default budget for the type-combination table (`Σ_P Π_j |types|`).
 pub const DEFAULT_COMBINATION_BUDGET: u64 = 1_000_000;
+
+/// Positions are tracked in fixed-width bitmasks on the stack during
+/// [`Reduction::forward`]-style probes, capping the supported arity at 64.
+/// Unreachable in practice: the preprocessing enumerates all `k!`-many
+/// injections and `Bell(k)` partitions, which is infeasible long before
+/// `k = 64`.
+const MAX_ARITY: usize = 64;
+
+/// Packed `(tuple_id, iota)` key of the cluster-vertex lookup.
+#[inline]
+fn pack_lookup_key(tuple_id: u32, iota: u16) -> u64 {
+    ((tuple_id as u64) << 16) | iota as u64
+}
+
+/// One answer position's `(ι, type)` signature packed into a `u64`
+/// (`0` = the dummy / a base node).
+#[inline]
+fn pack_signature(sig: Option<(u16, u32)>) -> u64 {
+    match sig {
+        None => 0,
+        Some((iota, ty)) => ((iota as u64 + 1) << 32) | ty as u64,
+    }
+}
 
 /// One cluster vertex `v_(b̄, ι)`.
 #[derive(Clone, Debug)]
@@ -74,8 +97,11 @@ pub struct Reduction {
     dummy: Node,
     /// Cluster vertices; vertex id = `base_n + 1 + index`.
     vertices: Vec<VertexInfo>,
-    /// `(b̄, ι) → vertex id`.
-    lookup: FxHashMap<(Vec<Node>, u16), Node>,
+    /// Every distinct cluster tuple `b̄`, interned once; probes resolve a
+    /// stack-assembled slice to its id without allocating.
+    tuples: SliceInterner<Node>,
+    /// Packed `(tuple_id, ι) → vertex id` (see [`pack_lookup_key`]).
+    lookup: FxHashMap<u64, Node>,
     /// Pairs of `A`-nodes within distance `2r+1` (the paper's relation `R`
     /// in Step 5, stored per the Storing Theorem).
     near: RadixFuncStore<()>,
@@ -85,9 +111,11 @@ pub struct Reduction {
     /// The localized matrix (kept for diagnostics and tests).
     local: LocalQuery,
     /// Accepted clause signatures for O(k) testing: per answer position the
-    /// `(ι, type)` of the cluster vertex, or `None` for the dummy. Exactly
-    /// one clause matches any signature (clauses are mutually exclusive).
-    accepted: lowdeg_index::FxHashSet<Vec<Option<(u16, u32)>>>,
+    /// packed `(ι, type)` of the cluster vertex ([`pack_signature`]; `0`
+    /// for the dummy). Probed with a stack-assembled `&[u64]`, so
+    /// [`Reduction::test_signature`] allocates nothing. Exactly one clause
+    /// matches any signature (clauses are mutually exclusive).
+    accepted: FxHashSet<Box<[u64]>>,
 }
 
 impl Reduction {
@@ -260,7 +288,8 @@ impl Reduction {
 
         // element → incident vertices
         let mut incidence: FxHashMap<Node, Vec<u32>> = FxHashMap::default();
-        let mut lookup: FxHashMap<(Vec<Node>, u16), Node> = FxHashMap::default();
+        let mut tuple_arena: SliceInterner<Node> = SliceInterner::new();
+        let mut lookup: FxHashMap<u64, Node> = FxHashMap::default();
         for (idx, v) in vertices.iter().enumerate() {
             let vn = vertex_node(idx);
             gb.fact(ci(v.iota), &[vn]).expect("in range");
@@ -275,7 +304,8 @@ impl Reduction {
                     incidence.entry(b).or_default().push(idx as u32);
                 }
             }
-            lookup.insert((v.tuple.clone(), v.iota), vn);
+            let tid = tuple_arena.intern(&v.tuple);
+            lookup.insert(pack_lookup_key(tid, v.iota), vn);
         }
 
         // E-edges: vertices whose elements come within 2r+1. Computed per
@@ -310,8 +340,7 @@ impl Reduction {
         let graph = gb.finish().expect("non-empty");
 
         // --- acceptance clauses
-        let mut accepted: lowdeg_index::FxHashSet<Vec<Option<(u16, u32)>>> =
-            lowdeg_index::FxHashSet::default();
+        let mut accepted: FxHashSet<Box<[u64]>> = FxHashSet::default();
         for p in &partitions {
             let ell = p.len();
             // iota of each part: its (sorted) position list
@@ -332,17 +361,17 @@ impl Reduction {
                     .collect();
                 if accepts_combo(&local, query, &interner, p, &tys) {
                     let mut colors: Vec<Vec<RelId>> = Vec::with_capacity(k);
-                    let mut signature: Vec<Option<(u16, u32)>> = Vec::with_capacity(k);
+                    let mut signature: Vec<u64> = Vec::with_capacity(k);
                     for j in 0..ell {
                         colors.push(vec![ci(part_iotas[j]), ct(tys[j])]);
-                        signature.push(Some((part_iotas[j], tys[j].0)));
+                        signature.push(pack_signature(Some((part_iotas[j], tys[j].0))));
                     }
                     for _ in ell..k {
                         colors.push(vec![cbot]);
-                        signature.push(None);
+                        signature.push(pack_signature(None));
                     }
                     clauses.push(GraphClause { colors });
-                    accepted.insert(signature);
+                    accepted.insert(signature.into_boxed_slice());
                 }
                 // odometer
                 let mut pos = ell;
@@ -378,6 +407,7 @@ impl Reduction {
             base_n: n,
             dummy,
             vertices,
+            tuples: tuple_arena,
             lookup,
             near,
             iotas,
@@ -422,11 +452,16 @@ impl Reduction {
     }
 
     /// `f(ā)`: map a tuple of `A`-elements to graph vertices, in `O(k²)`
-    /// near-pair lookups.
-    pub fn forward(&self, tuple: &[Node]) -> Result<Vec<Node>, EngineError> {
-        if tuple.len() != self.k {
+    /// near-pair lookups, writing into `out[..k]` without allocating. The
+    /// core of every membership probe: position grouping runs on
+    /// stack-resident component bitmasks, each part's tuple is assembled in
+    /// a stack buffer and resolved through the tuple interner, and the
+    /// vertex lookup probes with a packed integer key.
+    fn forward_write(&self, tuple: &[Node], out: &mut [Node]) -> Result<(), EngineError> {
+        let k = self.k;
+        if tuple.len() != k {
             return Err(EngineError::Arity {
-                expected: self.k,
+                expected: k,
                 got: tuple.len(),
             });
         }
@@ -436,80 +471,127 @@ impl Reduction {
                 domain: self.base_n,
             });
         }
-        // union-find over positions via the near-pair store
-        let mut parent: Vec<usize> = (0..self.k).collect();
-        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-            if parent[i] != i {
-                let r = find(parent, parent[i]);
-                parent[i] = r;
-            }
-            parent[i]
+        assert!(k <= MAX_ARITY, "arity above {MAX_ARITY} is unsupported");
+        debug_assert_eq!(out.len(), k);
+
+        // Group positions into clusters: comp[i] is the bitmask of the
+        // positions in i's component w.r.t. the ≤ 2r+1 nearness relation.
+        // Invariant: all members of a component carry the same mask, so a
+        // union only rewrites masks intersecting the merged one.
+        let mut comp = [0u64; MAX_ARITY];
+        for (i, m) in comp.iter_mut().enumerate().take(k) {
+            *m = 1 << i;
         }
-        for i in 0..self.k {
-            for j in (i + 1)..self.k {
-                if self.near.contains_key(&[tuple[i], tuple[j]]) {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if comp[i] & comp[j] == 0 && self.near.contains_key(&[tuple[i], tuple[j]]) {
+                    let merged = comp[i] | comp[j];
+                    for m in comp.iter_mut().take(k) {
+                        if *m & merged != 0 {
+                            *m = merged;
+                        }
                     }
                 }
             }
         }
-        // parts ordered by min position
-        let mut parts: Vec<Vec<u8>> = Vec::new();
-        let mut root_part: FxHashMap<usize, usize> = FxHashMap::default();
-        for i in 0..self.k {
-            let r = find(&mut parent, i);
-            match root_part.get(&r) {
-                Some(&pi) => parts[pi].push(i as u8),
-                None => {
-                    root_part.insert(r, parts.len());
-                    parts.push(vec![i as u8]);
-                }
+
+        // Emit one cluster vertex per part, parts ordered by their minimum
+        // position (= the leader bit), positions within a part ascending.
+        let mut pos_buf = [0u8; MAX_ARITY];
+        let mut b_buf = [Node(0); MAX_ARITY];
+        let mut emitted = 0usize;
+        for (i, &mask) in comp.iter().enumerate().take(k) {
+            if mask.trailing_zeros() as usize != i {
+                continue; // not the part's leader
             }
-        }
-        let mut out = Vec::with_capacity(self.k);
-        for part in &parts {
-            let b: Vec<Node> = part.iter().map(|&i| tuple[i as usize]).collect();
+            let mut s = 0usize;
+            let mut bits = mask;
+            while bits != 0 {
+                let p = bits.trailing_zeros() as usize;
+                pos_buf[s] = p as u8;
+                b_buf[s] = tuple[p];
+                s += 1;
+                bits &= bits - 1;
+            }
             let io = self
                 .iotas
                 .iter()
-                .position(|io| io.as_slice() == part.as_slice())
+                .position(|io| io.as_slice() == &pos_buf[..s])
                 .expect("part is an injection") as u16;
-            let v = self
-                .lookup
-                .get(&(b, io))
-                .copied()
+            let tid = self
+                .tuples
+                .lookup(&b_buf[..s])
                 .expect("every connected tuple has a cluster vertex");
-            out.push(v);
+            out[emitted] = *self
+                .lookup
+                .get(&pack_lookup_key(tid, io))
+                .expect("every connected tuple has a cluster vertex");
+            emitted += 1;
         }
-        out.resize(self.k, self.dummy);
+        for slot in out.iter_mut().take(k).skip(emitted) {
+            *slot = self.dummy;
+        }
+        Ok(())
+    }
+
+    /// `f(ā)` as a freshly allocated `Vec` (see [`Reduction::forward_into`]
+    /// for the buffer-reusing variant).
+    pub fn forward(&self, tuple: &[Node]) -> Result<Vec<Node>, EngineError> {
+        let mut out = vec![self.dummy; self.k];
+        self.forward_write(tuple, &mut out)?;
         Ok(out)
+    }
+
+    /// `f(ā)` into a reused buffer: `out` is cleared and filled with the
+    /// `k` graph vertices. No allocation once `out` has capacity `k`.
+    pub fn forward_into(&self, tuple: &[Node], out: &mut Vec<Node>) -> Result<(), EngineError> {
+        out.clear();
+        out.resize(self.k, self.dummy);
+        self.forward_write(tuple, out)
     }
 
     /// `f⁻¹(v̄)`: recover the `A`-tuple from graph vertices. Returns `None`
     /// when the tuple is not in the image of `f` (e.g. overlapping clusters
     /// or a dummy in a cluster position).
     pub fn backward(&self, vertices: &[Node]) -> Option<Vec<Node>> {
+        let mut out = Vec::with_capacity(self.k);
+        self.backward_into(vertices, &mut out).then_some(out)
+    }
+
+    /// `f⁻¹(v̄)` into a reused buffer: `out` is cleared and filled with the
+    /// `k` base elements; returns `false` (leaving `out` unspecified) when
+    /// `v̄` is not in the image of `f`. No allocation once `out` has
+    /// capacity `k` — this is the answer-streaming hot path.
+    pub fn backward_into(&self, vertices: &[Node], out: &mut Vec<Node>) -> bool {
         if vertices.len() != self.k {
-            return None;
+            return false;
         }
-        let mut out: Vec<Option<Node>> = vec![None; self.k];
+        // A base element never carries id u32::MAX: the graph's domain
+        // (base ∪ dummy ∪ clusters) is itself u32-indexed and strictly
+        // larger than the base.
+        const UNSET: Node = Node(u32::MAX);
+        out.clear();
+        out.resize(self.k, UNSET);
         for &v in vertices {
             if v == self.dummy {
                 continue;
             }
-            let idx = (v.index()).checked_sub(self.base_n + 1)?;
-            let info = self.vertices.get(idx)?;
+            let Some(idx) = v.index().checked_sub(self.base_n + 1) else {
+                return false;
+            };
+            let Some(info) = self.vertices.get(idx) else {
+                return false;
+            };
             let io = &self.iotas[info.iota as usize];
             for (j, &b) in info.tuple.iter().enumerate() {
                 let pos = io[j] as usize;
-                if out[pos].replace(b).is_some() {
-                    return None; // two clusters claim one position
+                if out[pos] != UNSET {
+                    return false; // two clusters claim one position
                 }
+                out[pos] = b;
             }
         }
-        out.into_iter().collect()
+        out.iter().all(|&b| b != UNSET)
     }
 
     /// Whether `ā ∈ φ(A)`, decided through the reduction (`f` + `ψ`). Used
@@ -534,10 +616,14 @@ impl Reduction {
     /// hence `ψ₁` always holds on images of `f` and membership reduces to a
     /// single hash probe of the `(ι, type)` signature.
     pub fn test_signature(&self, tuple: &[Node]) -> Result<bool, EngineError> {
-        let v = self.forward(tuple)?;
-        let signature: Vec<Option<(u16, u32)>> =
-            v.iter().map(|&u| self.vertex_signature(u)).collect();
-        Ok(self.accepted.contains(&signature))
+        let k = self.k;
+        let mut v_buf = [Node(0); MAX_ARITY];
+        self.forward_write(tuple, &mut v_buf[..k])?;
+        let mut sig_buf = [0u64; MAX_ARITY];
+        for (s, &u) in sig_buf.iter_mut().zip(&v_buf[..k]) {
+            *s = pack_signature(self.vertex_signature(u));
+        }
+        Ok(self.accepted.contains(&sig_buf[..k]))
     }
 }
 

@@ -11,6 +11,9 @@
 //! * [`FxHashMap`] / [`HashFuncStore`] — a fast hash-map baseline used by the
 //!   E6 ablation experiment (expected-constant lookups vs. the Storing
 //!   Theorem's deterministic worst-case lookups).
+//! * [`SliceInterner`] — arena interning of short key slices (forbidden
+//!   sets, cluster tuples) so the answer-path maps probe with packed
+//!   integer keys instead of per-probe `Vec` allocations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,10 +22,12 @@ mod epsilon;
 mod fact_index;
 mod fxhash;
 mod hashstore;
+mod interner;
 mod radix;
 
 pub use epsilon::Epsilon;
 pub use fact_index::FactIndex;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hashstore::HashFuncStore;
+pub use interner::SliceInterner;
 pub use radix::RadixFuncStore;
