@@ -1,89 +1,130 @@
-//! Serial-vs-parallel engine-build wall time → `BENCH_preprocess.json`.
+//! Uncached vs warm-cache engine-build wall time → `BENCH_preprocess.json`.
 //!
 //! ```bash
 //! cargo run --release -p lowdeg-bench --bin bench_preprocess             # full scales
 //! cargo run --release -p lowdeg-bench --bin bench_preprocess -- quick   # CI smoke
 //! cargo run --release -p lowdeg-bench --bin bench_preprocess -- --out p.json
+//! LOWDEG_THREADS=4 cargo run --release -p lowdeg-bench --bin bench_preprocess
 //! ```
 //!
 //! Measures the full preprocessing pipeline (Prop 3.3 reduction, Lemma 3.5
-//! counting, E_k fixpoint + skip tables) under `ParConfig::serial()` and an
-//! auto-sized pool, at two structure scales. Each measurement builds from a
-//! fresh structure so the per-structure Gaifman cache cannot leak across
-//! configurations. The JSON records the runner's core count: on a
-//! single-core machine the "parallel" column degenerates to serial plus
-//! pool overhead, and the speedup column is only meaningful when
-//! `cores > 1`.
+//! lattice counting, E_k fixpoint + skip tables) twice per scale: cold, and
+//! through a warm [`ArtifactCache`], which serves the reduction's *extract*
+//! product (the query-independent core: Gaifman graph, near-pair store,
+//! cluster tuples, type interning and the colored graph `G` with its
+//! edges) instead of recomputing it. The workload is the ternary
+//! scatter query — a reduced clause with `m = 3` negated binary atoms, so
+//! the subset-lattice walk covers `2^3` inclusion–exclusion terms.
+//!
+//! Measurements are interleaved best-of-`REPS` after an untimed warm-up
+//! (which also primes the cache), with the within-rep order swapped each
+//! rep so allocator/page-cache drift cannot favor either configuration.
+//! The worker pool honors `LOWDEG_THREADS`; the effective thread count is
+//! recorded in the JSON alongside per-stage timings
+//! (`extract → reduce → ie-count → fixpoint → skip-tables`) for both
+//! configurations.
 
-use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
+use lowdeg_bench::workloads::{colored, TERNARY_SCATTER};
 use lowdeg_bench::{fmt_dur, time};
-use lowdeg_core::{Engine, SkipMode};
+use lowdeg_core::{ArtifactCache, BuildProfile, Engine, SkipMode, Stage};
 use lowdeg_gen::DegreeClass;
 use lowdeg_index::Epsilon;
-use lowdeg_logic::parse_query;
+use lowdeg_logic::{parse_query, Query};
 use lowdeg_par::ParConfig;
+use lowdeg_storage::Structure;
 use std::path::PathBuf;
 use std::time::Duration;
 
 const EPS: f64 = 0.5;
-const DEGREE: usize = 4;
+const DEGREE: usize = 2;
 const REPS: usize = 3;
 
-struct ScaleResult {
-    n: usize,
-    serial: Duration,
-    parallel: Duration,
+struct ConfigResult {
+    best: Duration,
+    /// Stage profile of the fastest rep.
+    profile: BuildProfile,
     count: u64,
 }
 
-/// One timed engine build from a fresh structure; returns the answer
-/// count as a cross-configuration checksum.
-fn build_once(n: usize, src: &str, par: &ParConfig) -> (Duration, u64) {
-    let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
-    let q = parse_query(s.signature(), src).expect("parses");
-    let (engine, dt) = time(|| {
-        Engine::build_with_config(&s, &q, Epsilon::new(EPS), SkipMode::Eager, par)
-            .expect("localizable")
-    });
-    (dt, engine.count())
+impl Default for ConfigResult {
+    fn default() -> Self {
+        ConfigResult {
+            best: Duration::MAX,
+            profile: BuildProfile::default(),
+            count: 0,
+        }
+    }
 }
 
-/// Best-of-`REPS` for both configurations, interleaved (serial, parallel,
-/// serial, …) after an untimed warm-up build, so allocator/page-cache
-/// warm-up drift cannot favor whichever configuration runs later.
-fn bench_scale(n: usize, src: &str, serial: &ParConfig, parallel: &ParConfig) -> ScaleResult {
-    build_once(n, src, serial); // warm-up, untimed
-    let mut best_serial = Duration::MAX;
-    let mut best_parallel = Duration::MAX;
-    let mut count = 0;
+struct ScaleResult {
+    n: usize,
+    uncached: ConfigResult,
+    cached: ConfigResult,
+}
+
+/// One timed engine build; returns the wall time, the answer count as a
+/// cross-configuration checksum, and the per-stage profile.
+fn build_once(
+    s: &Structure,
+    q: &Query,
+    par: &ParConfig,
+    cache: Option<&ArtifactCache>,
+) -> (Duration, u64, BuildProfile) {
+    let (engine, dt) = time(|| {
+        Engine::build_full(s, q, Epsilon::new(EPS), SkipMode::Eager, par, cache)
+            .expect("localizable")
+    });
+    (dt, engine.count(), engine.profile().clone())
+}
+
+/// Best-of-`REPS` for both configurations, interleaved. The warm-up build
+/// doubles as the cache-priming build: every timed cached rep afterwards is
+/// served extract artifacts from the warm cache.
+fn bench_scale(n: usize, src: &str, par: &ParConfig) -> ScaleResult {
+    let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
+    let q = parse_query(s.signature(), src).expect("parses");
+    let cache = ArtifactCache::new();
+    build_once(&s, &q, par, Some(&cache)); // warm-up, untimed; primes the cache
+
+    let mut uncached = ConfigResult::default();
+    let mut cached = ConfigResult::default();
     for rep in 0..REPS {
         // swap the within-rep order each rep to cancel residual drift
-        let order: [(&ParConfig, bool); 2] = if rep % 2 == 0 {
-            [(serial, true), (parallel, false)]
+        let order: [bool; 2] = if rep % 2 == 0 {
+            [false, true]
         } else {
-            [(parallel, false), (serial, true)]
+            [true, false]
         };
-        for (cfg, is_serial) in order {
-            let (dt, c) = build_once(n, src, cfg);
-            if count == 0 {
-                count = c;
+        for use_cache in order {
+            let (dt, c, profile) = build_once(&s, &q, par, use_cache.then_some(&cache));
+            let slot = if use_cache {
+                &mut cached
+            } else {
+                &mut uncached
+            };
+            if slot.count == 0 {
+                slot.count = c;
             }
             assert_eq!(
-                c, count,
-                "serial and parallel builds disagree on the answer count at n = {n}"
+                c, slot.count,
+                "build at n = {n} is not deterministic (cache = {use_cache})"
             );
-            if is_serial {
-                best_serial = best_serial.min(dt);
-            } else {
-                best_parallel = best_parallel.min(dt);
+            if dt < slot.best {
+                slot.best = dt;
+                slot.profile = profile;
             }
         }
     }
+    assert_eq!(
+        uncached.count, cached.count,
+        "cached and uncached builds disagree on the answer count at n = {n}"
+    );
+    let (hits, _misses) = cache.stats();
+    assert!(hits > 0, "warm reps never hit the cache at n = {n}");
     ScaleResult {
         n,
-        serial: best_serial,
-        parallel: best_parallel,
-        count,
+        uncached,
+        cached,
     }
 }
 
@@ -103,64 +144,81 @@ fn main() {
     let scales: &[usize] = if quick {
         &[1 << 10, 1 << 11]
     } else {
-        &[1 << 12, 1 << 14]
+        &[1 << 12, 1 << 13, 1 << 14]
     };
-    let serial_cfg = ParConfig::serial();
-    let par_cfg = ParConfig::with_threads(0);
+    let par = ParConfig::from_env(); // honors LOWDEG_THREADS
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     println!(
-        "preprocess bench: query `{RUNNING_EXAMPLE}`, degree class bounded({DEGREE}), \
-         {} threads vs serial, {cores} core(s)",
-        par_cfg.threads()
+        "preprocess bench: query `{TERNARY_SCATTER}`, degree class bounded({DEGREE}), \
+         {} thread(s), {cores} core(s), uncached vs warm artifact cache",
+        par.threads()
     );
     println!(
         "{:>8} {:>12} {:>12} {:>9} {:>12}",
-        "n", "serial", "parallel", "speedup", "count"
+        "n", "uncached", "cached", "speedup", "count"
     );
 
     let mut results = Vec::new();
     for &n in scales {
-        let r = bench_scale(n, RUNNING_EXAMPLE, &serial_cfg, &par_cfg);
+        let r = bench_scale(n, TERNARY_SCATTER, &par);
         println!(
             "{n:>8} {:>12} {:>12} {:>8.2}x {:>12}",
-            fmt_dur(r.serial),
-            fmt_dur(r.parallel),
-            r.serial.as_secs_f64() / r.parallel.as_secs_f64().max(1e-9),
-            r.count
+            fmt_dur(r.uncached.best),
+            fmt_dur(r.cached.best),
+            r.uncached.best.as_secs_f64() / r.cached.best.as_secs_f64().max(1e-9),
+            r.uncached.count
         );
+        println!("{:>8} stages uncached: {}", "", r.uncached.profile);
+        println!("{:>8} stages cached:   {}", "", r.cached.profile);
         results.push(r);
     }
 
-    let json = render_json(&results, quick, cores, par_cfg.threads());
+    let json = render_json(&results, quick, cores, par.threads());
     std::fs::write(&out, json).expect("write BENCH_preprocess.json");
     println!("wrote {}", out.display());
+}
+
+fn stage_json(p: &BuildProfile) -> String {
+    format!(
+        "{{\"extract_ms\": {:.3}, \"reduce_ms\": {:.3}, \"ie_count_ms\": {:.3}, \
+         \"fixpoint_ms\": {:.3}, \"skip_tables_ms\": {:.3}}}",
+        p.millis(Stage::Extract),
+        p.millis(Stage::Reduce),
+        p.millis(Stage::IeCount),
+        p.millis(Stage::Fixpoint),
+        p.millis(Stage::SkipTables),
+    )
 }
 
 fn render_json(results: &[ScaleResult], quick: bool, cores: usize, threads: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"preprocess\",\n");
-    s.push_str(&format!("  \"query\": \"{RUNNING_EXAMPLE}\",\n"));
+    s.push_str(&format!("  \"query\": \"{TERNARY_SCATTER}\",\n"));
     s.push_str(&format!("  \"degree_class\": \"bounded({DEGREE})\",\n"));
     s.push_str(&format!("  \"skip_mode\": \"eager\",\n  \"eps\": {EPS},\n"));
     s.push_str(&format!("  \"reps\": {REPS},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"cores\": {cores},\n"));
-    s.push_str(&format!("  \"threads_parallel\": {threads},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str("  \"scales\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let speedup = r.serial.as_secs_f64() / r.parallel.as_secs_f64().max(1e-9);
+        let speedup = r.uncached.best.as_secs_f64() / r.cached.best.as_secs_f64().max(1e-9);
         s.push_str(&format!(
-            "    {{\"n\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"count\": {}}}{}\n",
+            "    {{\"n\": {}, \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"count_uncached\": {}, \"count_cached\": {},\n     \
+             \"stages_uncached\": {},\n     \"stages_cached\": {}}}{}\n",
             r.n,
-            r.serial.as_secs_f64() * 1e3,
-            r.parallel.as_secs_f64() * 1e3,
+            r.uncached.best.as_secs_f64() * 1e3,
+            r.cached.best.as_secs_f64() * 1e3,
             speedup,
-            r.count,
+            r.uncached.count,
+            r.cached.count,
+            stage_json(&r.uncached.profile),
+            stage_json(&r.cached.profile),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

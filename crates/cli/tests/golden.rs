@@ -22,6 +22,32 @@ fn run_cli(args: &[&str]) -> String {
     String::from_utf8(out).expect("utf8 output")
 }
 
+/// Replace the variable digits of stage timings (`extract 0.8ms`) with `_`
+/// so the golden comparison stays deterministic across machines.
+fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            if s[i..].starts_with("ms") {
+                out.push('_');
+            } else {
+                out.push_str(&s[start..i]);
+            }
+        } else {
+            let c = s[i..].chars().next().expect("in-bounds char");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if std::env::var_os("LOWDEG_BLESS").is_some() {
@@ -31,8 +57,8 @@ fn check_golden(name: &str, actual: &str) {
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
     assert_eq!(
-        actual,
-        expected,
+        normalize(actual),
+        normalize(&expected),
         "output drifted from {} — if intentional, re-bless with LOWDEG_BLESS=1",
         path.display()
     );

@@ -19,7 +19,11 @@
 //!   insert/delete scripts against a rebuilt-from-scratch baseline;
 //! * the **parallel-build oracle** ([`parcheck`]) — a serial
 //!   (`threads = 1`) and a forced-parallel build of every case must yield
-//!   the same count, enumeration order and per-clause plan statistics.
+//!   the same count, enumeration order and per-clause plan statistics;
+//! * the **artifact-cache oracle** ([`cachecheck`]) — a cold build and
+//!   builds through a priming/warm `ArtifactCache` must yield the same
+//!   count, enumeration order and per-clause plan statistics, and the warm
+//!   build must actually hit the cache.
 //!
 //! Failures are shrunk ([`shrink`]) to a minimal pair and serialized as a
 //! JSON witness ([`repro`]) that `lowdeg-conformance replay` re-executes.
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cachecheck;
 pub mod delay;
 pub mod differential;
 pub mod dynamic;

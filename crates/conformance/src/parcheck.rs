@@ -23,9 +23,9 @@ use lowdeg_par::ParConfig;
 use lowdeg_storage::{Node, Structure};
 
 /// Per-clause plan fingerprint: everything the build decides that the
-/// enumeration later relies on.
+/// enumeration later relies on. Shared with the `cachecheck` oracle.
 #[derive(Debug, PartialEq, Eq)]
-struct PlanStats {
+pub(crate) struct PlanStats {
     strategies: Vec<String>,
     list_sizes: Vec<usize>,
     eager_built: Vec<bool>,
@@ -33,7 +33,7 @@ struct PlanStats {
     ek_len: Vec<usize>,
 }
 
-fn plan_stats(en: &Enumerator) -> Vec<PlanStats> {
+pub(crate) fn plan_stats(en: &Enumerator) -> Vec<PlanStats> {
     en.plans()
         .iter()
         .map(|p| PlanStats {

@@ -1,5 +1,6 @@
 //! The conformance run loop: generate → check → shrink → report.
 
+use crate::cachecheck::cachecheck_case;
 use crate::delay::{delay_gates, DelayGate};
 use crate::differential::{differential_case, CaseConfig, CaseStats, Disagreement, Mutation};
 use crate::dynamic::dynamic_case;
@@ -230,6 +231,7 @@ fn check_one(case: &Case, cfg: &CaseConfig, inject: Mutation) -> (CaseStats, Vec
     if inject == Mutation::None {
         bad.extend(metamorphic_case(&case.s, &case.q, case.case_seed));
         bad.extend(parcheck_case(&case.s, &case.q));
+        bad.extend(cachecheck_case(&case.s, &case.q));
     }
     (stats, bad)
 }
@@ -279,6 +281,7 @@ fn aggregate_one(
         if inject == Mutation::None {
             b.extend(metamorphic_case(s2, q2, case_seed));
             b.extend(parcheck_case(s2, q2));
+            b.extend(cachecheck_case(s2, q2));
         }
         b.iter().any(|d| d.check == first_check)
     };

@@ -1,0 +1,379 @@
+//! Cross-build artifact cache and build-phase profiler.
+//!
+//! Preprocessing rebuilds the same per-structure products — Gaifman CSR,
+//! the near-pair store, the whole query-independent Prop 3.3 core (cluster
+//! tuples, canonical type interning, the colored graph `G` with its edges)
+//! — for every engine built over the same database (conformance sweeps, a
+//! CLI serving several queries, benchmark reps). The [`ArtifactCache`] keys
+//! those products by [`Structure::fingerprint`] (plus the parameters they
+//! depend on) so repeated builds in one process reuse them; cold and warm
+//! builds are guaranteed observably identical and the conformance
+//! `cachecheck` oracle cross-checks that guarantee case by case.
+//!
+//! Invalidation is explicit: the cache never watches structures. Callers
+//! that mutate a database (the `dynamic` module's update model) must either
+//! drop the cache, call [`ArtifactCache::invalidate`] with the stale
+//! fingerprint, or rebuild their [`Structure`] — a rebuilt structure hashes
+//! to a new fingerprint, so stale entries are never *returned*, only
+//! retained.
+//!
+//! The [`Profiler`] times the pipeline's five build stages
+//! (`extract → reduce → ie-count → fixpoint → skip-tables`); the resulting
+//! [`BuildProfile`] is stored on every [`crate::Engine`] and surfaces in
+//! `--explain` output and `BENCH_preprocess.json`.
+
+use crate::reduction::ReductionCore;
+use lowdeg_index::{Epsilon, FxHashMap};
+use lowdeg_storage::{GaifmanGraph, Structure};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Key of one [`ReductionCore`] entry: structure fingerprint, locality
+/// radius, arity, and ε (the near store's layout depends on it).
+type ClusterKey = (u64, usize, usize, u64);
+
+#[derive(Default)]
+struct CacheInner {
+    gaifman: FxHashMap<u64, GaifmanGraph>,
+    cores: FxHashMap<ClusterKey, Arc<ReductionCore>>,
+}
+
+/// In-process cache of per-structure build products, shared across the
+/// clauses of one query and across repeated engine builds. Internally
+/// synchronized: share it by reference (or `Arc`) between builds.
+///
+/// The cache is strictly opt-in — every default build path runs cold — and
+/// entries are only ever *added*; see the module docs for the invalidation
+/// contract.
+#[derive(Default)]
+pub struct ArtifactCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warm `structure`'s lazy Gaifman slot from the cache when its
+    /// fingerprint is known, and make sure the cache holds the graph
+    /// afterwards (building it on `par` on a miss). Either way,
+    /// `structure.gaifman()` is subsequently hit-free.
+    pub fn prime_gaifman(&self, structure: &Structure, par: &lowdeg_par::ParConfig) {
+        let fp = structure.fingerprint();
+        let cached = self
+            .inner
+            .lock()
+            .expect("cache poisoned")
+            .gaifman
+            .get(&fp)
+            .cloned();
+        match cached {
+            Some(g) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                structure.adopt_gaifman(g);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let g = structure.gaifman_with(par).clone();
+                self.inner
+                    .lock()
+                    .expect("cache poisoned")
+                    .gaifman
+                    .insert(fp, g);
+            }
+        }
+    }
+
+    /// The query-independent [`ReductionCore`] for
+    /// `(fingerprint, r, k, eps)`, building it with `build` on a miss and
+    /// retaining the result.
+    pub fn reduction_core(
+        &self,
+        fingerprint: u64,
+        r: usize,
+        k: usize,
+        eps: Epsilon,
+        build: impl FnOnce() -> ReductionCore,
+    ) -> Arc<ReductionCore> {
+        let key: ClusterKey = (fingerprint, r, k, eps.value().to_bits());
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .expect("cache poisoned")
+            .cores
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock: core construction is the expensive
+        // pseudo-linear pass, and concurrent builders at worst duplicate
+        // work (last insert wins; all candidates are identical by key).
+        let built = Arc::new(build());
+        self.inner
+            .lock()
+            .expect("cache poisoned")
+            .cores
+            .insert(key, built.clone());
+        built
+    }
+
+    /// Drop every entry derived from `fingerprint` (the explicit
+    /// invalidation hook for callers that mutated a structure in place).
+    pub fn invalidate(&self, fingerprint: u64) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.gaifman.remove(&fingerprint);
+        inner.cores.retain(|&(fp, ..), _| fp != fingerprint);
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.gaifman.clear();
+        inner.cores.clear();
+    }
+
+    /// `(hits, misses)` across both artifact kinds (diagnostics).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of retained entries across both artifact kinds.
+    pub fn entries(&self) -> usize {
+        let inner = self.inner.lock().expect("cache poisoned");
+        inner.gaifman.len() + inner.cores.len()
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("entries", &self.entries())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+/// The five build stages the profiler distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// The query-independent Prop 3.3 core: Gaifman CSR, near-pair store,
+    /// cluster tuples, canonical type interning and the colored graph `G`
+    /// with its `E`/`F`-edges (exactly what [`ArtifactCache`] can skip).
+    Extract,
+    /// The per-query remainder of the Prop 3.3 reduction: Step 5
+    /// acceptance clauses.
+    Reduce,
+    /// Lemma 3.5 counting (the subset-lattice inclusion–exclusion).
+    IeCount,
+    /// The `E_k` semi-naive fixpoint of eager enumeration levels.
+    Fixpoint,
+    /// Eager skip-table generation.
+    SkipTables,
+}
+
+/// All stages, in pipeline order (`BuildProfile` indexes follow it).
+pub const STAGES: [Stage; 5] = [
+    Stage::Extract,
+    Stage::Reduce,
+    Stage::IeCount,
+    Stage::Fixpoint,
+    Stage::SkipTables,
+];
+
+impl Stage {
+    fn index(self) -> usize {
+        match self {
+            Stage::Extract => 0,
+            Stage::Reduce => 1,
+            Stage::IeCount => 2,
+            Stage::Fixpoint => 3,
+            Stage::SkipTables => 4,
+        }
+    }
+
+    /// Stable kebab-case label (report keys, `--explain` output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Extract => "extract",
+            Stage::Reduce => "reduce",
+            Stage::IeCount => "ie-count",
+            Stage::Fixpoint => "fixpoint",
+            Stage::SkipTables => "skip-tables",
+        }
+    }
+}
+
+/// Accumulates per-stage wall time during a build. `Sync`, so stages that
+/// run inside the worker pool (the per-clause `fixpoint`/`skip-tables`
+/// passes) can record into the same profiler; on a multi-thread pool those
+/// two stages therefore report *cumulative task time*, which can exceed the
+/// build's wall clock.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    nanos: [AtomicU64; 5],
+}
+
+impl Profiler {
+    /// Fresh profiler with all stages at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f`, charging its wall time to `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(stage, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Charge `nanos` to `stage` directly.
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        self.nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Freeze the current totals.
+    pub fn snapshot(&self) -> BuildProfile {
+        BuildProfile {
+            nanos: [
+                self.nanos[0].load(Ordering::Relaxed),
+                self.nanos[1].load(Ordering::Relaxed),
+                self.nanos[2].load(Ordering::Relaxed),
+                self.nanos[3].load(Ordering::Relaxed),
+                self.nanos[4].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+/// Frozen per-stage build timings (see [`Profiler`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildProfile {
+    nanos: [u64; 5],
+}
+
+impl BuildProfile {
+    /// Nanoseconds charged to `stage`.
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Milliseconds charged to `stage`.
+    pub fn millis(&self, stage: Stage) -> f64 {
+        self.nanos(stage) as f64 / 1e6
+    }
+
+    /// Total across all stages, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
+impl std::fmt::Display for BuildProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, stage) in STAGES.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {:.1}ms", stage.label(), self.millis(*stage))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
+
+    fn sample(seed: u64) -> Structure {
+        ColoredGraphSpec::balanced(24, DegreeClass::Bounded(3)).generate(seed)
+    }
+
+    #[test]
+    fn gaifman_priming_hits_on_equal_content() {
+        let cache = ArtifactCache::new();
+        let par = lowdeg_par::ParConfig::serial();
+        let a = sample(1);
+        cache.prime_gaifman(&a, &par);
+        assert_eq!(cache.stats(), (0, 1));
+        // equal content, fresh instance: a hit, and the adopted graph is
+        // the one the instance serves afterwards
+        let b = sample(1);
+        cache.prime_gaifman(&b, &par);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(b.degree(), a.degree());
+        // different content: a miss under a different key
+        let c = sample(2);
+        cache.prime_gaifman(&c, &par);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn reduction_core_builds_once_per_key() {
+        let cache = ArtifactCache::new();
+        let par = lowdeg_par::ParConfig::serial();
+        let s = sample(1);
+        let mut builds = 0;
+        let mut get = |k: usize| {
+            cache.reduction_core(s.fingerprint(), 0, k, Epsilon::new(0.5), || {
+                builds += 1;
+                crate::reduction::build_core(&s, 0, k, Epsilon::new(0.5), &par)
+            })
+        };
+        let a = get(1);
+        let b = get(1);
+        assert!(Arc::ptr_eq(&a, &b), "same key returns the same core");
+        let _wider = get(2);
+        assert_eq!(builds, 2, "one build per distinct key");
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn invalidation_hooks_drop_entries() {
+        let cache = ArtifactCache::new();
+        let par = lowdeg_par::ParConfig::serial();
+        let a = sample(3);
+        cache.prime_gaifman(&a, &par);
+        cache.reduction_core(a.fingerprint(), 0, 1, Epsilon::new(0.5), || {
+            crate::reduction::build_core(&a, 0, 1, Epsilon::new(0.5), &par)
+        });
+        assert_eq!(cache.entries(), 2);
+        cache.invalidate(a.fingerprint());
+        assert_eq!(cache.entries(), 0);
+        cache.prime_gaifman(&a, &par);
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
+    }
+
+    #[test]
+    fn profiler_accumulates_per_stage() {
+        let p = Profiler::new();
+        let x = p.time(Stage::Extract, || 21 * 2);
+        assert_eq!(x, 42);
+        p.add(Stage::Fixpoint, 1_500_000);
+        p.add(Stage::Fixpoint, 500_000);
+        let snap = p.snapshot();
+        assert_eq!(snap.nanos(Stage::Fixpoint), 2_000_000);
+        assert!((snap.millis(Stage::Fixpoint) - 2.0).abs() < 1e-9);
+        assert_eq!(snap.nanos(Stage::Reduce), 0);
+        assert!(snap.total_nanos() >= 2_000_000);
+        let shown = snap.to_string();
+        assert!(shown.contains("fixpoint 2.0ms"), "{shown}");
+        assert!(shown.contains("extract"));
+    }
+}

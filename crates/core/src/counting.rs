@@ -10,6 +10,7 @@
 
 use crate::connected_cq::{count_connected, ConnectedError};
 use crate::graph_query::{GraphClause, GraphQuery};
+use lowdeg_index::SliceInterner;
 use lowdeg_logic::{DistCmp, Formula, Var};
 use lowdeg_par::{par_map, ParConfig};
 use lowdeg_storage::Structure;
@@ -199,12 +200,22 @@ pub fn count_clause_with(
     count_clause_with_config(graph, gq, clause, adjacency, &ParConfig::serial())
 }
 
-/// [`count_clause_with`], evaluating the `2^m` inclusion–exclusion terms on
-/// the given worker pool. Each term `N(S)` (the positive-edge count for a
-/// subset `S` of the position pairs) is independent, so the expansion
-/// `Σ_{S⊆neg} (−1)^{|S|} N(S)` fans out per subset; the signed terms are
-/// summed in mask order in an `i128`, which reproduces the serial nested
-/// differences exactly.
+/// [`count_clause_with`] on the given worker pool, evaluating the `2^m`
+/// inclusion–exclusion terms over the **subset lattice** instead of
+/// independently.
+///
+/// The terms `N(S)` for `S ⊆ neg` factor into connected components of the
+/// positive-edge set, and terms adjacent in the lattice (differing by one
+/// flipped atom) share every component not touched by that atom. The walk
+/// visits the masks in Gray-code order, splits each term into components,
+/// and interns each component's canonical signature (members + included
+/// edges, packed via [`SliceInterner`]); a component seen before reuses its
+/// cached count, so each *distinct* component is counted exactly once
+/// across the whole lattice — the per-lattice-step work degenerates to the
+/// component(s) containing the flipped edge. The distinct component counts
+/// fan out over the worker pool; the signed products are then summed in
+/// mask order in an `i128`, which reproduces the per-term evaluation
+/// ([`count_clause_per_term`]) bit for bit.
 pub fn count_clause_with_config(
     graph: &Structure,
     gq: &GraphQuery,
@@ -212,46 +223,164 @@ pub fn count_clause_with_config(
     adjacency: &crate::enumerate::EdgeAdjacency,
     par: &ParConfig,
 ) -> u64 {
+    let (lists, sets, neg) = clause_tables(graph, gq, clause);
+    count_clause_lattice(adjacency, &lists, &sets, &neg, par)
+}
+
+/// The per-term reference evaluation of Lemma 3.5: nested differences, each
+/// term's positive part counted from scratch. Kept as the differential
+/// oracle for the lattice path (see `tests/lattice_ie.rs`); the production
+/// path is [`count_clause_with_config`].
+pub fn count_clause_per_term(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+) -> u64 {
+    let (lists, sets, neg) = clause_tables(graph, gq, clause);
+    ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
+}
+
+/// Candidate lists, their bitsets, and the negated position pairs of one
+/// reduced clause.
+type ClauseTables = (
+    Vec<Vec<lowdeg_storage::Node>>,
+    Vec<NodeSet>,
+    Vec<(usize, usize)>,
+);
+
+fn clause_tables(graph: &Structure, gq: &GraphQuery, clause: &GraphClause) -> ClauseTables {
     let k = gq.k;
     let n = graph.cardinality();
     let lists: Vec<Vec<lowdeg_storage::Node>> = (0..k)
         .map(|i| crate::graph_query::position_list(graph, &clause.colors[i]))
         .collect();
     let sets: Vec<NodeSet> = lists.iter().map(|l| NodeSet::from_sorted(n, l)).collect();
-
     // all unordered position pairs start negated; inclusion–exclusion flips
     // them to positive edges one by one
     let neg: Vec<(usize, usize)> = (0..k)
         .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
         .collect();
+    (lists, sets, neg)
+}
 
-    // Each of the 2^m terms costs a full component count over the candidate
-    // lists, so the per-item threshold is gated on the heavier of (number
-    // of terms, total list length) rather than the term count alone.
-    let masks = 1usize << neg.len();
-    let work: usize = lists.iter().map(|l| l.len()).sum();
-    if neg.len() >= 2 && !par.runs_serial(masks.max(work)) {
-        let mask_ids: Vec<usize> = (0..masks).collect();
-        let terms: Vec<i128> = par_map(par, &mask_ids, |&mask| {
-            let pos_edges: Vec<(usize, usize)> = neg
-                .iter()
-                .enumerate()
-                .filter(|&(b, _)| mask >> b & 1 == 1)
-                .map(|(_, &p)| p)
-                .collect();
-            let term = count_positive_clause(adjacency, &lists, &sets, &pos_edges) as i128;
-            if (mask.count_ones() & 1) == 1 {
-                -term
-            } else {
-                term
+/// Separator between the member run and the edge run of a component
+/// signature (cannot collide with a position index: `k ≤ 64`).
+const SIG_SEP: u32 = u32::MAX;
+
+/// One distinct lattice component, pending its count: the member positions
+/// and the indices (into `neg`) of its included edges.
+struct CompJob {
+    members: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// The subset-lattice evaluation (see [`count_clause_with_config`]).
+fn count_clause_lattice(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    neg: &[(usize, usize)],
+    par: &ParConfig,
+) -> u64 {
+    let k = lists.len();
+    let m = neg.len();
+    let masks = 1usize << m;
+
+    // Pass 1 — walk the lattice in Gray-code order, splitting each term
+    // into components and interning their signatures. Adjacent masks differ
+    // by one flipped edge, so all components untouched by it re-intern to
+    // ids already seen; only genuinely new components become jobs.
+    let mut interner: SliceInterner<u32> = SliceInterner::new();
+    let mut jobs: Vec<CompJob> = Vec::new();
+    // per mask: (sign, component ids in ascending-min-member order)
+    let mut terms: Vec<(bool, Vec<u32>)> = Vec::with_capacity(masks);
+    let mut sig_buf: Vec<u32> = Vec::with_capacity(2 * k + 1 + m);
+    let mut comp = vec![0usize; k];
+    for rank in 0..masks {
+        let mask = rank ^ (rank >> 1); // Gray code: one edge flips per step
+        for (i, c) in comp.iter_mut().enumerate() {
+            *c = i;
+        }
+        fn find(comp: &mut [usize], i: usize) -> usize {
+            if comp[i] != i {
+                let r = find(comp, comp[i]);
+                comp[i] = r;
             }
-        });
-        let total: i128 = terms.iter().sum();
-        debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
-        total.max(0) as u64
-    } else {
-        ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
+            comp[i]
+        }
+        for (b, &(i, j)) in neg.iter().enumerate() {
+            if mask >> b & 1 == 1 {
+                let (a, c) = (find(&mut comp, i), find(&mut comp, j));
+                if a != c {
+                    comp[a] = c;
+                }
+            }
+        }
+        let roots: Vec<usize> = (0..k).map(|i| find(&mut comp, i)).collect();
+        let mut ids: Vec<u32> = Vec::with_capacity(k);
+        // components in ascending-min-member order (the product order of
+        // the per-term path's root set)
+        for leader in 0..k {
+            if roots[..leader].contains(&roots[leader]) {
+                continue;
+            }
+            sig_buf.clear();
+            sig_buf.extend(
+                (0..k)
+                    .filter(|&i| roots[i] == roots[leader])
+                    .map(|i| i as u32),
+            );
+            let members_len = sig_buf.len();
+            sig_buf.push(SIG_SEP);
+            sig_buf.extend(neg.iter().enumerate().filter_map(|(b, &(i, _))| {
+                (mask >> b & 1 == 1 && roots[i] == roots[leader]).then_some(b as u32)
+            }));
+            let id = interner.intern(&sig_buf);
+            if id as usize == jobs.len() {
+                // first occurrence anywhere in the lattice: record the job
+                jobs.push(CompJob {
+                    members: sig_buf[..members_len].iter().map(|&i| i as usize).collect(),
+                    edges: sig_buf[members_len + 1..]
+                        .iter()
+                        .map(|&b| neg[b as usize])
+                        .collect(),
+                });
+            }
+            ids.push(id);
+        }
+        terms.push((mask.count_ones() & 1 == 1, ids));
     }
+
+    // Pass 2 — count each distinct component exactly once. Pure per job, so
+    // the expensive multi-member counts fan out over the worker pool
+    // (order-preserving: results land at their interned id).
+    let counts: Vec<u64> = par_map(par, &jobs, |job| {
+        if job.members.len() == 1 {
+            sets[job.members[0]].len
+        } else {
+            count_component(adjacency, lists, sets, &job.edges, &job.members)
+        }
+    });
+
+    // Pass 3 — signed products in mask order, exact in i128.
+    let mut total: i128 = 0;
+    for (negative, ids) in &terms {
+        let mut product: u64 = 1;
+        for &id in ids {
+            product = product.saturating_mul(counts[id as usize]);
+            if product == 0 {
+                break;
+            }
+        }
+        if *negative {
+            total -= product as i128;
+        } else {
+            total += product as i128;
+        }
+    }
+    debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
+    total.max(0) as u64
 }
 
 fn ie_count(

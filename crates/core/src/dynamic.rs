@@ -44,7 +44,17 @@ pub struct DynamicBlueRed {
     /// stored epoch matches and neither endpoint's adjacency changed
     /// (endpoint changes delete the entries eagerly).
     skip: FxHashMap<(Node, Node), (u64, Option<Node>)>,
+    /// Stale-entry sweep trigger: when an epoch bump leaves the memo larger
+    /// than this, entries from older epochs are evicted (they are pure
+    /// garbage — an epoch mismatch always forces a re-walk — yet without
+    /// the sweep they accumulate without bound across long update/query
+    /// interleavings). `0` (the derived default) means
+    /// [`DEFAULT_SWEEP_THRESHOLD`].
+    sweep_threshold: usize,
 }
+
+/// Default [`DynamicBlueRed::set_sweep_threshold`] value.
+pub const DEFAULT_SWEEP_THRESHOLD: usize = 4096;
 
 impl DynamicBlueRed {
     /// Empty instance.
@@ -143,20 +153,45 @@ impl DynamicBlueRed {
     }
 
     /// Color `y` red: bumps the red epoch (lazy global skip invalidation).
-    /// `O(degree + log n)`.
+    /// `O(degree + log n)` amortized (epoch bumps occasionally sweep the
+    /// memo, see [`DynamicBlueRed::set_sweep_threshold`]).
     pub fn insert_red(&mut self, y: Node) {
         if self.red.insert(y) {
             self.adjacent_pairs += self.adjacent_blues(y);
-            self.red_epoch += 1;
+            self.bump_red_epoch();
         }
     }
 
-    /// Remove red from `y`. `O(degree + log n)`.
+    /// Remove red from `y`. `O(degree + log n)` amortized.
     pub fn delete_red(&mut self, y: Node) {
         if self.red.remove(&y) {
             self.adjacent_pairs -= self.adjacent_blues(y);
-            self.red_epoch += 1;
+            self.bump_red_epoch();
         }
+    }
+
+    /// Advance the red epoch and, when the memo has outgrown the sweep
+    /// threshold, evict every entry stranded at an older epoch. A stale
+    /// entry can never be served again (the lookup re-walks on epoch
+    /// mismatch), so the sweep only reclaims memory; the `O(len)` scan is
+    /// amortized against the ≥ threshold insertions that grew the map.
+    fn bump_red_epoch(&mut self) {
+        self.red_epoch += 1;
+        let threshold = match self.sweep_threshold {
+            0 => DEFAULT_SWEEP_THRESHOLD,
+            t => t,
+        };
+        if self.skip.len() > threshold {
+            let live = self.red_epoch;
+            self.skip.retain(|_, &mut (epoch, _)| epoch == live);
+        }
+    }
+
+    /// Override the stale-entry sweep threshold (see [`DynamicBlueRed`]
+    /// field docs; mainly for tests and memory-tight callers). `0` restores
+    /// [`DEFAULT_SWEEP_THRESHOLD`].
+    pub fn set_sweep_threshold(&mut self, threshold: usize) {
+        self.sweep_threshold = threshold;
     }
 
     fn invalidate_endpoint(&mut self, u: Node) {
@@ -349,6 +384,43 @@ mod tests {
         assert_eq!(d.answers(), vec![]);
         d.delete_edge(Node(0), Node(1));
         assert_eq!(d.answers(), vec![(Node(0), Node(1))]);
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_swept() {
+        let mut d = DynamicBlueRed::new();
+        d.set_sweep_threshold(64);
+        for i in 0..40u32 {
+            d.insert_blue(Node(i));
+            d.insert_red(Node(i + 100));
+        }
+        // every blue is adjacent to the first few reds, so enumeration
+        // populates skip entries for each blue
+        for i in 0..40u32 {
+            d.insert_edge(Node(i), Node(100));
+            d.insert_edge(Node(i), Node(101));
+        }
+        // long update/query interleaving: each round bumps the red epoch,
+        // stranding the previous round's memo entries at a stale epoch
+        let mut peak = 0usize;
+        for round in 0..50u32 {
+            let toggled = Node(200 + (round % 2));
+            if round % 2 == 0 {
+                d.insert_red(toggled);
+            } else {
+                d.delete_red(toggled);
+            }
+            let got = d.answers();
+            assert_eq!(got, oracle(&d), "diverged in round {round}");
+            peak = peak.max(d.cache_entries());
+        }
+        // without the sweep the memo grows by ~40 stale entries per epoch
+        // bump (50 rounds × 40 blues ≫ 2 × threshold); with it, the live
+        // generation plus at most one threshold overshoot remains
+        assert!(
+            peak <= 2 * 64,
+            "skip memo grew unboundedly across epochs: peak {peak}"
+        );
     }
 
     #[test]

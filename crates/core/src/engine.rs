@@ -1,5 +1,6 @@
 //! The public façade tying the pipeline together.
 
+use crate::artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
 use crate::counting::{count_graph_query, count_graph_query_with};
 use crate::enumerate::{Enumerator, SkipMode, VertexStream};
 use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
@@ -22,6 +23,8 @@ use std::ops::ControlFlow;
 pub struct Engine {
     arity: usize,
     kind: EngineKind,
+    /// Per-stage build timings (all zero for sentences).
+    profile: BuildProfile,
 }
 
 #[derive(Debug)]
@@ -70,20 +73,56 @@ impl Engine {
         mode: SkipMode,
         par: &ParConfig,
     ) -> Result<Self, EngineError> {
+        Self::build_full(structure, query, eps, mode, par, None)
+    }
+
+    /// The full entry point: as [`Engine::build_with_config`], optionally
+    /// fed by a cross-build [`ArtifactCache`]. A warm cache skips the
+    /// *extract* stage of the reduction — the whole query-independent
+    /// [`crate::ReductionCore`] (Gaifman graph, near-pair store, cluster
+    /// tuples, type interning, colored graph) — leaving only the per-query
+    /// Step 5 acceptance pass; the resulting engine is bit-identical to a
+    /// cold build — the conformance `cachecheck` oracle enforces this.
+    /// Per-stage timings are recorded in [`Engine::profile`].
+    pub fn build_full(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        mode: SkipMode,
+        par: &ParConfig,
+        cache: Option<&ArtifactCache>,
+    ) -> Result<Self, EngineError> {
         let arity = query.arity();
         if arity == 0 {
             let truth = lowdeg_locality::model_check(structure, query)?;
             return Ok(Engine {
                 arity,
                 kind: EngineKind::Sentence { truth },
+                profile: BuildProfile::default(),
             });
         }
-        let reduction =
-            Reduction::build_with_config(structure, query, eps, DEFAULT_COMBINATION_BUDGET, par)?;
-        let count = count_graph_query_with(reduction.graph(), reduction.query(), par)
-            .expect("reduced clauses are well-formed generalized conjunctions");
-        let enumerator =
-            Enumerator::build_with_config(reduction.graph(), reduction.query(), mode, eps, par);
+        let profiler = Profiler::new();
+        let reduction = Reduction::build_full(
+            structure,
+            query,
+            eps,
+            DEFAULT_COMBINATION_BUDGET,
+            par,
+            cache,
+            &profiler,
+        )?;
+        let count = profiler.time(Stage::IeCount, || {
+            count_graph_query_with(reduction.graph(), reduction.query(), par)
+                .expect("reduced clauses are well-formed generalized conjunctions")
+        });
+        let enumerator = Enumerator::build_full(
+            reduction.graph(),
+            reduction.query(),
+            mode,
+            eps,
+            par,
+            &profiler,
+        );
         let test = TestIndex::from_reduction(reduction, eps);
         Ok(Engine {
             arity,
@@ -92,7 +131,15 @@ impl Engine {
                 enumerator,
                 count,
             },
+            profile: profiler.snapshot(),
         })
+    }
+
+    /// Per-stage build timings (`extract → reduce → ie-count → fixpoint →
+    /// skip-tables`). On a multi-thread pool the fixpoint / skip-table
+    /// stages report cumulative task time, not wall time.
+    pub fn profile(&self) -> &BuildProfile {
+        &self.profile
     }
 
     /// Theorem 2.4: model-check a sentence without building any index.

@@ -33,6 +33,7 @@
 //! `d̂^{3k²}` budget ([`SkipMode::Eager`]), or memoized on demand
 //! ([`SkipMode::Lazy`] — the E10 ablation compares both).
 
+use crate::artifacts::{Profiler, Stage};
 use crate::csr::PairCsr;
 use crate::graph_query::{position_list, GraphClause, GraphQuery};
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
@@ -154,6 +155,7 @@ pub struct LevelPlan {
 }
 
 impl LevelPlan {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         list: Vec<Node>,
         adjacency: &EdgeAdjacency,
@@ -162,6 +164,7 @@ impl LevelPlan {
         mode: SkipMode,
         eps: Epsilon,
         par: &ParConfig,
+        profiler: &Profiler,
     ) -> Self {
         let mut index_in_list = vec![VOID; n_graph];
         for (i, &v) in list.iter().enumerate() {
@@ -196,6 +199,7 @@ impl LevelPlan {
             // round — instead of re-snapshotting the whole relation.
             // Frontier expansion is pure per pair and fans out over the
             // worker pool; dedup against `seen` stays sequential.
+            let fixpoint_started = std::time::Instant::now();
             let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
             let mut frontier: Vec<(u32, u32)> = Vec::new();
             for (u, l) in adjacency.neighbors.iter().enumerate() {
@@ -247,6 +251,10 @@ impl LevelPlan {
                     .collect(),
             );
             let rel = PairCsr::from_pairs(n_graph, pairs);
+            profiler.add(
+                Stage::Fixpoint,
+                fixpoint_started.elapsed().as_nanos() as u64,
+            );
             // estimate table size: Σ_y Σ_{s<k} C(|U(y)|, s)
             let mut est: u64 = 0;
             for &y in &list {
@@ -265,6 +273,7 @@ impl LevelPlan {
                 // (keys, values) runs, then insert sequentially in list
                 // order — the store sees exactly the serial insertion
                 // sequence.
+                let tables_started = std::time::Instant::now();
                 let sentinel = Node(n_graph as u32);
                 let entries: Vec<(Vec<Node>, Vec<u32>)> = par_map(par, &list, |&y| {
                     let u_list = rev.neighbors(y.0);
@@ -297,6 +306,10 @@ impl LevelPlan {
                 skip_store = Some(store);
                 ek = Some(rel);
                 eager_built = true;
+                profiler.add(
+                    Stage::SkipTables,
+                    tables_started.elapsed().as_nanos() as u64,
+                );
             }
         }
 
@@ -398,6 +411,32 @@ impl ClausePlan {
         eps: Epsilon,
         par: &ParConfig,
     ) -> Self {
+        Self::build_full(
+            graph,
+            gq,
+            clause,
+            adjacency,
+            mode,
+            eps,
+            par,
+            &Profiler::new(),
+        )
+    }
+
+    /// As [`ClausePlan::build`], recording `fixpoint` / `skip-tables` stage
+    /// timings in `profiler` (cumulative across levels; on a multi-thread
+    /// pool, concurrent levels sum their task times).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_full(
+        graph: &Structure,
+        gq: &GraphQuery,
+        clause: &GraphClause,
+        adjacency: &EdgeAdjacency,
+        mode: SkipMode,
+        eps: Epsilon,
+        par: &ParConfig,
+        profiler: &Profiler,
+    ) -> Self {
         let k = gq.k;
         let n_graph = graph.cardinality();
         let threshold = (k - 1) * adjacency.max_degree();
@@ -426,6 +465,7 @@ impl ClausePlan {
                     mode,
                     eps,
                     par,
+                    profiler,
                 )),
                 Strategy::Small => None,
             })
@@ -767,9 +807,25 @@ impl Enumerator {
         eps: Epsilon,
         par: &ParConfig,
     ) -> Self {
+        Self::build_full(graph, gq, mode, eps, par, &Profiler::new())
+    }
+
+    /// As [`Enumerator::build_with_config`], recording the `fixpoint` and
+    /// `skip-tables` stage timings in `profiler`. The profiler is shared
+    /// across the par-mapped clause builds ([`Profiler`] is atomic), so on a
+    /// multi-thread pool the recorded nanos are cumulative task time, not
+    /// wall time.
+    pub fn build_full(
+        graph: &Structure,
+        gq: &GraphQuery,
+        mode: SkipMode,
+        eps: Epsilon,
+        par: &ParConfig,
+        profiler: &Profiler,
+    ) -> Self {
         let adjacency = EdgeAdjacency::build(graph, gq.edge);
         let plans = par_map(par, &gq.clauses, |c| {
-            ClausePlan::build(graph, gq, c, &adjacency, mode, eps, par)
+            ClausePlan::build_full(graph, gq, c, &adjacency, mode, eps, par, profiler)
         });
         Enumerator { adjacency, plans }
     }

@@ -3,6 +3,7 @@
 //! surface a user consults when a query preprocesses slowly or the
 //! combination budget trips.
 
+use crate::artifacts::BuildProfile;
 use crate::enumerate::Strategy;
 use crate::Engine;
 use std::fmt;
@@ -16,6 +17,8 @@ pub struct Explain {
     pub reduction: Option<ReductionReport>,
     /// Precomputed answer count.
     pub count: u64,
+    /// Per-stage build timings (all zero for sentences).
+    pub profile: BuildProfile,
 }
 
 /// What Proposition 3.3 produced.
@@ -81,6 +84,7 @@ impl Engine {
             arity: self.arity(),
             reduction,
             count: self.count(),
+            profile: self.profile().clone(),
         }
     }
 }
@@ -115,6 +119,7 @@ impl fmt::Display for Explain {
                     "enumeration: {large} large position(s) across clauses, \
                      {eager} eager skip entries (0 = lazy skip)"
                 )?;
+                writeln!(f, "build stages: {}", self.profile)?;
             }
         }
         Ok(())
@@ -147,6 +152,9 @@ mod tests {
         let rendered = ex.to_string();
         assert!(rendered.contains("locality radius: 0"));
         assert!(rendered.contains("exclusive clauses:"));
+        assert!(rendered.contains("build stages:"));
+        assert!(rendered.contains("extract"));
+        assert!(rendered.contains("ie-count"));
     }
 
     #[test]

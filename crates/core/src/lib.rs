@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod bluered;
 pub mod connected_cq;
 pub mod counting;
@@ -52,9 +53,10 @@ pub mod naive;
 pub mod reduction;
 pub mod testing;
 
+pub use artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
 pub use engine::{AnswerStream, Engine};
 pub use enumerate::{SkipMode, VertexStream};
 pub use error::EngineError;
 pub use graph_query::{position_list, GraphClause, GraphQuery};
-pub use reduction::Reduction;
+pub use reduction::{Reduction, ReductionCore};
 pub use testing::TestIndex;

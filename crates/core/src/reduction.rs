@@ -30,6 +30,7 @@
 //!    disjoint union up to isomorphism). Accepted combinations become the
 //!    exclusive clauses of `ψ₂`; `ψ₁` is the pairwise `¬E` guard.
 
+use crate::artifacts::{ArtifactCache, Profiler, Stage};
 use crate::graph_query::{GraphClause, GraphQuery};
 use crate::EngineError;
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
@@ -69,45 +70,84 @@ fn pack_signature(sig: Option<(u16, u32)>) -> u64 {
 
 /// One cluster vertex `v_(b̄, ι)`.
 #[derive(Clone, Debug)]
-struct VertexInfo {
+pub(crate) struct VertexInfo {
     /// The underlying tuple `b̄` of `A`-elements (may contain repeats).
-    tuple: Vec<Node>,
-    /// Injection id into [`Reduction::iotas`].
-    iota: u16,
+    pub(crate) tuple: Vec<Node>,
+    /// Injection id into [`ReductionCore::iotas`].
+    pub(crate) iota: u16,
     /// Canonical neighborhood type.
-    ty: TypeId,
+    pub(crate) ty: TypeId,
+}
+
+/// The query-independent core of the Proposition 3.3 preprocessing:
+/// Steps 3–4 for a given `(structure, r, k, ε)` — the near-pair relation
+/// `R`, the cluster vertices with their interned neighborhood types, and
+/// the colored graph `G` complete with `E`- and `F`-edges. Only Step 5
+/// (the acceptance clauses) depends on the query's matrix, so an
+/// [`ArtifactCache`] shares one `ReductionCore` across every engine built
+/// over the same structure at the same `(r, k, ε)`.
+#[derive(Debug)]
+pub struct ReductionCore {
+    /// The colored graph `G` (colors and edges only; acceptance is per
+    /// query).
+    pub(crate) graph: Structure,
+    /// Pairs of `A`-nodes within distance `2r+1` (the paper's relation `R`
+    /// in Step 5, stored per the Storing Theorem).
+    pub(crate) near: Arc<RadixFuncStore<()>>,
+    /// Cluster vertices; vertex id = `base_n + 1 + index`.
+    pub(crate) vertices: Vec<VertexInfo>,
+    /// Every distinct cluster tuple `b̄`, interned once; probes resolve a
+    /// stack-assembled slice to its id without allocating.
+    pub(crate) tuples: SliceInterner<Node>,
+    /// Packed `(tuple_id, ι) → vertex id` (see [`pack_lookup_key`]).
+    pub(crate) lookup: FxHashMap<u64, Node>,
+    /// All injections `{1..s} → {1..k}`, 0-based; `iotas[id]` lists target
+    /// positions.
+    pub(crate) iotas: Vec<Vec<u8>>,
+    /// Canonical neighborhood types with their representatives (Step 5
+    /// evaluates the matrix on disjoint unions of these).
+    pub(crate) interner: TypeInterner,
+    /// Realized types per cluster size (`types_by_size[s]`).
+    pub(crate) types_by_size: Vec<BTreeSet<TypeId>>,
+    /// The dummy vertex `v_⊥`.
+    pub(crate) dummy: Node,
+    /// `|dom(A)|`.
+    pub(crate) base_n: usize,
+    /// Query arity.
+    pub(crate) k: usize,
+    /// `G`'s edge relation.
+    pub(crate) edge: RelId,
+}
+
+impl ReductionCore {
+    /// The dummy color `C_⊥`.
+    fn cbot(&self) -> RelId {
+        RelId((1 + self.k) as u32)
+    }
+
+    /// The injection color `C_ι`.
+    fn ci(&self, id: u16) -> RelId {
+        RelId((2 + self.k + id as usize) as u32)
+    }
+
+    /// The neighborhood-type color `C_t`.
+    fn ct(&self, t: TypeId) -> RelId {
+        RelId((2 + self.k + self.iotas.len() + t.index()) as u32)
+    }
 }
 
 /// The output of the Proposition 3.3 preprocessing.
 #[derive(Debug)]
 pub struct Reduction {
-    /// The colored graph `G`.
-    graph: Structure,
+    /// The query-independent Steps 3–4 products, possibly shared with an
+    /// [`ArtifactCache`] and other engines over the same structure.
+    core: Arc<ReductionCore>,
     /// The reduced quantifier-free query `ψ` over `G`.
     query: GraphQuery,
     /// Locality radius `r` of the matrix.
     radius: usize,
     /// `2r + 1` — the cluster-separation distance.
     two_r1: usize,
-    /// Query arity.
-    k: usize,
-    /// `|dom(A)|`.
-    base_n: usize,
-    /// The dummy vertex `v_⊥`.
-    dummy: Node,
-    /// Cluster vertices; vertex id = `base_n + 1 + index`.
-    vertices: Vec<VertexInfo>,
-    /// Every distinct cluster tuple `b̄`, interned once; probes resolve a
-    /// stack-assembled slice to its id without allocating.
-    tuples: SliceInterner<Node>,
-    /// Packed `(tuple_id, ι) → vertex id` (see [`pack_lookup_key`]).
-    lookup: FxHashMap<u64, Node>,
-    /// Pairs of `A`-nodes within distance `2r+1` (the paper's relation `R`
-    /// in Step 5, stored per the Storing Theorem).
-    near: RadixFuncStore<()>,
-    /// All injections `{1..s} → {1..k}`, 0-based; `iotas[id]` lists target
-    /// positions.
-    iotas: Vec<Vec<u8>>,
     /// The localized matrix (kept for diagnostics and tests).
     local: LocalQuery,
     /// Accepted clause signatures for O(k) testing: per answer position the
@@ -136,16 +176,36 @@ impl Reduction {
         Self::build_with_config(structure, query, eps, budget, &ParConfig::from_env())
     }
 
-    /// The full entry point: explicit budget and an explicit worker-pool
-    /// configuration. The parallel passes (cluster-tuple enumeration,
-    /// canonical encoding, `E`-edge generation) are order-preserving, so
-    /// the result is identical for every thread count.
+    /// As [`Reduction::build_full`] without a cache or profiler.
     pub fn build_with_config(
         structure: &Structure,
         query: &Query,
         eps: Epsilon,
         budget: u64,
         par: &ParConfig,
+    ) -> Result<Self, EngineError> {
+        Self::build_full(structure, query, eps, budget, par, None, &Profiler::new())
+    }
+
+    /// The full entry point: explicit budget, an explicit worker-pool
+    /// configuration, an optional cross-build [`ArtifactCache`], and a
+    /// [`Profiler`] receiving the `extract` / `reduce` stage timings.
+    ///
+    /// The parallel passes (cluster-tuple enumeration, canonical encoding,
+    /// `E`-edge generation) are order-preserving, so the result is identical
+    /// for every thread count — and identical with or without a cache: the
+    /// cache only memoizes the query-independent [`ReductionCore`] (Gaifman
+    /// graph, near-pair store, cluster vertices with interned types, the
+    /// colored graph `G`), which is itself a deterministic function of the
+    /// structure content and `(r, k, ε)`.
+    pub fn build_full(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        budget: u64,
+        par: &ParConfig,
+        cache: Option<&ArtifactCache>,
+        profiler: &Profiler,
     ) -> Result<Self, EngineError> {
         let k = query.arity();
         assert!(
@@ -155,93 +215,36 @@ impl Reduction {
         let local = localize(structure, query)?;
         let r = local.radius;
         let two_r1 = 2 * r + 1;
-        let rhat = k * two_r1;
-        let n = structure.cardinality();
-        let g = structure.gaifman_with(par);
 
-        // --- Step 5's relation R: pairs within 2r+1, via the Storing Theorem.
-        let mut near = RadixFuncStore::new(n, 2, eps);
-        for a in structure.domain() {
-            for b in g.ball(a, two_r1) {
-                near.insert(&[a, b], ());
+        // --- extract stage: everything that depends only on the structure
+        // content and (r, k, eps) — a warm cache skips the whole stage.
+        let core: Arc<ReductionCore> = profiler.time(Stage::Extract, || match cache {
+            Some(c) => {
+                c.prime_gaifman(structure, par);
+                c.reduction_core(structure.fingerprint(), r, k, eps, || {
+                    build_core(structure, r, k, eps, par)
+                })
             }
-        }
+            None => Arc::new(build_core(structure, r, k, eps, par)),
+        });
 
-        // --- injections ι : {1..s} → {1..k}
-        let iotas = all_injections(k);
+        let reduce_started = std::time::Instant::now();
+
         let iota_id = |positions: &[u8]| -> u16 {
-            iotas
+            core.iotas
                 .iter()
                 .position(|io| io.as_slice() == positions)
                 .expect("every injection enumerated") as u16
         };
 
-        // --- Step 3/4: cluster vertices with canonical types.
-        //
-        // The two expensive phases — connected-tuple enumeration per anchor
-        // and the canonical encoding of each tuple's neighborhood — are
-        // pure per item, so they fan out over the shared worker pool
-        // (`lowdeg-par`). Interning stays sequential (in anchor order),
-        // which keeps type-id assignment deterministic.
-        let anchors: Vec<Node> = structure.domain().collect();
-
-        // Phase A: connected cluster tuples, per anchor (parallel).
-        let tuples: Vec<Vec<Node>> = par_flat_map(par, &anchors, |&a| {
-            let ball = g.ball(a, rhat);
-            let mut local: Vec<Vec<Node>> = Vec::new();
-            let mut tuple: Vec<Node> = Vec::with_capacity(k);
-            tuple.push(a);
-            enumerate_cluster_tuples(&ball, k, &near, &mut tuple, &mut |t: &[Node]| {
-                local.push(t.to_vec());
-            });
-            local
-        });
-
-        // Phase B: canonical encodings (parallel), then deterministic
-        // sequential interning; representatives are recomputed only for the
-        // first occurrence of each type.
-        let encodings: Vec<Vec<u8>> = par_map(par, &tuples, |t| {
-            let nb = structure.neighborhood_of_tuple(t, r);
-            let local_tuple: Vec<Node> = t
-                .iter()
-                .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
-                .collect();
-            lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple)
-        });
-
-        let mut interner = TypeInterner::new();
-        let mut vertices: Vec<VertexInfo> = Vec::new();
-        let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
-        for (t, enc) in tuples.iter().zip(encodings) {
-            let ty = interner.intern_encoded(enc, || {
-                let nb = structure.neighborhood_of_tuple(t, r);
-                let local_tuple: Vec<Node> = t
-                    .iter()
-                    .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
-                    .collect();
-                (nb.structure().clone(), local_tuple)
-            });
-            types_by_size[t.len()].insert(ty);
-            for (id, io) in iotas.iter().enumerate() {
-                if io.len() == t.len() {
-                    vertices.push(VertexInfo {
-                        tuple: t.clone(),
-                        iota: id as u16,
-                        ty,
-                    });
-                }
-            }
-        }
-
         // --- Step 5: acceptance per partition × type combination.
         let partitions = all_partitions(k);
         let mut clauses: Vec<GraphClause> = Vec::new();
-        // Color naming scheme below; remember ids once the signature exists.
         let mut combo_total: u64 = 0;
         for p in &partitions {
             let mut c: u64 = 1;
             for part in p {
-                c = c.saturating_mul(types_by_size[part.len()].len() as u64);
+                c = c.saturating_mul(core.types_by_size[part.len()].len() as u64);
             }
             combo_total = combo_total.saturating_add(c);
         }
@@ -252,94 +255,6 @@ impl Reduction {
             });
         }
 
-        // --- signature of G
-        let mut sigb = Signature::builder();
-        let e_decl = sigb.relation("E", 2).expect("fresh signature");
-        for i in 0..k {
-            sigb.relation(&format!("F{}", i + 1), 2).expect("fresh");
-        }
-        sigb.relation("Cbot", 1).expect("fresh");
-        for (id, io) in iotas.iter().enumerate() {
-            let name = format!(
-                "CI{id}_{}",
-                io.iter()
-                    .map(|p| p.to_string())
-                    .collect::<Vec<_>>()
-                    .join("_")
-            );
-            sigb.relation(&name, 1).expect("fresh");
-        }
-        for t in 0..interner.len() {
-            sigb.relation(&format!("CT{t}"), 1).expect("fresh");
-        }
-        let tau = Arc::new(sigb.finish());
-        let e = e_decl;
-        let f_rel = |i: usize| RelId((1 + i) as u32);
-        let cbot = RelId((1 + k) as u32);
-        let ci = |id: u16| RelId((2 + k + id as usize) as u32);
-        let ct = |t: TypeId| RelId((2 + k + iotas.len() + t.index()) as u32);
-
-        // --- build G
-        let dummy = Node(n as u32);
-        let vertex_node = |idx: usize| Node((n + 1 + idx) as u32);
-        let total = n + 1 + vertices.len();
-        let mut gb = Structure::builder(tau.clone(), total);
-        gb.fact(cbot, &[dummy]).expect("in range");
-
-        // element → incident vertices
-        let mut incidence: FxHashMap<Node, Vec<u32>> = FxHashMap::default();
-        let mut tuple_arena: SliceInterner<Node> = SliceInterner::new();
-        let mut lookup: FxHashMap<u64, Node> = FxHashMap::default();
-        for (idx, v) in vertices.iter().enumerate() {
-            let vn = vertex_node(idx);
-            gb.fact(ci(v.iota), &[vn]).expect("in range");
-            gb.fact(ct(v.ty), &[vn]).expect("in range");
-            let io = &iotas[v.iota as usize];
-            for (j, &b) in v.tuple.iter().enumerate() {
-                gb.fact(f_rel(io[j] as usize), &[vn, b]).expect("in range");
-            }
-            let mut seen = BTreeSet::new();
-            for &b in &v.tuple {
-                if seen.insert(b) {
-                    incidence.entry(b).or_default().push(idx as u32);
-                }
-            }
-            let tid = tuple_arena.intern(&v.tuple);
-            lookup.insert(pack_lookup_key(tid, v.iota), vn);
-        }
-
-        // E-edges: vertices whose elements come within 2r+1. Computed per
-        // source vertex (parallel), deduped per vertex, collected flat
-        // (this relation dominates the memory footprint of G) and handed to
-        // the builder's bulk path.
-        let indexed: Vec<(usize, &VertexInfo)> = vertices.iter().enumerate().collect();
-        let edges: Vec<(Node, Node)> = par_flat_map(par, &indexed, |&(idx, v)| {
-            let mut reached: Vec<Node> = Vec::new();
-            for &b in &v.tuple {
-                reached.extend(g.ball_unsorted(b, two_r1));
-            }
-            reached.sort_unstable();
-            reached.dedup();
-            let mut targets: Vec<u32> = Vec::new();
-            for &c in &reached {
-                if let Some(ws) = incidence.get(&c) {
-                    targets.extend(ws.iter().copied());
-                }
-            }
-            targets.sort_unstable();
-            targets.dedup();
-            let vn = vertex_node(idx);
-            targets
-                .into_iter()
-                .filter(|&w| w as usize != idx)
-                .map(|w| (vn, vertex_node(w as usize)))
-                .collect()
-        });
-        gb.bulk_binary(e, edges).expect("in range");
-
-        let graph = gb.finish().expect("non-empty");
-
-        // --- acceptance clauses
         let mut accepted: FxHashSet<Box<[u64]>> = FxHashSet::default();
         for p in &partitions {
             let ell = p.len();
@@ -347,7 +262,7 @@ impl Reduction {
             let part_iotas: Vec<u16> = p.iter().map(|part| iota_id(part)).collect();
             let size_types: Vec<Vec<TypeId>> = p
                 .iter()
-                .map(|part| types_by_size[part.len()].iter().copied().collect())
+                .map(|part| core.types_by_size[part.len()].iter().copied().collect())
                 .collect();
             let mut combo: Vec<usize> = vec![0; ell];
             if size_types.iter().any(|ts| ts.is_empty()) {
@@ -359,15 +274,15 @@ impl Reduction {
                     .zip(&size_types)
                     .map(|(&i, ts)| ts[i])
                     .collect();
-                if accepts_combo(&local, query, &interner, p, &tys) {
+                if accepts_combo(&local, query, &core.interner, p, &tys) {
                     let mut colors: Vec<Vec<RelId>> = Vec::with_capacity(k);
                     let mut signature: Vec<u64> = Vec::with_capacity(k);
                     for j in 0..ell {
-                        colors.push(vec![ci(part_iotas[j]), ct(tys[j])]);
+                        colors.push(vec![core.ci(part_iotas[j]), core.ct(tys[j])]);
                         signature.push(pack_signature(Some((part_iotas[j], tys[j].0))));
                     }
                     for _ in ell..k {
-                        colors.push(vec![cbot]);
+                        colors.push(vec![core.cbot()]);
                         signature.push(pack_signature(None));
                     }
                     clauses.push(GraphClause { colors });
@@ -394,23 +309,17 @@ impl Reduction {
 
         let query_out = GraphQuery {
             k,
-            edge: e,
+            edge: core.edge,
             clauses,
         };
 
+        profiler.add(Stage::Reduce, reduce_started.elapsed().as_nanos() as u64);
+
         Ok(Reduction {
-            graph,
+            core,
             query: query_out,
             radius: r,
             two_r1,
-            k,
-            base_n: n,
-            dummy,
-            vertices,
-            tuples: tuple_arena,
-            lookup,
-            near,
-            iotas,
             local,
             accepted,
         })
@@ -418,7 +327,7 @@ impl Reduction {
 
     /// The colored graph `G`.
     pub fn graph(&self) -> &Structure {
-        &self.graph
+        &self.core.graph
     }
 
     /// The reduced query `ψ`.
@@ -438,7 +347,7 @@ impl Reduction {
 
     /// Query arity `k`.
     pub fn arity(&self) -> usize {
-        self.k
+        self.core.k
     }
 
     /// The localized matrix used for the reduction.
@@ -448,7 +357,7 @@ impl Reduction {
 
     /// Number of cluster vertices (the `|V|` of Step 3).
     pub fn cluster_count(&self) -> usize {
-        self.vertices.len()
+        self.core.vertices.len()
     }
 
     /// `f(ā)`: map a tuple of `A`-elements to graph vertices, in `O(k²)`
@@ -458,17 +367,17 @@ impl Reduction {
     /// a stack buffer and resolved through the tuple interner, and the
     /// vertex lookup probes with a packed integer key.
     fn forward_write(&self, tuple: &[Node], out: &mut [Node]) -> Result<(), EngineError> {
-        let k = self.k;
+        let k = self.core.k;
         if tuple.len() != k {
             return Err(EngineError::Arity {
                 expected: k,
                 got: tuple.len(),
             });
         }
-        if let Some(&bad) = tuple.iter().find(|c| c.index() >= self.base_n) {
+        if let Some(&bad) = tuple.iter().find(|c| c.index() >= self.core.base_n) {
             return Err(EngineError::NodeOutOfDomain {
                 node: bad.0,
-                domain: self.base_n,
+                domain: self.core.base_n,
             });
         }
         assert!(k <= MAX_ARITY, "arity above {MAX_ARITY} is unsupported");
@@ -484,7 +393,7 @@ impl Reduction {
         }
         for i in 0..k {
             for j in (i + 1)..k {
-                if comp[i] & comp[j] == 0 && self.near.contains_key(&[tuple[i], tuple[j]]) {
+                if comp[i] & comp[j] == 0 && self.core.near.contains_key(&[tuple[i], tuple[j]]) {
                     let merged = comp[i] | comp[j];
                     for m in comp.iter_mut().take(k) {
                         if *m & merged != 0 {
@@ -514,22 +423,25 @@ impl Reduction {
                 bits &= bits - 1;
             }
             let io = self
+                .core
                 .iotas
                 .iter()
                 .position(|io| io.as_slice() == &pos_buf[..s])
                 .expect("part is an injection") as u16;
             let tid = self
+                .core
                 .tuples
                 .lookup(&b_buf[..s])
                 .expect("every connected tuple has a cluster vertex");
             out[emitted] = *self
+                .core
                 .lookup
                 .get(&pack_lookup_key(tid, io))
                 .expect("every connected tuple has a cluster vertex");
             emitted += 1;
         }
         for slot in out.iter_mut().take(k).skip(emitted) {
-            *slot = self.dummy;
+            *slot = self.core.dummy;
         }
         Ok(())
     }
@@ -537,7 +449,7 @@ impl Reduction {
     /// `f(ā)` as a freshly allocated `Vec` (see [`Reduction::forward_into`]
     /// for the buffer-reusing variant).
     pub fn forward(&self, tuple: &[Node]) -> Result<Vec<Node>, EngineError> {
-        let mut out = vec![self.dummy; self.k];
+        let mut out = vec![self.core.dummy; self.core.k];
         self.forward_write(tuple, &mut out)?;
         Ok(out)
     }
@@ -546,7 +458,7 @@ impl Reduction {
     /// `k` graph vertices. No allocation once `out` has capacity `k`.
     pub fn forward_into(&self, tuple: &[Node], out: &mut Vec<Node>) -> Result<(), EngineError> {
         out.clear();
-        out.resize(self.k, self.dummy);
+        out.resize(self.core.k, self.core.dummy);
         self.forward_write(tuple, out)
     }
 
@@ -554,7 +466,7 @@ impl Reduction {
     /// when the tuple is not in the image of `f` (e.g. overlapping clusters
     /// or a dummy in a cluster position).
     pub fn backward(&self, vertices: &[Node]) -> Option<Vec<Node>> {
-        let mut out = Vec::with_capacity(self.k);
+        let mut out = Vec::with_capacity(self.core.k);
         self.backward_into(vertices, &mut out).then_some(out)
     }
 
@@ -563,7 +475,7 @@ impl Reduction {
     /// `v̄` is not in the image of `f`. No allocation once `out` has
     /// capacity `k` — this is the answer-streaming hot path.
     pub fn backward_into(&self, vertices: &[Node], out: &mut Vec<Node>) -> bool {
-        if vertices.len() != self.k {
+        if vertices.len() != self.core.k {
             return false;
         }
         // A base element never carries id u32::MAX: the graph's domain
@@ -571,18 +483,18 @@ impl Reduction {
         // larger than the base.
         const UNSET: Node = Node(u32::MAX);
         out.clear();
-        out.resize(self.k, UNSET);
+        out.resize(self.core.k, UNSET);
         for &v in vertices {
-            if v == self.dummy {
+            if v == self.core.dummy {
                 continue;
             }
-            let Some(idx) = v.index().checked_sub(self.base_n + 1) else {
+            let Some(idx) = v.index().checked_sub(self.core.base_n + 1) else {
                 return false;
             };
-            let Some(info) = self.vertices.get(idx) else {
+            let Some(info) = self.core.vertices.get(idx) else {
                 return false;
             };
-            let io = &self.iotas[info.iota as usize];
+            let io = &self.core.iotas[info.iota as usize];
             for (j, &b) in info.tuple.iter().enumerate() {
                 let pos = io[j] as usize;
                 if out[pos] != UNSET {
@@ -598,14 +510,17 @@ impl Reduction {
     /// by tests; [`crate::TestIndex`] provides the constant-time variant.
     pub fn test_via_graph(&self, tuple: &[Node]) -> Result<bool, EngineError> {
         let v = self.forward(tuple)?;
-        Ok(self.query.accepts(&self.graph, &v))
+        Ok(self.query.accepts(&self.core.graph, &v))
     }
 
     /// The `(ι, type)` signature of a graph vertex (`None` for the dummy
     /// and for base `A`-nodes).
     pub fn vertex_signature(&self, v: Node) -> Option<(u16, u32)> {
-        let idx = v.index().checked_sub(self.base_n + 1)?;
-        self.vertices.get(idx).map(|info| (info.iota, info.ty.0))
+        let idx = v.index().checked_sub(self.core.base_n + 1)?;
+        self.core
+            .vertices
+            .get(idx)
+            .map(|info| (info.iota, info.ty.0))
     }
 
     /// O(k²) membership test through the accepted-signature set.
@@ -616,7 +531,7 @@ impl Reduction {
     /// hence `ψ₁` always holds on images of `f` and membership reduces to a
     /// single hash probe of the `(ι, type)` signature.
     pub fn test_signature(&self, tuple: &[Node]) -> Result<bool, EngineError> {
-        let k = self.k;
+        let k = self.core.k;
         let mut v_buf = [Node(0); MAX_ARITY];
         self.forward_write(tuple, &mut v_buf[..k])?;
         let mut sig_buf = [0u64; MAX_ARITY];
@@ -624,6 +539,191 @@ impl Reduction {
             *s = pack_signature(self.vertex_signature(u));
         }
         Ok(self.accepted.contains(&sig_buf[..k]))
+    }
+}
+
+/// The query-independent Steps 3–4 of Proposition 3.3, factored out so an
+/// [`ArtifactCache`] can memoize the result per `(structure, r, k, eps)`:
+/// the near-pair relation `R` (Step 5, via the Storing Theorem), the
+/// connected cluster tuples (Step 3), each tuple's canonical neighborhood
+/// type (Step 4), and the colored graph `G` with its `E`- and `F`-edges.
+pub(crate) fn build_core(
+    structure: &Structure,
+    r: usize,
+    k: usize,
+    eps: Epsilon,
+    par: &ParConfig,
+) -> ReductionCore {
+    let two_r1 = 2 * r + 1;
+    let rhat = k * two_r1;
+    let n = structure.cardinality();
+    let g = structure.gaifman_with(par);
+
+    // --- Step 5's relation R: pairs within 2r+1.
+    let mut near = RadixFuncStore::new(n, 2, eps);
+    for a in structure.domain() {
+        for b in g.ball(a, two_r1) {
+            near.insert(&[a, b], ());
+        }
+    }
+
+    // The two expensive phases — connected-tuple enumeration per anchor and
+    // the canonical encoding of each tuple's neighborhood — are pure per
+    // item, so they fan out over the shared worker pool (`lowdeg-par`).
+    let anchors: Vec<Node> = structure.domain().collect();
+
+    // Phase A: connected cluster tuples, per anchor (parallel).
+    let tuples: Vec<Vec<Node>> = par_flat_map(par, &anchors, |&a| {
+        let ball = g.ball(a, rhat);
+        let mut local: Vec<Vec<Node>> = Vec::new();
+        let mut tuple: Vec<Node> = Vec::with_capacity(k);
+        tuple.push(a);
+        enumerate_cluster_tuples(&ball, k, &near, &mut tuple, &mut |t: &[Node]| {
+            local.push(t.to_vec());
+        });
+        local
+    });
+
+    // Phase B: canonical encodings (parallel).
+    let encodings: Vec<Vec<u8>> = par_map(par, &tuples, |t| {
+        let nb = structure.neighborhood_of_tuple(t, r);
+        let local_tuple: Vec<Node> = t
+            .iter()
+            .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+            .collect();
+        lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple)
+    });
+
+    // --- injections ι : {1..s} → {1..k}
+    let iotas = all_injections(k);
+
+    // Deterministic sequential interning (in anchor order, so type-id
+    // assignment is reproducible); representatives are recomputed only
+    // for the first occurrence of each type.
+    let mut interner = TypeInterner::new();
+    let mut vertices: Vec<VertexInfo> = Vec::new();
+    let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
+    for (t, enc) in tuples.iter().zip(encodings) {
+        let ty = interner.intern_encoded(enc, || {
+            let nb = structure.neighborhood_of_tuple(t, r);
+            let local_tuple: Vec<Node> = t
+                .iter()
+                .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+                .collect();
+            (nb.structure().clone(), local_tuple)
+        });
+        types_by_size[t.len()].insert(ty);
+        for (id, io) in iotas.iter().enumerate() {
+            if io.len() == t.len() {
+                vertices.push(VertexInfo {
+                    tuple: t.clone(),
+                    iota: id as u16,
+                    ty,
+                });
+            }
+        }
+    }
+
+    // --- signature of G
+    let mut sigb = Signature::builder();
+    let e_decl = sigb.relation("E", 2).expect("fresh signature");
+    for i in 0..k {
+        sigb.relation(&format!("F{}", i + 1), 2).expect("fresh");
+    }
+    sigb.relation("Cbot", 1).expect("fresh");
+    for (id, io) in iotas.iter().enumerate() {
+        let name = format!(
+            "CI{id}_{}",
+            io.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join("_")
+        );
+        sigb.relation(&name, 1).expect("fresh");
+    }
+    for t in 0..interner.len() {
+        sigb.relation(&format!("CT{t}"), 1).expect("fresh");
+    }
+    let tau = Arc::new(sigb.finish());
+    let e = e_decl;
+    let f_rel = |i: usize| RelId((1 + i) as u32);
+    let cbot = RelId((1 + k) as u32);
+    let ci = |id: u16| RelId((2 + k + id as usize) as u32);
+    let ct = |t: TypeId| RelId((2 + k + iotas.len() + t.index()) as u32);
+
+    // --- build G
+    let dummy = Node(n as u32);
+    let vertex_node = |idx: usize| Node((n + 1 + idx) as u32);
+    let total = n + 1 + vertices.len();
+    let mut gb = Structure::builder(tau.clone(), total);
+    gb.fact(cbot, &[dummy]).expect("in range");
+
+    // element → incident vertices
+    let mut incidence: FxHashMap<Node, Vec<u32>> = FxHashMap::default();
+    let mut tuple_arena: SliceInterner<Node> = SliceInterner::new();
+    let mut lookup: FxHashMap<u64, Node> = FxHashMap::default();
+    for (idx, v) in vertices.iter().enumerate() {
+        let vn = vertex_node(idx);
+        gb.fact(ci(v.iota), &[vn]).expect("in range");
+        gb.fact(ct(v.ty), &[vn]).expect("in range");
+        let io = &iotas[v.iota as usize];
+        for (j, &b) in v.tuple.iter().enumerate() {
+            gb.fact(f_rel(io[j] as usize), &[vn, b]).expect("in range");
+        }
+        let mut seen = BTreeSet::new();
+        for &b in &v.tuple {
+            if seen.insert(b) {
+                incidence.entry(b).or_default().push(idx as u32);
+            }
+        }
+        let tid = tuple_arena.intern(&v.tuple);
+        lookup.insert(pack_lookup_key(tid, v.iota), vn);
+    }
+
+    // E-edges: vertices whose elements come within 2r+1. Computed per
+    // source vertex (parallel), deduped per vertex, collected flat
+    // (this relation dominates the memory footprint of G) and handed to
+    // the builder's bulk path.
+    let indexed: Vec<(usize, &VertexInfo)> = vertices.iter().enumerate().collect();
+    let edges: Vec<(Node, Node)> = par_flat_map(par, &indexed, |&(idx, v)| {
+        let mut reached: Vec<Node> = Vec::new();
+        for &b in &v.tuple {
+            reached.extend(g.ball_unsorted(b, two_r1));
+        }
+        reached.sort_unstable();
+        reached.dedup();
+        let mut targets: Vec<u32> = Vec::new();
+        for &c in &reached {
+            if let Some(ws) = incidence.get(&c) {
+                targets.extend(ws.iter().copied());
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        let vn = vertex_node(idx);
+        targets
+            .into_iter()
+            .filter(|&w| w as usize != idx)
+            .map(|w| (vn, vertex_node(w as usize)))
+            .collect()
+    });
+    gb.bulk_binary(e, edges).expect("in range");
+
+    let graph = gb.finish().expect("non-empty");
+
+    ReductionCore {
+        graph,
+        near: Arc::new(near),
+        vertices,
+        tuples: tuple_arena,
+        lookup,
+        iotas,
+        interner,
+        types_by_size,
+        dummy,
+        base_n: n,
+        k,
+        edge: e,
     }
 }
 
