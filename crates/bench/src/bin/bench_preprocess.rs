@@ -32,7 +32,7 @@ use lowdeg_index::Epsilon;
 use lowdeg_logic::{parse_query, Query};
 use lowdeg_par::ParConfig;
 use lowdeg_storage::Structure;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 const EPS: f64 = 0.5;
@@ -140,6 +140,11 @@ fn main() {
             // crates/bench → repo root
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_preprocess.json")
         });
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let scales: &[usize] = if quick {
         &[1 << 10, 1 << 11]
@@ -179,6 +184,108 @@ fn main() {
     let json = render_json(&results, quick, cores, par.threads());
     std::fs::write(&out, json).expect("write BENCH_preprocess.json");
     println!("wrote {}", out.display());
+
+    if let Some(bp) = baseline {
+        gate_against_baseline(&results, &bp);
+    }
+}
+
+/// Uncached/cached floors enforced by `--baseline` at the largest measured
+/// scale: the radix extraction rewrite must hold at least these speedups
+/// over the committed pre-rewrite numbers.
+const GATE_UNCACHED_SPEEDUP: f64 = 5.0;
+const GATE_CACHED_SPEEDUP: f64 = 2.0;
+/// Extraction may take at most this share of an uncached build.
+const GATE_EXTRACT_RATIO: f64 = 0.4;
+
+/// Pull a `"key": <number>` field out of a JSON chunk (flat numeric fields
+/// only — all this binary ever writes).
+fn field_f64(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = chunk.find(&pat)? + pat.len();
+    let rest = chunk[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The baseline entry for scale `n`: `(uncached_ms, cached_ms, count)`.
+fn baseline_scale(text: &str, n: usize) -> Option<(f64, f64, u64)> {
+    // each scale entry starts `{"n": <n>,`; scan entry-by-entry
+    let mut rest = text;
+    while let Some(i) = rest.find("{\"n\":") {
+        let chunk_end = rest[i..]
+            .find("{\"n\":")
+            .and_then(|_| rest[i + 1..].find("{\"n\":").map(|j| i + 1 + j))
+            .unwrap_or(rest.len());
+        let chunk = &rest[i..chunk_end];
+        if field_f64(chunk, "n") == Some(n as f64) {
+            return Some((
+                field_f64(chunk, "uncached_ms")?,
+                field_f64(chunk, "cached_ms")?,
+                field_f64(chunk, "count_uncached")? as u64,
+            ));
+        }
+        rest = &rest[chunk_end..];
+    }
+    None
+}
+
+/// Compare the freshly measured largest scale against the committed
+/// baseline file and abort (non-zero exit) when any floor is missed:
+/// identical answer count, ≥ [`GATE_UNCACHED_SPEEDUP`]× uncached,
+/// ≥ [`GATE_CACHED_SPEEDUP`]× warm, and extraction at most
+/// [`GATE_EXTRACT_RATIO`] of the uncached build.
+fn gate_against_baseline(results: &[ScaleResult], path: &Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
+    let new = results.last().expect("at least one scale measured");
+    let (base_uncached_ms, base_cached_ms, base_count) = baseline_scale(&text, new.n)
+        .unwrap_or_else(|| {
+            panic!(
+                "baseline {} has no complete entry for n = {}",
+                path.display(),
+                new.n
+            )
+        });
+
+    assert_eq!(
+        new.uncached.count, base_count,
+        "answer count changed vs baseline at n = {}: {} vs {}",
+        new.n, new.uncached.count, base_count
+    );
+
+    let new_uncached_ms = new.uncached.best.as_secs_f64() * 1e3;
+    let new_cached_ms = new.cached.best.as_secs_f64() * 1e3;
+    let uncached_speedup = base_uncached_ms / new_uncached_ms.max(1e-9);
+    let cached_speedup = base_cached_ms / new_cached_ms.max(1e-9);
+    let extract_ratio = new.uncached.profile.millis(Stage::Extract) / new_uncached_ms.max(1e-9);
+    println!(
+        "gate at n = {}: uncached {uncached_speedup:.2}x (need >= {GATE_UNCACHED_SPEEDUP}), \
+         cached {cached_speedup:.2}x (need >= {GATE_CACHED_SPEEDUP}), \
+         extract share {extract_ratio:.3} (need <= {GATE_EXTRACT_RATIO})",
+        new.n
+    );
+    assert!(
+        uncached_speedup >= GATE_UNCACHED_SPEEDUP,
+        "uncached build at n = {} is only {uncached_speedup:.2}x faster than baseline \
+         ({new_uncached_ms:.0} ms vs {base_uncached_ms:.0} ms; need {GATE_UNCACHED_SPEEDUP}x)",
+        new.n
+    );
+    assert!(
+        cached_speedup >= GATE_CACHED_SPEEDUP,
+        "warm build at n = {} is only {cached_speedup:.2}x faster than baseline \
+         ({new_cached_ms:.0} ms vs {base_cached_ms:.0} ms; need {GATE_CACHED_SPEEDUP}x)",
+        new.n
+    );
+    assert!(
+        extract_ratio <= GATE_EXTRACT_RATIO,
+        "extraction takes {extract_ratio:.3} of the uncached build at n = {} \
+         (limit {GATE_EXTRACT_RATIO})",
+        new.n
+    );
+    println!("gate passed");
 }
 
 fn stage_json(p: &BuildProfile) -> String {

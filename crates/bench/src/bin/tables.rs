@@ -588,8 +588,8 @@ fn e9_reduction(cfg: &Cfg) {
             let (engine, dt) =
                 time(|| Engine::build(&s, &q, Epsilon::new(EPS)).expect("localizable"));
             let red = engine.reduction().expect("arity >= 1");
-            let edges = red.graph().relation(red.query().edge).len();
-            let adj = lowdeg_core::enumerate::EdgeAdjacency::build(red.graph(), red.query().edge);
+            let adj = red.adjacency();
+            let edges = adj.pair_count();
             println!(
                 "{label:<22} {n:>8} {:>4} {:>12} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8}",
                 s.degree(),

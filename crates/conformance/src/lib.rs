@@ -23,7 +23,11 @@
 //! * the **artifact-cache oracle** ([`cachecheck`]) — a cold build and
 //!   builds through a priming/warm `ArtifactCache` must yield the same
 //!   count, enumeration order and per-clause plan statistics, and the warm
-//!   build must actually hit the cache.
+//!   build must actually hit the cache;
+//! * the **lattice-walk oracle** ([`latticecheck`]) — per reduced clause,
+//!   the per-term inclusion–exclusion reference, the serial Gray-code
+//!   lattice walk and the sliced parallel walk (slice width swept) must
+//!   agree exactly.
 //!
 //! Failures are shrunk ([`shrink`]) to a minimal pair and serialized as a
 //! JSON witness ([`repro`]) that `lowdeg-conformance replay` re-executes.
@@ -41,6 +45,7 @@ pub mod delay;
 pub mod differential;
 pub mod dynamic;
 pub mod json;
+pub mod latticecheck;
 pub mod metamorphic;
 pub mod parcheck;
 pub mod querygen;

@@ -5,6 +5,7 @@ use crate::delay::{delay_gates, DelayGate};
 use crate::differential::{differential_case, CaseConfig, CaseStats, Disagreement, Mutation};
 use crate::dynamic::dynamic_case;
 use crate::json::Json;
+use crate::latticecheck::latticecheck_case;
 use crate::metamorphic::metamorphic_case;
 use crate::parcheck::parcheck_case;
 use crate::querygen::{QueryGen, QueryShape, ALL_SHAPES};
@@ -232,6 +233,7 @@ fn check_one(case: &Case, cfg: &CaseConfig, inject: Mutation) -> (CaseStats, Vec
         bad.extend(metamorphic_case(&case.s, &case.q, case.case_seed));
         bad.extend(parcheck_case(&case.s, &case.q));
         bad.extend(cachecheck_case(&case.s, &case.q));
+        bad.extend(latticecheck_case(&case.s, &case.q));
     }
     (stats, bad)
 }
@@ -282,6 +284,7 @@ fn aggregate_one(
             b.extend(metamorphic_case(s2, q2, case_seed));
             b.extend(parcheck_case(s2, q2));
             b.extend(cachecheck_case(s2, q2));
+            b.extend(latticecheck_case(s2, q2));
         }
         b.iter().any(|d| d.check == first_check)
     };

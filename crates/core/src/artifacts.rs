@@ -169,12 +169,15 @@ impl std::fmt::Debug for ArtifactCache {
 /// The five build stages the profiler distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
-    /// The query-independent Prop 3.3 core: Gaifman CSR, near-pair store,
-    /// cluster tuples, canonical type interning and the colored graph `G`
-    /// with its `E`/`F`-edges (exactly what [`ArtifactCache`] can skip).
+    /// Gaifman distance-structure extraction from the base database: the
+    /// radix-built Gaifman CSR, the near-pair store, and the connected
+    /// cluster tuples — every pass that only reads edges and distances.
     Extract,
-    /// The per-query remainder of the Prop 3.3 reduction: Step 5
-    /// acceptance clauses.
+    /// Assembly of the Prop 3.3 reduced instance: canonical neighborhood
+    /// types, the colored graph `G` with its `E`/`F`-edges, and the Step 5
+    /// acceptance clauses. A warm [`ArtifactCache`] skips `extract` and
+    /// the query-independent bulk of `reduce` together (the cached
+    /// [`crate::reduction`] core spans both stages).
     Reduce,
     /// Lemma 3.5 counting (the subset-lattice inclusion–exclusion).
     IeCount,
@@ -332,7 +335,7 @@ mod tests {
         let mut get = |k: usize| {
             cache.reduction_core(s.fingerprint(), 0, k, Epsilon::new(0.5), || {
                 builds += 1;
-                crate::reduction::build_core(&s, 0, k, Epsilon::new(0.5), &par)
+                crate::reduction::build_core(&s, 0, k, Epsilon::new(0.5), &par, &Profiler::new())
             })
         };
         let a = get(1);
@@ -350,7 +353,7 @@ mod tests {
         let a = sample(3);
         cache.prime_gaifman(&a, &par);
         cache.reduction_core(a.fingerprint(), 0, 1, Epsilon::new(0.5), || {
-            crate::reduction::build_core(&a, 0, 1, Epsilon::new(0.5), &par)
+            crate::reduction::build_core(&a, 0, 1, Epsilon::new(0.5), &par, &Profiler::new())
         });
         assert_eq!(cache.entries(), 2);
         cache.invalidate(a.fingerprint());

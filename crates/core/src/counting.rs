@@ -241,6 +241,43 @@ pub fn count_clause_per_term(
     ie_count(adjacency, &lists, &sets, &mut Vec::new(), &neg)
 }
 
+/// The single serial Gray-code walk over the full lattice. Oracle entry:
+/// the conformance `latticecheck` oracle compares this, the sliced walk
+/// ([`count_clause_lattice_sliced`]) and the per-term evaluation
+/// ([`count_clause_per_term`]) — all three must agree exactly.
+pub fn count_clause_lattice_serial(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+) -> u64 {
+    let (lists, sets, neg) = clause_tables(graph, gq, clause);
+    let total = lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial());
+    total.max(0) as u64
+}
+
+/// The sliced lattice walk with an explicit slice-bit count, forced even
+/// when the pool would run serially. `bits` is clamped to `[1, m]` (with
+/// `m = 0` falling back to the single walk). Oracle entry — the production
+/// path picks `bits` from the pool size ([`count_clause_with_config`]).
+pub fn count_clause_lattice_sliced(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    bits: usize,
+    par: &ParConfig,
+) -> u64 {
+    let (lists, sets, neg) = clause_tables(graph, gq, clause);
+    let m = neg.len();
+    let total = if m == 0 {
+        lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial())
+    } else {
+        lattice_sum_sliced(adjacency, &lists, &sets, &neg, bits.clamp(1, m), par)
+    };
+    total.max(0) as u64
+}
+
 /// Candidate lists, their bitsets, and the negated position pairs of one
 /// reduced clause.
 type ClauseTables = (
@@ -276,6 +313,13 @@ struct CompJob {
 }
 
 /// The subset-lattice evaluation (see [`count_clause_with_config`]).
+///
+/// Serial pools walk the whole `2^m` lattice once; multi-thread pools slice
+/// the rank space by its top [`lattice_slice_bits`] bits into contiguous
+/// subtrees, each walked independently with its own signature-memo shard
+/// ([`lattice_slice_sum`]), and the signed `i128` partials are summed in
+/// slice order — exact integer addition, so the result is identical to the
+/// single walk (and to [`count_clause_per_term`]) bit for bit.
 fn count_clause_lattice(
     adjacency: &crate::enumerate::EdgeAdjacency,
     lists: &[Vec<lowdeg_storage::Node>],
@@ -283,21 +327,128 @@ fn count_clause_lattice(
     neg: &[(usize, usize)],
     par: &ParConfig,
 ) -> u64 {
-    let k = lists.len();
     let m = neg.len();
     let masks = 1usize << m;
+    let bits = lattice_slice_bits(par, m);
+    let total = if bits == 0 || par.runs_serial(masks) {
+        lattice_sum_single(adjacency, lists, sets, neg, par)
+    } else {
+        lattice_sum_sliced(adjacency, lists, sets, neg, bits, par)
+    };
+    debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
+    total.max(0) as u64
+}
 
-    // Pass 1 — walk the lattice in Gray-code order, splitting each term
-    // into components and interning their signatures. Adjacent masks differ
-    // by one flipped edge, so all components untouched by it re-intern to
-    // ids already seen; only genuinely new components become jobs.
+/// How many top rank bits to slice the lattice walk on for `par`: enough
+/// subtrees for `threads · 4`-way load balancing, capped at `m` (slices of
+/// at least one mask).
+fn lattice_slice_bits(par: &ParConfig, m: usize) -> usize {
+    if par.threads() <= 1 {
+        return 0;
+    }
+    let target = par.threads() * 4;
+    let mut bits = 0usize;
+    while (1usize << bits) < target && bits < m {
+        bits += 1;
+    }
+    bits
+}
+
+/// Single Gray-code walk over the full lattice; distinct-component counts
+/// fan out over the worker pool.
+fn lattice_sum_single(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    neg: &[(usize, usize)],
+    par: &ParConfig,
+) -> i128 {
+    let masks = 1usize << neg.len();
     let mut interner: SliceInterner<u32> = SliceInterner::new();
     let mut jobs: Vec<CompJob> = Vec::new();
-    // per mask: (sign, component ids in ascending-min-member order)
     let mut terms: Vec<(bool, Vec<u32>)> = Vec::with_capacity(masks);
+    lattice_walk_range(
+        lists.len(),
+        neg,
+        0..masks,
+        &mut interner,
+        &mut jobs,
+        &mut terms,
+    );
+    let counts: Vec<u64> = par_map(par, &jobs, |job| count_job(adjacency, lists, sets, job));
+    lattice_partial_sum(&terms, &counts)
+}
+
+/// Sliced walk: each of the `2^bits` contiguous rank subtrees is an
+/// independent job on the pool — own walk, own signature-memo shard, own
+/// serially-counted components, own exact partial. Components shared
+/// between subtrees are counted once *per subtree* (the memo shards are
+/// disjoint); that duplication is the price of a walk with no shared
+/// mutable state.
+fn lattice_sum_sliced(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    neg: &[(usize, usize)],
+    bits: usize,
+    par: &ParConfig,
+) -> i128 {
+    let m = neg.len();
+    debug_assert!(bits >= 1 && bits <= m);
+    let per = (1usize << m) >> bits;
+    let slice_ids: Vec<u32> = (0..(1u32 << bits)).collect();
+    let partials: Vec<i128> = par_map(par, &slice_ids, |&s| {
+        let lo = s as usize * per;
+        lattice_slice_sum(adjacency, lists, sets, neg, lo..lo + per)
+    });
+    partials.iter().sum()
+}
+
+/// One subtree of the sliced walk: walk ranks `lo..hi` in Gray order with a
+/// fresh signature-memo shard and return the slice's exact signed sum.
+fn lattice_slice_sum(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    neg: &[(usize, usize)],
+    ranks: std::ops::Range<usize>,
+) -> i128 {
+    let mut interner: SliceInterner<u32> = SliceInterner::new();
+    let mut jobs: Vec<CompJob> = Vec::new();
+    let mut terms: Vec<(bool, Vec<u32>)> = Vec::with_capacity(ranks.len());
+    lattice_walk_range(
+        lists.len(),
+        neg,
+        ranks,
+        &mut interner,
+        &mut jobs,
+        &mut terms,
+    );
+    let counts: Vec<u64> = jobs
+        .iter()
+        .map(|job| count_job(adjacency, lists, sets, job))
+        .collect();
+    lattice_partial_sum(&terms, &counts)
+}
+
+/// Pass 1 — walk the ranks in Gray-code order, splitting each term into
+/// components and interning their signatures. Adjacent masks differ by one
+/// flipped edge, so all components untouched by it re-intern to ids already
+/// seen; only genuinely new components become jobs. The union-find is
+/// rebuilt per mask (cheap: `k ≤ 8` positions), so any contiguous rank
+/// range walks identically to its portion of the full walk.
+fn lattice_walk_range(
+    k: usize,
+    neg: &[(usize, usize)],
+    ranks: std::ops::Range<usize>,
+    interner: &mut SliceInterner<u32>,
+    jobs: &mut Vec<CompJob>,
+    terms: &mut Vec<(bool, Vec<u32>)>,
+) {
+    let m = neg.len();
     let mut sig_buf: Vec<u32> = Vec::with_capacity(2 * k + 1 + m);
     let mut comp = vec![0usize; k];
-    for rank in 0..masks {
+    for rank in ranks {
         let mask = rank ^ (rank >> 1); // Gray code: one edge flips per step
         for (i, c) in comp.iter_mut().enumerate() {
             *c = i;
@@ -338,7 +489,7 @@ fn count_clause_lattice(
             }));
             let id = interner.intern(&sig_buf);
             if id as usize == jobs.len() {
-                // first occurrence anywhere in the lattice: record the job
+                // first occurrence anywhere in this walk: record the job
                 jobs.push(CompJob {
                     members: sig_buf[..members_len].iter().map(|&i| i as usize).collect(),
                     edges: sig_buf[members_len + 1..]
@@ -351,21 +502,26 @@ fn count_clause_lattice(
         }
         terms.push((mask.count_ones() & 1 == 1, ids));
     }
+}
 
-    // Pass 2 — count each distinct component exactly once. Pure per job, so
-    // the expensive multi-member counts fan out over the worker pool
-    // (order-preserving: results land at their interned id).
-    let counts: Vec<u64> = par_map(par, &jobs, |job| {
-        if job.members.len() == 1 {
-            sets[job.members[0]].len
-        } else {
-            count_component(adjacency, lists, sets, &job.edges, &job.members)
-        }
-    });
+/// Pass 2 — count one distinct component.
+fn count_job(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    job: &CompJob,
+) -> u64 {
+    if job.members.len() == 1 {
+        sets[job.members[0]].len
+    } else {
+        count_component(adjacency, lists, sets, &job.edges, &job.members)
+    }
+}
 
-    // Pass 3 — signed products in mask order, exact in i128.
+/// Pass 3 — signed products in mask order, exact in `i128`.
+fn lattice_partial_sum(terms: &[(bool, Vec<u32>)], counts: &[u64]) -> i128 {
     let mut total: i128 = 0;
-    for (negative, ids) in &terms {
+    for (negative, ids) in terms {
         let mut product: u64 = 1;
         for &id in ids {
             product = product.saturating_mul(counts[id as usize]);
@@ -379,8 +535,7 @@ fn count_clause_lattice(
             total += product as i128;
         }
     }
-    debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
-    total.max(0) as u64
+    total
 }
 
 fn ie_count(
@@ -564,7 +719,7 @@ fn rec_count(
             }
         }
         Some(a) => {
-            for &v in adjacency.neighbors(assigned[a]) {
+            for v in adjacency.neighbors(assigned[a]) {
                 if check(v, assigned) {
                     assigned[pos] = v;
                     rec_count(
@@ -598,8 +753,20 @@ pub fn count_graph_query_with(
     par: &ParConfig,
 ) -> Result<u64, ConnectedError> {
     let adjacency = crate::enumerate::EdgeAdjacency::build(graph, gq.edge);
+    count_graph_query_with_adjacency(graph, gq, &adjacency, par)
+}
+
+/// [`count_graph_query_with`] with a caller-supplied `E`-adjacency. The
+/// engine builds the CSR once and shares it between the ie-count stage and
+/// the enumerator instead of materializing it twice.
+pub fn count_graph_query_with_adjacency(
+    graph: &Structure,
+    gq: &GraphQuery,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    par: &ParConfig,
+) -> Result<u64, ConnectedError> {
     let counts = par_map(par, &gq.clauses, |clause| {
-        count_clause_with_config(graph, gq, clause, &adjacency, par)
+        count_clause_with_config(graph, gq, clause, adjacency, par)
     });
     Ok(counts.iter().sum())
 }
@@ -747,10 +914,11 @@ mod tests {
             }],
         };
         let counted = count_graph_query(&s, &gq).unwrap();
+        let adj = crate::enumerate::EdgeAdjacency::build(&s, e);
         let mut brute = 0u64;
         for x in s.domain() {
             for y in s.domain() {
-                if gq.accepts(&s, &[x, y]) {
+                if gq.accepts(&s, &adj, &[x, y]) {
                     brute += 1;
                 }
             }

@@ -1,7 +1,7 @@
 //! The public façade tying the pipeline together.
 
 use crate::artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
-use crate::counting::{count_graph_query, count_graph_query_with};
+use crate::counting::count_graph_query_with_adjacency;
 use crate::enumerate::{Enumerator, SkipMode, VertexStream};
 use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
 use crate::testing::TestIndex;
@@ -111,13 +111,18 @@ impl Engine {
             cache,
             &profiler,
         )?;
+        // The E-adjacency CSR is part of the reduction core (and so of the
+        // cached extract product): counting, enumeration and the test
+        // paths all share the one copy behind its `Arc`.
+        let adjacency = reduction.adjacency().clone();
         let count = profiler.time(Stage::IeCount, || {
-            count_graph_query_with(reduction.graph(), reduction.query(), par)
+            count_graph_query_with_adjacency(reduction.graph(), reduction.query(), &adjacency, par)
                 .expect("reduced clauses are well-formed generalized conjunctions")
         });
-        let enumerator = Enumerator::build_full(
+        let enumerator = Enumerator::build_full_with_adjacency(
             reduction.graph(),
             reduction.query(),
+            adjacency,
             mode,
             eps,
             par,
@@ -169,8 +174,13 @@ impl Engine {
                             if let Ok(reduction) =
                                 Reduction::build(structure, &inner, Epsilon::default_eps())
                             {
-                                let count = count_graph_query(reduction.graph(), reduction.query())
-                                    .expect("reduced clauses are well-formed");
+                                let count = count_graph_query_with_adjacency(
+                                    reduction.graph(),
+                                    reduction.query(),
+                                    reduction.adjacency(),
+                                    &ParConfig::serial(),
+                                )
+                                .expect("reduced clauses are well-formed");
                                 return Ok(count > 0);
                             }
                         }

@@ -39,6 +39,7 @@ use crate::graph_query::{position_list, GraphClause, GraphQuery};
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
 use lowdeg_par::{par_flat_map, par_map, ParConfig};
 use lowdeg_storage::{Node, Structure};
+use std::sync::Arc;
 
 /// How the `skip` function is materialized.
 ///
@@ -80,43 +81,265 @@ pub const EK_COST_LIMIT: u64 = 50_000_000;
 /// Sentinel for `void` in skip stores.
 const VOID: u32 = u32::MAX;
 
-/// Symmetric `E`-adjacency of the colored graph as sorted neighbor lists.
+/// Symmetric `E`-adjacency of the colored graph. Two storage forms share
+/// one query interface:
+///
+/// * **`Csr`** — one flat sorted neighbor array plus per-vertex offsets,
+///   built from an explicit `E` relation. Used by hand-assembled test
+///   graphs and the brute-force oracles.
+/// * **`Blocks`** — the reduction's native form. `E` connects two cluster
+///   vertices iff their *underlying tuples* are near each other, so the
+///   edge set is fully determined by a tuple-level adjacency CSR plus the
+///   tuple → vertex-block map (vertices of one tuple occupy a contiguous
+///   id range, one per matching-size ι). The vertex-level neighbor list is
+///   never materialized: `neighbors` expands blocks on the fly (ascending
+///   by construction, skipping the vertex itself) and `adjacent` is a
+///   binary search in the tuple row. This keeps the extraction output at
+///   `O(#tuple pairs)` instead of `O(#vertex pairs)` — on dense instances
+///   the difference is the square of the mean ι-block size, gigabytes of
+///   neighbor array that are never written or faulted.
+///
+/// One instance is built per reduction core and shared between counting,
+/// enumeration, and the test index.
 #[derive(Debug, Clone)]
 pub struct EdgeAdjacency {
-    neighbors: Vec<Vec<Node>>,
+    repr: AdjRepr,
+    /// Number of graph nodes (base elements, dummy, and cluster vertices).
+    len: usize,
+    /// Total directed `E`-pair count.
+    pairs: usize,
     max_degree: usize,
 }
 
+#[derive(Debug, Clone)]
+enum AdjRepr {
+    Csr {
+        offsets: Vec<usize>,
+        neighbors: Vec<Node>,
+    },
+    Blocks {
+        /// Node id of the first cluster vertex (`base_n + 1`).
+        first: u32,
+        /// Vertex index → owning tuple index.
+        vtuple: Vec<u32>,
+        /// Tuple index → first vertex index (length `#tuples + 1`).
+        block: Vec<u32>,
+        /// Tuple-adjacency CSR: for each tuple the sorted tuple indices
+        /// within Gaifman distance `2r+1` (always including itself).
+        tadj_off: Vec<usize>,
+        tadj: Vec<u32>,
+    },
+}
+
+/// Iterator over the sorted `E`-neighbors of one vertex (see
+/// [`EdgeAdjacency::neighbors`]).
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a>(NeighborInner<'a>);
+
+#[derive(Debug, Clone)]
+enum NeighborInner<'a> {
+    /// Direct walk over a CSR neighbor run.
+    Slice(std::slice::Iter<'a, Node>),
+    /// Block expansion: remaining adjacent tuples plus the in-flight
+    /// vertex range of the current block, skipping the source vertex.
+    Blocks {
+        adj: std::slice::Iter<'a, u32>,
+        block: &'a [u32],
+        first: u32,
+        cur: u32,
+        end: u32,
+        skip: u32,
+    },
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        match &mut self.0 {
+            NeighborInner::Slice(it) => it.next().copied(),
+            NeighborInner::Blocks {
+                adj,
+                block,
+                first,
+                cur,
+                end,
+                skip,
+            } => loop {
+                if cur < end {
+                    let v = *cur;
+                    *cur += 1;
+                    if v == *skip {
+                        continue;
+                    }
+                    return Some(Node(*first + v));
+                }
+                let &j2 = adj.next()?;
+                *cur = block[j2 as usize];
+                *end = block[j2 as usize + 1];
+            },
+        }
+    }
+}
+
 impl EdgeAdjacency {
-    /// Build from the graph's `E` relation (assumed symmetric, as produced
-    /// by the reduction).
+    /// Build the CSR form from an explicit `E` relation (assumed
+    /// symmetric). The relation is stored sorted and duplicate-free
+    /// ([`lowdeg_storage::Relation`]'s invariant), so this is a single
+    /// counting pass plus a column copy.
     pub fn build(graph: &Structure, edge: lowdeg_storage::RelId) -> Self {
         let n = graph.cardinality();
-        let mut neighbors: Vec<Vec<Node>> = vec![Vec::new(); n];
-        for t in graph.relation(edge).iter() {
-            neighbors[t[0].index()].push(t[1]);
+        let rel = graph.relation(edge);
+        let flat = rel.as_flat();
+        let mut offsets = vec![0usize; n + 1];
+        let mut neighbors: Vec<Node> = Vec::with_capacity(rel.len());
+        for t in flat.chunks_exact(2) {
+            offsets[t[0].index() + 1] += 1;
+            neighbors.push(t[1]);
         }
-        for l in &mut neighbors {
-            l.sort_unstable();
-            l.dedup();
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
-        let max_degree = neighbors.iter().map(|l| l.len()).max().unwrap_or(0);
+        let max_degree = (0..n)
+            .map(|i| offsets[i + 1] - offsets[i])
+            .max()
+            .unwrap_or(0);
         EdgeAdjacency {
-            neighbors,
+            len: n,
+            pairs: neighbors.len(),
             max_degree,
+            repr: AdjRepr::Csr { offsets, neighbors },
         }
     }
 
-    /// Sorted `E`-neighbors of `v`.
+    /// Adopt the reduction's tuple-level join output. `block` maps tuple
+    /// index → first vertex index, `tadj_off`/`tadj` is the tuple-adjacency
+    /// CSR (rows sorted, each containing the tuple itself), and `first` is
+    /// the node id of vertex index 0. Vertex-level degree and pair counts
+    /// follow from the blocks: every vertex of tuple `j` has degree
+    /// `Σ_{j'∈tadj(j)} |block(j')| − 1` (the `−1` skips the vertex itself).
+    pub fn from_blocks(first: u32, block: Vec<u32>, tadj_off: Vec<usize>, tadj: Vec<u32>) -> Self {
+        debug_assert_eq!(block.len(), tadj_off.len());
+        let tuples = block.len() - 1;
+        let n_vertices = *block.last().unwrap_or(&0) as usize;
+        let mut vtuple: Vec<u32> = vec![0u32; n_vertices];
+        let mut pairs: usize = 0;
+        let mut max_degree = 0usize;
+        for j in 0..tuples {
+            let cnt = (block[j + 1] - block[j]) as usize;
+            if cnt == 0 {
+                continue;
+            }
+            for v in block[j]..block[j + 1] {
+                vtuple[v as usize] = j as u32;
+            }
+            let fanout: usize = tadj[tadj_off[j]..tadj_off[j + 1]]
+                .iter()
+                .map(|&j2| (block[j2 as usize + 1] - block[j2 as usize]) as usize)
+                .sum();
+            let degree = fanout - 1; // every row contains `j` itself
+            pairs += cnt * degree;
+            max_degree = max_degree.max(degree);
+        }
+        EdgeAdjacency {
+            len: first as usize + n_vertices,
+            pairs,
+            max_degree,
+            repr: AdjRepr::Blocks {
+                first,
+                vtuple,
+                block,
+                tadj_off,
+                tadj,
+            },
+        }
+    }
+
+    /// Sorted `E`-neighbors of `v` (nodes that are not cluster vertices
+    /// have none).
     #[inline]
-    pub fn neighbors(&self, v: Node) -> &[Node] {
-        &self.neighbors[v.index()]
+    pub fn neighbors(&self, v: Node) -> NeighborIter<'_> {
+        match &self.repr {
+            AdjRepr::Csr { offsets, neighbors } => NeighborIter(NeighborInner::Slice(
+                neighbors[offsets[v.index()]..offsets[v.index() + 1]].iter(),
+            )),
+            AdjRepr::Blocks {
+                first,
+                vtuple,
+                block,
+                tadj_off,
+                tadj,
+            } => {
+                let (adj, skip) = match v.0.checked_sub(*first) {
+                    Some(i) if (i as usize) < vtuple.len() => {
+                        let j = vtuple[i as usize] as usize;
+                        (tadj[tadj_off[j]..tadj_off[j + 1]].iter(), i)
+                    }
+                    _ => ([].iter(), 0),
+                };
+                NeighborIter(NeighborInner::Blocks {
+                    adj,
+                    block,
+                    first: *first,
+                    cur: 0,
+                    end: 0,
+                    skip,
+                })
+            }
+        }
     }
 
     /// `E'(u, v)`?
     #[inline]
     pub fn adjacent(&self, u: Node, v: Node) -> bool {
-        self.neighbors[u.index()].binary_search(&v).is_ok()
+        match &self.repr {
+            AdjRepr::Csr { offsets, neighbors } => neighbors
+                [offsets[u.index()]..offsets[u.index() + 1]]
+                .binary_search(&v)
+                .is_ok(),
+            AdjRepr::Blocks {
+                first,
+                vtuple,
+                tadj_off,
+                tadj,
+                ..
+            } => {
+                if u == v {
+                    return false;
+                }
+                let (Some(iu), Some(iv)) = (u.0.checked_sub(*first), v.0.checked_sub(*first))
+                else {
+                    return false;
+                };
+                if iu as usize >= vtuple.len() || iv as usize >= vtuple.len() {
+                    return false;
+                }
+                let ju = vtuple[iu as usize] as usize;
+                let jv = vtuple[iv as usize];
+                tadj[tadj_off[ju]..tadj_off[ju + 1]]
+                    .binary_search(&jv)
+                    .is_ok()
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total directed `E`-pair count (`|E₁|`).
+    #[inline]
+    pub fn pair_count(&self) -> usize {
+        self.pairs
     }
 
     /// Maximum `E`-degree (`d̃` in the delay threshold).
@@ -173,7 +396,7 @@ impl LevelPlan {
 
         // Decide whether the paper-faithful eager machinery is affordable:
         // materializing E_k costs about |E_1| * maxdeg^2 per expansion round.
-        let e1_pairs: u64 = adjacency.neighbors.iter().map(|l| l.len() as u64).sum();
+        let e1_pairs: u64 = adjacency.pair_count() as u64;
         let dmax = adjacency.max_degree() as u64;
         let ek_cost = e1_pairs
             .saturating_mul(dmax.saturating_mul(dmax))
@@ -202,8 +425,8 @@ impl LevelPlan {
             let fixpoint_started = std::time::Instant::now();
             let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
             let mut frontier: Vec<(u32, u32)> = Vec::new();
-            for (u, l) in adjacency.neighbors.iter().enumerate() {
-                for &y in l {
+            for u in 0..adjacency.len() {
+                for y in adjacency.neighbors(Node(u as u32)) {
                     if seen.insert((u as u32, y.0)) {
                         frontier.push((u as u32, y.0));
                     }
@@ -215,14 +438,14 @@ impl LevelPlan {
                 }
                 let candidates: Vec<(u32, u32)> = par_flat_map(par, &frontier, |&(v, y)| {
                     let mut out = Vec::new();
-                    for &zp in adjacency.neighbors(Node(v)) {
+                    for zp in adjacency.neighbors(Node(v)) {
                         // z' must be a non-final list element; z = next(z')
                         let zi = index_in_list[zp.index()];
                         if zi == VOID || (zi as usize) + 1 >= list.len() {
                             continue;
                         }
                         let z = list[zi as usize + 1];
-                        for &u in adjacency.neighbors(z) {
+                        for u in adjacency.neighbors(z) {
                             out.push((u.0, y));
                         }
                     }
@@ -785,7 +1008,7 @@ impl Iterator for ClauseIter<'_> {
 /// The full preprocessed enumerator: one plan per clause.
 #[derive(Debug)]
 pub struct Enumerator {
-    adjacency: EdgeAdjacency,
+    adjacency: Arc<EdgeAdjacency>,
     plans: Vec<ClausePlan>,
 }
 
@@ -823,7 +1046,22 @@ impl Enumerator {
         par: &ParConfig,
         profiler: &Profiler,
     ) -> Self {
-        let adjacency = EdgeAdjacency::build(graph, gq.edge);
+        let adjacency = Arc::new(EdgeAdjacency::build(graph, gq.edge));
+        Self::build_full_with_adjacency(graph, gq, adjacency, mode, eps, par, profiler)
+    }
+
+    /// As [`Enumerator::build_full`], adopting a caller-built `E`-adjacency
+    /// instead of constructing one. The engine shares a single CSR between
+    /// the ie-count stage and the enumerator.
+    pub fn build_full_with_adjacency(
+        graph: &Structure,
+        gq: &GraphQuery,
+        adjacency: Arc<EdgeAdjacency>,
+        mode: SkipMode,
+        eps: Epsilon,
+        par: &ParConfig,
+        profiler: &Profiler,
+    ) -> Self {
         let plans = par_map(par, &gq.clauses, |c| {
             ClausePlan::build_full(graph, gq, c, &adjacency, mode, eps, par, profiler)
         });
@@ -996,11 +1234,12 @@ mod tests {
         };
 
         // brute force
+        let brute_adj = EdgeAdjacency::build(&g, e);
         let mut expected: BTreeSet<Vec<Node>> = BTreeSet::new();
         let mut counter = vec![0usize; k];
         'outer: loop {
             let tuple: Vec<Node> = counter.iter().map(|&i| node(i as u32)).collect();
-            if gq.accepts(&g, &tuple) {
+            if gq.accepts(&g, &brute_adj, &tuple) {
                 expected.insert(tuple);
             }
             let mut pos = k;

@@ -56,7 +56,7 @@ impl Engine {
     /// Describe what the preprocessing built.
     pub fn explain(&self) -> Explain {
         let reduction = self.reduction().map(|red| {
-            let edges = red.graph().relation(red.query().edge).len();
+            let edges = red.adjacency().pair_count();
             let clause_plans = self
                 .enumerator()
                 .map(|en| {

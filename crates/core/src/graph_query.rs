@@ -9,6 +9,7 @@
 //! disjoint answer sets because every vertex carries exactly one `C_ι` color
 //! and exactly one type color.
 
+use crate::enumerate::EdgeAdjacency;
 use lowdeg_storage::{Node, RelId, Structure};
 
 /// The reduced query `ψ` over the colored graph: `k` positions, an edge
@@ -49,17 +50,21 @@ impl GraphClause {
 }
 
 impl GraphQuery {
-    /// Symmetric adjacency in the `E` relation (`E'` of the paper).
-    pub fn adjacent(&self, graph: &Structure, u: Node, v: Node) -> bool {
-        graph.holds(self.edge, &[u, v]) || graph.holds(self.edge, &[v, u])
+    /// Symmetric adjacency in the `E` relation (`E'` of the paper). `E`
+    /// lives only in the [`EdgeAdjacency`] CSR (the reduction never
+    /// materializes it as a stored relation), so the probe goes through
+    /// the CSR; both directions are checked, tolerating asymmetric
+    /// hand-built inputs.
+    pub fn adjacent(&self, adjacency: &EdgeAdjacency, u: Node, v: Node) -> bool {
+        adjacency.adjacent(u, v) || adjacency.adjacent(v, u)
     }
 
     /// Full semantic check of `ψ` on a tuple of graph vertices.
-    pub fn accepts(&self, graph: &Structure, tuple: &[Node]) -> bool {
+    pub fn accepts(&self, graph: &Structure, adjacency: &EdgeAdjacency, tuple: &[Node]) -> bool {
         debug_assert_eq!(tuple.len(), self.k);
         for i in 0..tuple.len() {
             for j in (i + 1)..tuple.len() {
-                if self.adjacent(graph, tuple[i], tuple[j]) {
+                if self.adjacent(adjacency, tuple[i], tuple[j]) {
                     return false;
                 }
             }
@@ -142,10 +147,11 @@ mod tests {
                 colors: vec![vec![b_], vec![r_]],
             }],
         };
-        assert!(q.accepts(&g, &[node(1), node(3)]));
-        assert!(!q.accepts(&g, &[node(0), node(3)])); // edge violates ψ₁
-        assert!(!q.accepts(&g, &[node(3), node(1)])); // wrong colors
-        assert!(q.accepts(&g, &[node(4), node(4)])); // same node twice, no self edge
+        let adj = EdgeAdjacency::build(&g, e);
+        assert!(q.accepts(&g, &adj, &[node(1), node(3)]));
+        assert!(!q.accepts(&g, &adj, &[node(0), node(3)])); // edge violates ψ₁
+        assert!(!q.accepts(&g, &adj, &[node(3), node(1)])); // wrong colors
+        assert!(q.accepts(&g, &adj, &[node(4), node(4)])); // same node twice, no self edge
     }
 
     #[test]
@@ -156,8 +162,9 @@ mod tests {
             edge: e,
             clauses: vec![],
         };
-        assert!(q.adjacent(&g, node(0), node(3)));
-        assert!(q.adjacent(&g, node(3), node(0)));
-        assert!(!q.adjacent(&g, node(1), node(2)));
+        let adj = EdgeAdjacency::build(&g, e);
+        assert!(q.adjacent(&adj, node(0), node(3)));
+        assert!(q.adjacent(&adj, node(3), node(0)));
+        assert!(!q.adjacent(&adj, node(1), node(2)));
     }
 }

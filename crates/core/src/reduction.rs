@@ -31,13 +31,14 @@
 //!    exclusive clauses of `ψ₂`; `ψ₁` is the pairwise `¬E` guard.
 
 use crate::artifacts::{ArtifactCache, Profiler, Stage};
+use crate::enumerate::EdgeAdjacency;
 use crate::graph_query::{GraphClause, GraphQuery};
 use crate::EngineError;
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
 use lowdeg_locality::{localize, LocalQuery, TypeId, TypeInterner};
 use lowdeg_logic::eval::{eval, Assignment};
 use lowdeg_logic::Query;
-use lowdeg_par::{par_flat_map, par_map, ParConfig};
+use lowdeg_par::{par_flat_map, par_map, par_partition, ParConfig};
 use lowdeg_storage::{Node, RelId, Signature, Structure};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -115,8 +116,15 @@ pub struct ReductionCore {
     pub(crate) base_n: usize,
     /// Query arity.
     pub(crate) k: usize,
-    /// `G`'s edge relation.
+    /// `G`'s edge relation (declared in the signature; the pairs
+    /// themselves live only in [`ReductionCore::adjacency`]).
     pub(crate) edge: RelId,
+    /// The `E`-adjacency CSR — the *only* materialization of `G`'s edges.
+    /// Built once per core straight from the tuple-level join and shared
+    /// (via `Arc`) by counting, enumeration and the test paths; a warm
+    /// artifact cache therefore serves the adjacency along with the rest
+    /// of the extract product.
+    pub(crate) adjacency: Arc<EdgeAdjacency>,
 }
 
 impl ReductionCore {
@@ -216,17 +224,20 @@ impl Reduction {
         let r = local.radius;
         let two_r1 = 2 * r + 1;
 
-        // --- extract stage: everything that depends only on the structure
-        // content and (r, k, eps) — a warm cache skips the whole stage.
-        let core: Arc<ReductionCore> = profiler.time(Stage::Extract, || match cache {
+        // --- query-independent core: everything that depends only on the
+        // structure content and (r, k, eps) — a warm cache skips it
+        // entirely. `build_core` charges its own phases: the Gaifman
+        // distance-structure extraction to `extract`, the reduced-instance
+        // assembly to `reduce`.
+        let core: Arc<ReductionCore> = match cache {
             Some(c) => {
-                c.prime_gaifman(structure, par);
+                profiler.time(Stage::Extract, || c.prime_gaifman(structure, par));
                 c.reduction_core(structure.fingerprint(), r, k, eps, || {
-                    build_core(structure, r, k, eps, par)
+                    build_core(structure, r, k, eps, par, profiler)
                 })
             }
-            None => Arc::new(build_core(structure, r, k, eps, par)),
-        });
+            None => Arc::new(build_core(structure, r, k, eps, par, profiler)),
+        };
 
         let reduce_started = std::time::Instant::now();
 
@@ -328,6 +339,14 @@ impl Reduction {
     /// The colored graph `G`.
     pub fn graph(&self) -> &Structure {
         &self.core.graph
+    }
+
+    /// The shared `E`-adjacency CSR of `G` — the only materialization of
+    /// the edge relation (the `E` [`RelId`] is declared but holds no
+    /// tuples). Cloning the `Arc` is how counting and enumeration share
+    /// one copy.
+    pub fn adjacency(&self) -> &Arc<EdgeAdjacency> {
+        &self.core.adjacency
     }
 
     /// The reduced query `ψ`.
@@ -510,7 +529,9 @@ impl Reduction {
     /// by tests; [`crate::TestIndex`] provides the constant-time variant.
     pub fn test_via_graph(&self, tuple: &[Node]) -> Result<bool, EngineError> {
         let v = self.forward(tuple)?;
-        Ok(self.query.accepts(&self.core.graph, &v))
+        Ok(self
+            .query
+            .accepts(&self.core.graph, &self.core.adjacency, &v))
     }
 
     /// The `(ι, type)` signature of a graph vertex (`None` for the dummy
@@ -547,16 +568,23 @@ impl Reduction {
 /// the near-pair relation `R` (Step 5, via the Storing Theorem), the
 /// connected cluster tuples (Step 3), each tuple's canonical neighborhood
 /// type (Step 4), and the colored graph `G` with its `E`- and `F`-edges.
+///
+/// Charges the [`Profiler`] in two parts: the Gaifman distance-structure
+/// extraction (radix CSR, near pairs, cluster tuples) to
+/// [`Stage::Extract`], the reduced-instance assembly (canonical types,
+/// colors, `E`/`F`-edges) to [`Stage::Reduce`].
 pub(crate) fn build_core(
     structure: &Structure,
     r: usize,
     k: usize,
     eps: Epsilon,
     par: &ParConfig,
+    profiler: &Profiler,
 ) -> ReductionCore {
     let two_r1 = 2 * r + 1;
     let rhat = k * two_r1;
     let n = structure.cardinality();
+    let extract_started = std::time::Instant::now();
     let g = structure.gaifman_with(par);
 
     // --- Step 5's relation R: pairs within 2r+1.
@@ -584,34 +612,50 @@ pub(crate) fn build_core(
         local
     });
 
-    // Phase B: canonical encodings (parallel).
-    let encodings: Vec<Vec<u8>> = par_map(par, &tuples, |t| {
-        let nb = structure.neighborhood_of_tuple(t, r);
-        let local_tuple: Vec<Node> = t
-            .iter()
-            .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
-            .collect();
-        lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple)
+    // Everything up to here reads only the base structure's distance
+    // machinery; everything after assembles the reduced instance.
+    profiler.add(Stage::Extract, extract_started.elapsed().as_nanos() as u64);
+    let assemble_started = std::time::Instant::now();
+
+    // Phase B: exact neighborhood keys (parallel). A key fingerprints the
+    // relabeled r-neighborhood of a tuple precisely — equal keys mean
+    // identical local structures and local tuples — so the serial intern
+    // pass below runs the expensive canonical-encoding pipeline once per
+    // distinct local shape instead of once per tuple.
+    let keys: Vec<Vec<u32>> = par_map(par, &tuples, |t| {
+        let mut key = Vec::new();
+        structure.neighborhood_key_of_tuple(t, r, &mut key);
+        key
     });
 
     // --- injections ι : {1..s} → {1..k}
     let iotas = all_injections(k);
 
     // Deterministic sequential interning (in anchor order, so type-id
-    // assignment is reproducible); representatives are recomputed only
-    // for the first occurrence of each type.
+    // assignment is reproducible); the canonical encoding — and the type
+    // representative — is computed only on each key's first occurrence.
+    // This changes nothing observable: repeated keys would re-derive the
+    // same encoding, and interning an existing encoding returns the same
+    // `TypeId` without touching the interner.
     let mut interner = TypeInterner::new();
     let mut vertices: Vec<VertexInfo> = Vec::new();
     let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
-    for (t, enc) in tuples.iter().zip(encodings) {
-        let ty = interner.intern_encoded(enc, || {
-            let nb = structure.neighborhood_of_tuple(t, r);
-            let local_tuple: Vec<Node> = t
-                .iter()
-                .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
-                .collect();
-            (nb.structure().clone(), local_tuple)
-        });
+    let mut ty_memo: FxHashMap<Vec<u32>, TypeId> = FxHashMap::default();
+    for (t, key) in tuples.iter().zip(keys) {
+        let ty = match ty_memo.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let nb = structure.neighborhood_of_tuple(t, r);
+                let local_tuple: Vec<Node> = t
+                    .iter()
+                    .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+                    .collect();
+                let enc = lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple);
+                *e.insert(
+                    interner.intern_encoded(enc, || (nb.structure().clone(), local_tuple.clone())),
+                )
+            }
+        };
         types_by_size[t.len()].insert(ty);
         for (id, io) in iotas.iter().enumerate() {
             if io.len() == t.len() {
@@ -658,58 +702,164 @@ pub(crate) fn build_core(
     let mut gb = Structure::builder(tau.clone(), total);
     gb.fact(cbot, &[dummy]).expect("in range");
 
-    // element → incident vertices
-    let mut incidence: FxHashMap<Node, Vec<u32>> = FxHashMap::default();
+    // Color and F-edge streams. Vertex ids ascend with the index, and a
+    // vertex contributes at most one fact per relation, so every stream is
+    // strictly sorted by construction and goes through the builder's
+    // pre-sorted bulk paths — `finish` re-sorts nothing.
+    let mut ci_nodes: Vec<Vec<Node>> = vec![Vec::new(); iotas.len()];
+    let mut ct_nodes: Vec<Vec<Node>> = vec![Vec::new(); interner.len()];
+    let mut f_flat: Vec<Vec<Node>> = vec![Vec::new(); k];
     let mut tuple_arena: SliceInterner<Node> = SliceInterner::new();
     let mut lookup: FxHashMap<u64, Node> = FxHashMap::default();
     for (idx, v) in vertices.iter().enumerate() {
         let vn = vertex_node(idx);
-        gb.fact(ci(v.iota), &[vn]).expect("in range");
-        gb.fact(ct(v.ty), &[vn]).expect("in range");
+        ci_nodes[v.iota as usize].push(vn);
+        ct_nodes[v.ty.index()].push(vn);
         let io = &iotas[v.iota as usize];
         for (j, &b) in v.tuple.iter().enumerate() {
-            gb.fact(f_rel(io[j] as usize), &[vn, b]).expect("in range");
-        }
-        let mut seen = BTreeSet::new();
-        for &b in &v.tuple {
-            if seen.insert(b) {
-                incidence.entry(b).or_default().push(idx as u32);
-            }
+            let f = &mut f_flat[io[j] as usize];
+            f.push(vn);
+            f.push(b);
         }
         let tid = tuple_arena.intern(&v.tuple);
         lookup.insert(pack_lookup_key(tid, v.iota), vn);
     }
+    for (id, nodes) in ci_nodes.into_iter().enumerate() {
+        gb.bulk_unary_sorted(ci(id as u16), nodes).expect("sorted");
+    }
+    for (tid, nodes) in ct_nodes.into_iter().enumerate() {
+        gb.bulk_unary_sorted(ct(TypeId(tid as u32)), nodes)
+            .expect("sorted");
+    }
+    for (i, flat) in f_flat.into_iter().enumerate() {
+        gb.bulk_binary_sorted(f_rel(i), flat).expect("sorted");
+    }
 
-    // E-edges: vertices whose elements come within 2r+1. Computed per
-    // source vertex (parallel), deduped per vertex, collected flat
-    // (this relation dominates the memory footprint of G) and handed to
-    // the builder's bulk path.
-    let indexed: Vec<(usize, &VertexInfo)> = vertices.iter().enumerate().collect();
-    let edges: Vec<(Node, Node)> = par_flat_map(par, &indexed, |&(idx, v)| {
+    // E-edges: vertices whose elements come within 2r+1 — a property of the
+    // underlying tuples alone, independent of ι. Vertices of one tuple
+    // occupy a contiguous id block (one vertex per matching-size ι), so the
+    // join runs at tuple granularity: a dense element → tuple CSR replaces
+    // per-element hashing, each tuple resolves its near tuples once, and
+    // expanding blocks in ascending order emits the flat E-pair array
+    // **already in strict lexicographic order** — one pass, no comparison
+    // sort, no dedup, `finish` adopts it as-is.
+    let iota_cnt: Vec<u32> = (0..=k)
+        .map(|s| iotas.iter().filter(|io| io.len() == s).count() as u32)
+        .collect();
+    let mut block: Vec<u32> = Vec::with_capacity(tuples.len() + 1);
+    block.push(0);
+    for t in &tuples {
+        block.push(block.last().unwrap() + iota_cnt[t.len()]);
+    }
+    debug_assert_eq!(*block.last().unwrap() as usize, vertices.len());
+
+    // Dense element → tuple incidence (distinct elements only), by
+    // counting sort: per-element tuple lists come out ascending.
+    let mut distinct_buf: Vec<Node> = Vec::new();
+    let mut tinc_off: Vec<u32> = vec![0u32; n + 1];
+    let for_each_distinct = |t: &[Node], buf: &mut Vec<Node>, f: &mut dyn FnMut(Node)| {
+        buf.clear();
+        buf.extend_from_slice(t);
+        buf.sort_unstable();
+        buf.dedup();
+        for &b in buf.iter() {
+            f(b);
+        }
+    };
+    for t in &tuples {
+        for_each_distinct(t, &mut distinct_buf, &mut |b| {
+            tinc_off[b.index() + 1] += 1;
+        });
+    }
+    for i in 0..n {
+        tinc_off[i + 1] += tinc_off[i];
+    }
+    let mut tinc_cursor: Vec<u32> = tinc_off[..n].to_vec();
+    let mut tinc: Vec<u32> = vec![0u32; tinc_off[n] as usize];
+    for (j, t) in tuples.iter().enumerate() {
+        for_each_distinct(t, &mut distinct_buf, &mut |b| {
+            tinc[tinc_cursor[b.index()] as usize] = j as u32;
+            tinc_cursor[b.index()] += 1;
+        });
+    }
+    drop(tinc_cursor);
+
+    // Each slice of tuples resolves the near tuples of every source tuple
+    // into a slice-local tuple-adjacency CSR. That CSR *is* the join
+    // output: `E` connects two vertices iff their tuples are near, so the
+    // adjacency never expands to vertex pairs at all —
+    // [`EdgeAdjacency::from_blocks`] answers vertex-level queries straight
+    // off the tuple rows and the ι-block map. Rows come out sorted and
+    // self-inclusive (`ball` always reaches the tuple's own elements).
+    let tuple_idx: Vec<u32> = (0..tuples.len() as u32).collect();
+    let parts = if par.runs_serial(vertices.len()) {
+        1
+    } else {
+        par.threads() * 4
+    };
+    let shards: Vec<(Vec<u32>, Vec<u32>)> = par_partition(par, &tuple_idx, parts, |_, range| {
+        let mut adj_flat: Vec<u32> = Vec::new();
+        let mut row_len: Vec<u32> = Vec::with_capacity(range.len());
         let mut reached: Vec<Node> = Vec::new();
-        for &b in &v.tuple {
-            reached.extend(g.ball_unsorted(b, two_r1));
-        }
-        reached.sort_unstable();
-        reached.dedup();
-        let mut targets: Vec<u32> = Vec::new();
-        for &c in &reached {
-            if let Some(ws) = incidence.get(&c) {
-                targets.extend(ws.iter().copied());
+        for &j1 in range {
+            reached.clear();
+            for &b in &tuples[j1 as usize] {
+                reached.extend(g.ball_unsorted(b, two_r1));
             }
+            reached.sort_unstable();
+            reached.dedup();
+            let start = adj_flat.len();
+            for &c in reached.iter() {
+                let (lo, hi) = (
+                    tinc_off[c.index()] as usize,
+                    tinc_off[c.index() + 1] as usize,
+                );
+                adj_flat.extend_from_slice(&tinc[lo..hi]);
+            }
+            adj_flat[start..].sort_unstable();
+            // dedup the new segment only (a plain `dedup()` could merge
+            // equal values across the previous segment's boundary)
+            let mut w = start;
+            for rdx in start..adj_flat.len() {
+                if w == start || adj_flat[rdx] != adj_flat[w - 1] {
+                    adj_flat[w] = adj_flat[rdx];
+                    w += 1;
+                }
+            }
+            adj_flat.truncate(w);
+            row_len.push((adj_flat.len() - start) as u32);
         }
-        targets.sort_unstable();
-        targets.dedup();
-        let vn = vertex_node(idx);
-        targets
-            .into_iter()
-            .filter(|&w| w as usize != idx)
-            .map(|w| (vn, vertex_node(w as usize)))
-            .collect()
+        (row_len, adj_flat)
     });
-    gb.bulk_binary(e, edges).expect("in range");
+    // Assemble the global tuple-adjacency CSR; a single shard (serial
+    // pool) is adopted as-is instead of copied.
+    let mut tadj_off: Vec<usize> = Vec::with_capacity(tuples.len() + 1);
+    tadj_off.push(0);
+    for (row_len, _) in &shards {
+        for &l in row_len {
+            tadj_off.push(tadj_off.last().unwrap() + l as usize);
+        }
+    }
+    debug_assert_eq!(tadj_off.len(), tuples.len() + 1);
+    let tadj: Vec<u32> = if shards.len() == 1 {
+        shards.into_iter().next().unwrap().1
+    } else {
+        let entries: usize = shards.iter().map(|(_, f)| f.len()).sum();
+        let mut out: Vec<u32> = Vec::with_capacity(entries);
+        for (_, f) in shards {
+            out.extend(f);
+        }
+        out
+    };
+    let adjacency = Arc::new(EdgeAdjacency::from_blocks(
+        (n + 1) as u32,
+        block,
+        tadj_off,
+        tadj,
+    ));
 
     let graph = gb.finish().expect("non-empty");
+    profiler.add(Stage::Reduce, assemble_started.elapsed().as_nanos() as u64);
 
     ReductionCore {
         graph,
@@ -724,6 +874,7 @@ pub(crate) fn build_core(
         base_n: n,
         k,
         edge: e,
+        adjacency,
     }
 }
 

@@ -69,10 +69,14 @@ impl TestIndex {
         let v = self.reduction.forward(tuple)?;
         let gq = self.reduction.query();
         let facts = self.facts();
-        // ψ₁: pairwise non-adjacency via the fact index
+        // ψ₁: pairwise non-adjacency. `E` is never stored as a relation
+        // (the CSR in the reduction core is its only materialization), so
+        // the probes go through the shared adjacency; the color probes
+        // below still exercise the independent fact-index route.
+        let adjacency = self.reduction.adjacency();
         for i in 0..v.len() {
             for j in (i + 1)..v.len() {
-                if facts.holds(gq.edge, &[v[i], v[j]]) || facts.holds(gq.edge, &[v[j], v[i]]) {
+                if adjacency.adjacent(v[i], v[j]) || adjacency.adjacent(v[j], v[i]) {
                     return Ok(false);
                 }
             }

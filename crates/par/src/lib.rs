@@ -148,6 +148,52 @@ pub fn par_flat_map<T: Sync, U: Send>(
     run_chunked(cfg, items, |chunk| chunk.iter().flat_map(&f).collect())
 }
 
+/// Split `items` into exactly `parts` contiguous slices and map each
+/// `(part index, slice)` to one result, in part order. The slice boundaries
+/// are fixed by `parts` and `items.len()` alone — never by the thread count
+/// — so concatenating or folding the results is deterministic under any
+/// parallelism. When `parts` exceeds `items.len()` the trailing parts are
+/// empty slices (still invoked: a partition always yields `parts` results);
+/// `parts == 0` yields an empty result.
+///
+/// This is the fan-out primitive for producer passes that write disjoint
+/// output ranges (sharded CSR extraction, subset-lattice slices): each part
+/// sees its part index, so it can derive its slice of the output space.
+pub fn par_partition<T: Sync, U: Send>(
+    cfg: &ParConfig,
+    items: &[T],
+    parts: usize,
+    f: impl Fn(usize, &[T]) -> U + Sync,
+) -> Vec<U> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let part_len = items.len().div_ceil(parts).max(1);
+    let bounds = |p: usize| {
+        let lo = (p * part_len).min(items.len());
+        let hi = (lo + part_len).min(items.len());
+        (lo, hi)
+    };
+    if parts < 2 || cfg.runs_serial(items.len()) {
+        return (0..parts)
+            .map(|p| {
+                let (lo, hi) = bounds(p);
+                f(p, &items[lo..hi])
+            })
+            .collect();
+    }
+    let indices: Vec<usize> = (0..parts).collect();
+    run_chunked(cfg, &indices, |group| {
+        group
+            .iter()
+            .map(|&p| {
+                let (lo, hi) = bounds(p);
+                f(p, &items[lo..hi])
+            })
+            .collect()
+    })
+}
+
 /// Map over *fixed-size* contiguous chunks of `items` (the last chunk may
 /// be shorter), producing one result per chunk, in chunk order. Because the
 /// chunk boundaries are fixed by `chunk_len` — not by the thread count —
@@ -338,6 +384,115 @@ mod tests {
         assert!(par_flat_map(&cfg(8), &empty, |&x| vec![x]).is_empty());
         assert!(par_chunks(&cfg(8), &empty, 4, |c| c.len()).is_empty());
         assert_eq!(par_map(&cfg(8), &[7u32], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn par_partition_preserves_order_and_boundaries() {
+        let items: Vec<u32> = (0..10_007).collect();
+        let f = |p: usize, s: &[u32]| {
+            (
+                p,
+                s.first().copied(),
+                s.iter().map(|&x| x as u64).sum::<u64>(),
+            )
+        };
+        for parts in [1usize, 2, 7, 16, 64] {
+            let part_len = items.len().div_ceil(parts);
+            let expect: Vec<_> = (0..parts)
+                .map(|p| {
+                    let lo = (p * part_len).min(items.len());
+                    let hi = (lo + part_len).min(items.len());
+                    f(p, &items[lo..hi])
+                })
+                .collect();
+            for threads in [1, 2, 3, 8] {
+                let got = par_partition(&cfg(threads), &items, parts, f);
+                assert_eq!(got, expect, "parts={parts} threads={threads}");
+            }
+        }
+        // every element lands in exactly one part
+        let sums = par_partition(&cfg(4), &items, 13, |_, s| {
+            s.iter().map(|&x| x as u64).sum::<u64>()
+        });
+        assert_eq!(sums.len(), 13);
+        assert_eq!(sums.iter().sum::<u64>(), 10_006 * 10_007 / 2);
+    }
+
+    #[test]
+    fn par_partition_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..4_096).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_partition(&cfg(4), &items, 16, |p, _| {
+                if p == 9 {
+                    panic!("partition exploded at {p}");
+                }
+                p
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(msg.contains("partition exploded at 9"), "{msg}");
+    }
+
+    #[test]
+    fn par_partition_empty_and_singleton_slices() {
+        // parts > len: exactly `parts` results, the trailing ones empty
+        let items: Vec<u32> = vec![10, 20];
+        let got = par_partition(&cfg(8), &items, 5, |p, s| (p, s.to_vec()));
+        assert_eq!(
+            got,
+            vec![
+                (0, vec![10]),
+                (1, vec![20]),
+                (2, vec![]),
+                (3, vec![]),
+                (4, vec![]),
+            ]
+        );
+        // empty input: every part sees the empty slice
+        let empty: Vec<u32> = Vec::new();
+        let got = par_partition(&cfg(8), &empty, 3, |p, s| (p, s.len()));
+        assert_eq!(got, vec![(0, 0), (1, 0), (2, 0)]);
+        // zero parts: empty result
+        assert!(par_partition(&cfg(8), &items, 0, |p, _| p).is_empty());
+    }
+
+    #[test]
+    fn par_partition_threshold_fallback_runs_inline() {
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..100).collect();
+        // default min_items (256) > 100: must not spawn
+        let out = par_partition(&ParConfig::with_threads(8), &items, 4, |p, s| {
+            seen.lock()
+                .unwrap()
+                .insert(format!("{:?}", std::thread::current().id()));
+            (p, s.len())
+        });
+        assert_eq!(out.len(), 4);
+        let ids = seen.into_inner().unwrap();
+        assert_eq!(ids.len(), 1);
+        assert!(ids.contains(&format!("{:?}", std::thread::current().id())));
+    }
+
+    #[test]
+    fn par_partition_large_inputs_fan_out() {
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..50_000).collect();
+        par_partition(&cfg(4), &items, 16, |p, s| {
+            for _ in s {
+                seen.lock()
+                    .unwrap()
+                    .insert(format!("{:?}", std::thread::current().id()));
+            }
+            (p, s.len())
+        });
+        assert!(
+            seen.into_inner().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
     }
 
     #[test]

@@ -13,17 +13,23 @@ pub struct StructureBuilder {
     /// Bulk-inserted pairs for binary relations (kept flat to avoid a
     /// per-tuple allocation on multi-million-edge relations).
     pairs: Vec<Vec<(Node, Node)>>,
+    /// Relations adopted whole through the pre-sorted bulk paths
+    /// ([`Self::bulk_binary_sorted`] / [`Self::bulk_unary_sorted`]);
+    /// [`Self::finish`] passes them through without re-sorting.
+    prebuilt: Vec<Option<Relation>>,
 }
 
 impl StructureBuilder {
     pub(crate) fn new(signature: Arc<Signature>, n: usize) -> Self {
         let tuples = vec![Vec::new(); signature.len()];
         let pairs = vec![Vec::new(); signature.len()];
+        let prebuilt = vec![None; signature.len()];
         StructureBuilder {
             signature,
             n,
             tuples,
             pairs,
+            prebuilt,
         }
     }
 
@@ -105,6 +111,79 @@ impl StructureBuilder {
         Ok(self)
     }
 
+    /// Adopt `flat` — row-major tuples already in **strictly increasing**
+    /// lexicographic order — as the whole content of relation `rel`.
+    /// Validation is a single `O(len)` pass (node ranges + strictness);
+    /// [`Self::finish`] then skips the sort/dedup entirely. The bulk
+    /// endpoint for producers whose output is sorted by construction, e.g.
+    /// the E-edge radix join of the reduction.
+    pub fn bulk_sorted(&mut self, rel: RelId, flat: Vec<Node>) -> Result<&mut Self, StorageError> {
+        let arity = self.signature.arity(rel);
+        if !flat.len().is_multiple_of(arity) {
+            return Err(StorageError::ArityMismatch {
+                relation: self.signature.name(rel).to_owned(),
+                expected: arity,
+                got: flat.len() % arity,
+            });
+        }
+        let mut prev: Option<&[Node]> = None;
+        for (row, t) in flat.chunks_exact(arity).enumerate() {
+            for &nd in t {
+                if nd.index() >= self.n {
+                    return Err(StorageError::NodeOutOfRange {
+                        node: nd.0,
+                        domain: self.n,
+                    });
+                }
+            }
+            if let Some(p) = prev {
+                if p >= t {
+                    return Err(StorageError::NotSorted {
+                        relation: self.signature.name(rel).to_owned(),
+                        row,
+                    });
+                }
+            }
+            prev = Some(t);
+        }
+        self.prebuilt[rel.index()] = Some(Relation::from_sorted_flat(arity, flat));
+        Ok(self)
+    }
+
+    /// [`Self::bulk_sorted`] for binary relations: adopt a strictly sorted,
+    /// duplicate-free flat pair array (`[u0, v0, u1, v1, …]`).
+    pub fn bulk_binary_sorted(
+        &mut self,
+        rel: RelId,
+        flat: Vec<Node>,
+    ) -> Result<&mut Self, StorageError> {
+        if self.signature.arity(rel) != 2 {
+            return Err(StorageError::ArityMismatch {
+                relation: self.signature.name(rel).to_owned(),
+                expected: self.signature.arity(rel),
+                got: 2,
+            });
+        }
+        self.bulk_sorted(rel, flat)
+    }
+
+    /// [`Self::bulk_sorted`] for unary relations: adopt a strictly
+    /// increasing node list.
+    pub fn bulk_unary_sorted(
+        &mut self,
+        rel: RelId,
+        nodes: Vec<Node>,
+    ) -> Result<&mut Self, StorageError> {
+        if self.signature.arity(rel) != 1 {
+            return Err(StorageError::ArityMismatch {
+                relation: self.signature.name(rel).to_owned(),
+                expected: self.signature.arity(rel),
+                got: 1,
+            });
+        }
+        self.bulk_sorted(rel, nodes)
+    }
+
     /// Finalize: sorts and deduplicates every relation.
     pub fn finish(self) -> Result<Structure, StorageError> {
         if self.n == 0 {
@@ -113,14 +192,28 @@ impl StructureBuilder {
         let relations = self
             .signature
             .rel_ids()
-            .zip(self.tuples.into_iter().zip(self.pairs))
-            .map(|(id, (ts, ps))| {
-                if ts.is_empty() && self.signature.arity(id) == 2 {
-                    Relation::from_pairs(ps)
-                } else {
-                    let mut all = ts;
-                    all.extend(ps.into_iter().map(|(a, b)| vec![a, b]));
-                    Relation::from_tuples(self.signature.arity(id), all)
+            .zip(self.tuples.into_iter().zip(self.pairs).zip(self.prebuilt))
+            .map(|(id, ((ts, ps), pre))| {
+                match pre {
+                    // Pre-sorted bulk insert with nothing else on the
+                    // relation: adopt as-is, no re-sort.
+                    Some(rel) if ts.is_empty() && ps.is_empty() => rel,
+                    // Mixed with incremental facts: merge through the
+                    // sorting path.
+                    Some(rel) => {
+                        let mut all = ts;
+                        all.extend(rel.iter().map(|t| t.to_vec()));
+                        all.extend(ps.into_iter().map(|(a, b)| vec![a, b]));
+                        Relation::from_tuples(self.signature.arity(id), all)
+                    }
+                    None if ts.is_empty() && self.signature.arity(id) == 2 => {
+                        Relation::from_pairs(ps)
+                    }
+                    None => {
+                        let mut all = ts;
+                        all.extend(ps.into_iter().map(|(a, b)| vec![a, b]));
+                        Relation::from_tuples(self.signature.arity(id), all)
+                    }
                 }
             })
             .collect();
@@ -216,6 +309,68 @@ mod tests {
         let mut b = Structure::builder(sg, 3);
         assert!(b.bulk_binary(b_, vec![]).is_err()); // unary relation
         assert!(b.bulk_binary(e, vec![(node(0), node(9))]).is_err());
+    }
+
+    #[test]
+    fn bulk_sorted_pass_through() {
+        let sg = sig();
+        let e = sg.rel("E").unwrap();
+        let b_ = sg.rel("B").unwrap();
+        let mut b = Structure::builder(sg, 6);
+        b.bulk_binary_sorted(
+            e,
+            vec![node(0), node(2), node(1), node(0), node(1), node(5)],
+        )
+        .unwrap();
+        b.bulk_unary_sorted(b_, vec![node(1), node(4)]).unwrap();
+        let s = b.finish().unwrap();
+        assert_eq!(s.relation(e).len(), 3);
+        assert!(s.holds(e, &[node(1), node(0)]));
+        assert!(!s.holds(e, &[node(0), node(1)]));
+        assert_eq!(s.relation(b_).len(), 2);
+        assert!(s.holds(b_, &[node(4)]));
+    }
+
+    #[test]
+    fn bulk_sorted_rejects_disorder_and_bad_nodes() {
+        let sg = sig();
+        let e = sg.rel("E").unwrap();
+        let b_ = sg.rel("B").unwrap();
+        let mut b = Structure::builder(sg, 4);
+        // duplicate row → not strictly increasing
+        let err = b
+            .bulk_binary_sorted(e, vec![node(0), node(1), node(0), node(1)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NotSorted { row: 1, .. }));
+        // descending rows
+        let err = b
+            .bulk_binary_sorted(e, vec![node(2), node(0), node(1), node(0)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NotSorted { row: 1, .. }));
+        // out-of-range node
+        let err = b.bulk_binary_sorted(e, vec![node(0), node(9)]).unwrap_err();
+        assert!(matches!(err, StorageError::NodeOutOfRange { node: 9, .. }));
+        // wrong-arity endpoints
+        assert!(b.bulk_binary_sorted(b_, vec![]).is_err());
+        assert!(b.bulk_unary_sorted(e, vec![]).is_err());
+        // dangling flat length
+        let err = b.bulk_sorted(e, vec![node(0)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn bulk_sorted_merges_with_incremental_facts() {
+        let sg = sig();
+        let e = sg.rel("E").unwrap();
+        let mut b = Structure::builder(sg, 5);
+        b.edge(e, node(4), node(0)).unwrap();
+        b.bulk_binary_sorted(e, vec![node(0), node(1), node(2), node(3)])
+            .unwrap();
+        b.bulk_binary(e, vec![(node(0), node(1))]).unwrap(); // duplicate
+        let s = b.finish().unwrap();
+        assert_eq!(s.relation(e).len(), 3);
+        assert!(s.holds(e, &[node(4), node(0)]));
+        assert!(s.holds(e, &[node(2), node(3)]));
     }
 
     #[test]

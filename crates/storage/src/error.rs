@@ -29,6 +29,14 @@ pub enum StorageError {
     EmptyDomain,
     /// A declared arity was zero or exceeded the supported maximum.
     BadArity(usize),
+    /// A pre-sorted bulk insert was not strictly lexicographically
+    /// increasing at the given row.
+    NotSorted {
+        /// Relation name.
+        relation: String,
+        /// 0-based row index where the order breaks.
+        row: usize,
+    },
     /// The loader hit a syntax error.
     Parse {
         /// 1-based line number of the offending input line.
@@ -61,6 +69,10 @@ impl fmt::Display for StorageError {
                 f,
                 "arity {a} unsupported (must be between 1 and {})",
                 crate::signature::MAX_ARITY
+            ),
+            StorageError::NotSorted { relation, row } => write!(
+                f,
+                "pre-sorted bulk insert into `{relation}` breaks strict lexicographic order at row {row}"
             ),
             StorageError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
         }

@@ -1,12 +1,41 @@
 //! Gaifman graphs: adjacency structure, degree, balls and bounded distances.
+//!
+//! Extraction (DESIGN.md §12) is a radix join, not a comparison sort: each
+//! relation pass packs its co-occurrence pairs into `(u << 32) | v` keys
+//! (fanning out over `lowdeg-par`), a counting pass buckets the keys by
+//! source node (the degree histogram *is* the bucket layout), a scatter
+//! pass drops each `v` into its source bucket, and a final sharded pass
+//! sorts + dedups each short per-node bucket straight into the CSR arrays.
+//! Total `O(‖A‖ · r + n)` with no per-edge hashing and no comparison sort
+//! over the full edge multiset.
 
 use crate::{Node, Structure};
-use lowdeg_par::{par_chunks, ParConfig};
+use lowdeg_par::{par_chunks, par_partition, ParConfig};
 
 /// Rows per extraction chunk when building the Gaifman graph in parallel.
 /// Fixed (not derived from the thread count) so chunk boundaries — and with
-/// them the pre-sort edge order — never depend on the pool size.
+/// them the pre-bucketing key order — never depend on the pool size.
 const GAIFMAN_CHUNK_ROWS: usize = 4096;
+
+/// Pack a directed co-occurrence pair into its radix key.
+#[inline]
+fn pack(u: Node, v: Node) -> u64 {
+    ((u.0 as u64) << 32) | v.0 as u64
+}
+
+/// Emit both directions of every distinct-component pair of each row.
+fn extract_packed(rows: &[Node], arity: usize, out: &mut Vec<u64>) {
+    for t in rows.chunks_exact(arity) {
+        for i in 0..arity {
+            for j in (i + 1)..arity {
+                if t[i] != t[j] {
+                    out.push(pack(t[i], t[j]));
+                    out.push(pack(t[j], t[i]));
+                }
+            }
+        }
+    }
+}
 
 /// The Gaifman graph of a structure (Section 2.1): the undirected graph on
 /// `dom(A)` with an edge between two distinct nodes whenever they co-occur in
@@ -29,43 +58,177 @@ impl GaifmanGraph {
     }
 
     /// Build the Gaifman graph of `structure`, extracting co-occurrence
-    /// edges on the given worker pool. The extracted edge multiset is
-    /// sorted and deduplicated afterwards, so the result is identical for
-    /// every thread count.
+    /// edges on the given worker pool via the radix-join pipeline (module
+    /// docs). Bucket boundaries come from the degree histogram and chunk
+    /// boundaries are fixed row counts, so the resulting CSR is
+    /// byte-identical for every thread count — and identical to
+    /// [`GaifmanGraph::build_reference`]'s output.
     pub fn build_with(structure: &Structure, par: &ParConfig) -> Self {
         let n = structure.cardinality();
-        let mut edges: Vec<(Node, Node)> = Vec::new();
+        // Pass 1 — per-relation extraction of packed (u, v) radix keys.
+        // The serial path appends straight into the shared key buffer; the
+        // parallel path concatenates fixed-boundary chunks in order.
+        let mut keys: Vec<u64> = Vec::new();
+        // Reserve the exact worst case (every row all-distinct) once, so the
+        // serial path never reallocates the key buffer while extracting.
+        let upper: usize = structure
+            .signature()
+            .rel_ids()
+            .map(|rel| {
+                let r = structure.relation(rel);
+                let a = r.arity();
+                if a < 2 {
+                    0
+                } else {
+                    r.len() * a * (a - 1)
+                }
+            })
+            .sum();
+        keys.reserve_exact(upper);
         for rel in structure.signature().rel_ids() {
             let r = structure.relation(rel);
             let arity = r.arity();
             if arity < 2 {
                 continue;
             }
-            let per_chunk: Vec<Vec<(Node, Node)>> = par_chunks(
-                par,
-                r.as_flat(),
-                GAIFMAN_CHUNK_ROWS * arity,
-                |rows: &[Node]| {
-                    let mut out = Vec::new();
-                    for t in rows.chunks_exact(arity) {
-                        for i in 0..t.len() {
-                            for j in (i + 1)..t.len() {
-                                if t[i] != t[j] {
-                                    out.push((t[i], t[j]));
-                                    out.push((t[j], t[i]));
-                                }
-                            }
-                        }
+            let flat = r.as_flat();
+            if par.runs_serial(flat.len()) {
+                extract_packed(flat, arity, &mut keys);
+            } else {
+                let per_chunk: Vec<Vec<u64>> =
+                    par_chunks(par, flat, GAIFMAN_CHUNK_ROWS * arity, |rows: &[Node]| {
+                        let mut out = Vec::new();
+                        extract_packed(rows, arity, &mut out);
+                        out
+                    });
+                for mut chunk in per_chunk {
+                    if keys.is_empty() {
+                        keys = chunk;
+                    } else {
+                        keys.append(&mut chunk);
                     }
-                    out
-                },
-            );
-            for chunk in per_chunk {
-                edges.extend(chunk);
+                }
             }
         }
+        Self::from_packed_keys(n, keys, par)
+    }
+
+    /// Buckets packed keys by source node (counting pass + scatter pass),
+    /// then sorts and dedups each per-node bucket into the final CSR. With
+    /// bounded degree every bucket is short, so the per-bucket sorts cost
+    /// `O(E)` overall — this is an MSD radix sort on the packed keys whose
+    /// first digit is the full source id.
+    fn from_packed_keys(n: usize, keys: Vec<u64>, par: &ParConfig) -> Self {
+        // Degree-aware bucketing: histogram over sources → bucket offsets.
+        let mut bucket: Vec<u32> = vec![0u32; n + 1];
+        for &k in &keys {
+            bucket[(k >> 32) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            bucket[i + 1] += bucket[i];
+        }
+        // Scatter each target into its source bucket.
+        let mut cursor: Vec<u32> = bucket[..n].to_vec();
+        let mut scattered: Vec<u32> = vec![0u32; keys.len()];
+        for &k in &keys {
+            let u = (k >> 32) as usize;
+            scattered[cursor[u] as usize] = k as u32;
+            cursor[u] += 1;
+        }
+        drop(keys);
+        drop(cursor);
+
+        let mut offsets = vec![0u32; n + 1];
+        let mut neighbors: Vec<Node> = Vec::with_capacity(scattered.len());
+        if par.runs_serial(scattered.len()) {
+            // Serial path: sort each bucket in place and write the deduped
+            // run straight into the CSR arrays — no per-bucket or per-chunk
+            // buffers at all.
+            for u in 0..n {
+                let (lo, hi) = (bucket[u] as usize, bucket[u + 1] as usize);
+                scattered[lo..hi].sort_unstable();
+                let before = neighbors.len();
+                let mut last = u32::MAX;
+                for &v in &scattered[lo..hi] {
+                    if v != last {
+                        neighbors.push(Node(v));
+                        last = v;
+                    }
+                }
+                offsets[u + 1] = offsets[u] + (neighbors.len() - before) as u32;
+            }
+        } else {
+            // Sharded merge-dedup: contiguous node ranges produce their CSR
+            // fragments independently; concatenation in part order yields
+            // the same arrays as the serial path.
+            let nodes: Vec<u32> = (0..n as u32).collect();
+            let parts = par.threads() * 4;
+            let shards: Vec<(Vec<Node>, Vec<u32>)> =
+                par_partition(par, &nodes, parts, |_, range| {
+                    let mut nb: Vec<Node> = Vec::new();
+                    let mut degs: Vec<u32> = Vec::with_capacity(range.len());
+                    let mut buf: Vec<u32> = Vec::new();
+                    for &u in range {
+                        let (lo, hi) =
+                            (bucket[u as usize] as usize, bucket[u as usize + 1] as usize);
+                        buf.clear();
+                        buf.extend_from_slice(&scattered[lo..hi]);
+                        buf.sort_unstable();
+                        buf.dedup();
+                        degs.push(buf.len() as u32);
+                        nb.extend(buf.iter().map(|&v| Node(v)));
+                    }
+                    (nb, degs)
+                });
+            let mut u = 0usize;
+            for (nb, degs) in shards {
+                for d in degs {
+                    offsets[u + 1] = offsets[u] + d;
+                    u += 1;
+                }
+                neighbors.extend(nb);
+            }
+        }
+
+        let max_degree = (0..n)
+            .map(|i| (offsets[i + 1] - offsets[i]) as usize)
+            .max()
+            .unwrap_or(0);
+        GaifmanGraph {
+            offsets,
+            neighbors,
+            max_degree,
+        }
+    }
+
+    /// The naive hash-based reference extractor the radix pipeline replaced,
+    /// retained verbatim as the differential oracle for
+    /// `tests/extraction_equivalence.rs`: accumulate every co-occurrence
+    /// pair in a hash set, sort, and lay out the CSR. Always serial; not a
+    /// production path.
+    pub fn build_reference(structure: &Structure) -> Self {
+        let n = structure.cardinality();
+        let mut edge_set: std::collections::HashSet<(Node, Node)> =
+            std::collections::HashSet::new();
+        for rel in structure.signature().rel_ids() {
+            let r = structure.relation(rel);
+            let arity = r.arity();
+            if arity < 2 {
+                continue;
+            }
+            for t in r.iter() {
+                for i in 0..arity {
+                    for j in (i + 1)..arity {
+                        if t[i] != t[j] {
+                            edge_set.insert((t[i], t[j]));
+                            edge_set.insert((t[j], t[i]));
+                        }
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<(Node, Node)> = edge_set.into_iter().collect();
         edges.sort_unstable();
-        edges.dedup();
 
         let mut offsets = vec![0u32; n + 1];
         for &(a, _) in &edges {

@@ -117,6 +117,77 @@ impl Neighborhood {
     }
 }
 
+/// Separator in serialized neighborhood keys ([`local_key`]).
+const KEY_SEP: u32 = u32::MAX;
+
+/// A cheap, exact fingerprint of the induced substructure `A|members`
+/// together with a distinguished tuple, serialized into `out`.
+///
+/// The key records precisely the data [`Neighborhood::build`] constructs its
+/// structure from — the member count, the tuple relabeled through the
+/// order-preserving bijection onto `0..|members|`, and every internal fact
+/// in relabeled form — so **equal keys guarantee literally identical
+/// neighborhoods and local tuples** (hence identical canonical encodings).
+/// Unlike building the `Neighborhood`, no per-relation sort, no `Relation`
+/// construction and no signature cloning happens: this is the memoization
+/// key that lets callers skip the expensive canonical-encoding pipeline for
+/// repeated local structures.
+///
+/// `members` must be sorted and duplicate-free, and every tuple component
+/// must be a member.
+pub(crate) fn local_key(parent: &Structure, members: &[Node], tuple: &[Node], out: &mut Vec<u32>) {
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    let local_of = |p: Node| -> u32 {
+        members
+            .binary_search(&p)
+            .expect("tuple component is a member") as u32
+    };
+    out.clear();
+    out.push(members.len() as u32);
+    out.extend(tuple.iter().map(|&c| local_of(c)));
+    out.push(KEY_SEP);
+
+    // Internal non-unary facts, in the same (relation, fact-index) order
+    // `Neighborhood::build` gathers them. Each record is self-delimiting:
+    // the relation id determines the component count.
+    let incidence = parent.incidence();
+    let mut fact_ids: Vec<(u32, u32)> = Vec::new();
+    for &m in members {
+        fact_ids.extend_from_slice(incidence.facts_of(m));
+    }
+    fact_ids.sort_unstable();
+    fact_ids.dedup();
+    'facts: for (rel_raw, idx) in fact_ids {
+        let t = parent.relation(RelId(rel_raw)).tuple(idx as usize);
+        let start = out.len();
+        out.push(rel_raw);
+        for &c in t {
+            match members.binary_search(&c) {
+                Ok(l) => out.push(l as u32),
+                Err(_) => {
+                    out.truncate(start);
+                    continue 'facts;
+                }
+            }
+        }
+    }
+    out.push(KEY_SEP);
+
+    // Unary facts on member nodes, relation-major then member order.
+    for rel in parent.signature().rel_ids() {
+        if parent.signature().arity(rel) != 1 {
+            continue;
+        }
+        let r = parent.relation(rel);
+        for (li, &m) in members.iter().enumerate() {
+            if r.contains(&[m]) {
+                out.push(rel.0);
+                out.push(li as u32);
+            }
+        }
+    }
+}
+
 /// The r-ball around a tuple: `⋃_i N_r(a_i)`, sorted and duplicate-free.
 pub fn ball_of_tuple(graph: &GaifmanGraph, tuple: &[Node], r: usize) -> Vec<Node> {
     let mut out: Vec<Node> = Vec::new();

@@ -45,6 +45,22 @@ impl Relation {
         Relation { arity: 2, data }
     }
 
+    /// Adopt an already strictly-sorted, duplicate-free flat tuple array as
+    /// a relation — the zero-copy endpoint of the sorted bulk-insert paths
+    /// on [`crate::StructureBuilder`]. Strict lexicographic order is the
+    /// caller's contract, enforced by the builder in `O(len)`; here it is
+    /// only debug-asserted.
+    pub(crate) fn from_sorted_flat(arity: usize, data: Vec<Node>) -> Self {
+        debug_assert_eq!(data.len() % arity, 0);
+        debug_assert!(
+            data.chunks_exact(arity)
+                .zip(data.chunks_exact(arity).skip(1))
+                .all(|(a, b)| a < b),
+            "from_sorted_flat requires strictly increasing rows"
+        );
+        Relation { arity, data }
+    }
+
     /// The relation's arity.
     #[inline]
     pub fn arity(&self) -> usize {

@@ -170,6 +170,18 @@ impl Structure {
         let ball = crate::neighborhood::ball_of_tuple(self.gaifman(), tuple, r);
         self.induced(&ball)
     }
+
+    /// An exact memoization key for [`Structure::neighborhood_of_tuple`],
+    /// written into `out`: tuples with equal keys have literally identical
+    /// relabeled r-neighborhoods (same local structure, same local tuple),
+    /// hence identical canonical encodings — without building the
+    /// neighborhood. Much cheaper than the neighborhood itself (no
+    /// `Relation` construction, no per-relation sorting), this is what lets
+    /// the reduction's encoding pass intern each distinct local shape once.
+    pub fn neighborhood_key_of_tuple(&self, tuple: &[Node], r: usize, out: &mut Vec<u32>) {
+        let ball = crate::neighborhood::ball_of_tuple(self.gaifman(), tuple, r);
+        crate::neighborhood::local_key(self, &ball, tuple, out);
+    }
 }
 
 impl PartialEq for Structure {
