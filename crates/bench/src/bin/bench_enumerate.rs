@@ -161,6 +161,15 @@ fn throughput(count: u64, d: Duration) -> f64 {
     count as f64 / d.as_secs_f64().max(1e-12)
 }
 
+/// Worst-to-typical delay spread: `max / p50` of the wall-ns sample. The
+/// constant-delay tail indicator reported per scale — under Theorem 2.7
+/// the algorithmic delay is flat, so everything above ~1 in this ratio is
+/// probe overhead and OS jitter on the max (see the module docs); tracking
+/// it across scales makes serving-side tail regressions visible.
+fn max_p50_ratio(d: &Dist) -> f64 {
+    d.max as f64 / (d.p50.max(1)) as f64
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick" || a == "--quick");
@@ -188,15 +197,22 @@ fn main() {
          boxed vs streaming, {cores} core(s)"
     );
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>9} {:>22} {:>22}",
-        "n", "answers", "boxed", "streaming", "speedup", "wall p50/p99/max ns", "ops p50/p99/max"
+        "{:>8} {:>10} {:>12} {:>12} {:>9} {:>22} {:>10} {:>22}",
+        "n",
+        "answers",
+        "boxed",
+        "streaming",
+        "speedup",
+        "wall p50/p99/max ns",
+        "max/p50",
+        "ops p50/p99/max"
     );
 
     let mut results = Vec::new();
     for &n in scales {
         let r = bench_scale(n, RUNNING_EXAMPLE);
         println!(
-            "{n:>8} {:>10} {:>12} {:>12} {:>8.2}x {:>22} {:>22}",
+            "{n:>8} {:>10} {:>12} {:>12} {:>8.2}x {:>22} {:>9.1}x {:>22}",
             r.count,
             fmt_dur(r.boxed),
             fmt_dur(r.streaming),
@@ -205,6 +221,7 @@ fn main() {
                 "{}/{}/{}",
                 r.delay_wall_ns.p50, r.delay_wall_ns.p99, r.delay_wall_ns.max
             ),
+            max_p50_ratio(&r.delay_wall_ns),
             format!(
                 "{}/{}/{}",
                 r.delay_ops.p50, r.delay_ops.p99, r.delay_ops.max
@@ -235,7 +252,8 @@ fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
              \"boxed_ms\": {:.3}, \"streaming_ms\": {:.3}, \
              \"boxed_answers_per_s\": {:.0}, \"streaming_answers_per_s\": {:.0}, \
              \"speedup\": {:.3}, \
-             \"delay_wall_ns\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"delay_wall_ns\": {{\"p50\": {}, \"p99\": {}, \"max\": {}, \
+             \"max_p50_ratio\": {:.3}}}, \
              \"delay_ops\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
             r.n,
             r.count,
@@ -247,6 +265,7 @@ fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
             r.delay_wall_ns.p50,
             r.delay_wall_ns.p99,
             r.delay_wall_ns.max,
+            max_p50_ratio(&r.delay_wall_ns),
             r.delay_ops.p50,
             r.delay_ops.p99,
             r.delay_ops.max,

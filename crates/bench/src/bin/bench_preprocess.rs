@@ -23,6 +23,13 @@
 //! recorded in the JSON alongside per-stage timings
 //! (`extract → reduce → ie-count → fixpoint → skip-tables`) for both
 //! configurations.
+//!
+//! A final *workload* scale measures the multi-query setting: four
+//! color-permuted ternary scatter queries sharing one quantifier-free
+//! core, built batched through [`Engine::build_many`] (one cache, one
+//! counting memo) versus four independent warm builds (shared core, the
+//! memo dropped before each build). The batched path must amortize the
+//! lattice walk across the workload.
 
 use lowdeg_bench::workloads::{colored, TERNARY_SCATTER};
 use lowdeg_bench::{fmt_dur, time};
@@ -38,6 +45,17 @@ use std::time::Duration;
 const EPS: f64 = 0.5;
 const DEGREE: usize = 2;
 const REPS: usize = 3;
+
+/// Four color permutations of the ternary scatter clause. Identical
+/// quantifier-free core — same arity, radius and colored graph, so one
+/// cached `ReductionCore` serves all four — but distinct clause color
+/// assignments, exercising the cross-query counting memo.
+const WORKLOAD_QUERIES: [&str; 4] = [
+    "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)",
+    "R(x) & G(y) & B(z) & !E(x, y) & !E(y, z) & !E(x, z)",
+    "G(x) & B(y) & R(z) & !E(x, y) & !E(y, z) & !E(x, z)",
+    "B(x) & G(y) & R(z) & !E(x, y) & !E(y, z) & !E(x, z)",
+];
 
 struct ConfigResult {
     best: Duration,
@@ -60,6 +78,16 @@ struct ScaleResult {
     n: usize,
     uncached: ConfigResult,
     cached: ConfigResult,
+}
+
+struct WorkloadResult {
+    n: usize,
+    /// Best wall time for one `Engine::build_many` over the whole workload.
+    batched: Duration,
+    /// Best wall time for the same workload built one query at a time with
+    /// a warm core but the counting memo dropped before each build.
+    independent: Duration,
+    counts: Vec<u64>,
 }
 
 /// One timed engine build; returns the wall time, the answer count as a
@@ -128,6 +156,74 @@ fn bench_scale(n: usize, src: &str, par: &ParConfig) -> ScaleResult {
     }
 }
 
+/// Batched [`Engine::build_many`] vs independent warm builds over the
+/// four-query workload. Both modes start from a warm core (extract and
+/// reduce artifacts cached) and a cold counting memo, so the measured gap
+/// is exactly the cross-query sharing of the Lemma 3.5 lattice walk.
+fn bench_workload(n: usize, par: &ParConfig) -> WorkloadResult {
+    let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
+    let queries: Vec<Query> = WORKLOAD_QUERIES
+        .iter()
+        .map(|src| parse_query(s.signature(), src).expect("parses"))
+        .collect();
+    let qrefs: Vec<&Query> = queries.iter().collect();
+    let eps = Epsilon::new(EPS);
+    let cache = ArtifactCache::new();
+    // Untimed warm-up: primes the shared core and fixes the reference counts.
+    let counts: Vec<u64> = Engine::build_many(&s, &qrefs, eps, SkipMode::Eager, par, &cache)
+        .expect("localizable")
+        .iter()
+        .map(|e| e.count())
+        .collect();
+    let fp = s.fingerprint();
+
+    let mut batched = Duration::MAX;
+    let mut independent = Duration::MAX;
+    for rep in 0..REPS {
+        let order: [bool; 2] = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for batch in order {
+            if batch {
+                cache.invalidate_counting(fp);
+                let (engines, dt) = time(|| {
+                    Engine::build_many(&s, &qrefs, eps, SkipMode::Eager, par, &cache)
+                        .expect("localizable")
+                });
+                let got: Vec<u64> = engines.iter().map(|e| e.count()).collect();
+                assert_eq!(got, counts, "batched workload counts diverged at n = {n}");
+                batched = batched.min(dt);
+            } else {
+                let (got, dt) = time(|| {
+                    qrefs
+                        .iter()
+                        .map(|q| {
+                            // a fresh consumer per query: shared core, private memo
+                            cache.invalidate_counting(fp);
+                            Engine::build_full(&s, q, eps, SkipMode::Eager, par, Some(&cache))
+                                .expect("localizable")
+                                .count()
+                        })
+                        .collect::<Vec<u64>>()
+                });
+                assert_eq!(
+                    got, counts,
+                    "independent workload counts diverged at n = {n}"
+                );
+                independent = independent.min(dt);
+            }
+        }
+    }
+    WorkloadResult {
+        n,
+        batched,
+        independent,
+        counts,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -181,22 +277,36 @@ fn main() {
         results.push(r);
     }
 
-    let json = render_json(&results, quick, cores, par.threads());
+    let wl = bench_workload(*scales.last().expect("non-empty scales"), &par);
+    println!(
+        "workload ({} queries, n = {}): batched {} vs independent {} ({:.2}x)",
+        WORKLOAD_QUERIES.len(),
+        wl.n,
+        fmt_dur(wl.batched),
+        fmt_dur(wl.independent),
+        wl.independent.as_secs_f64() / wl.batched.as_secs_f64().max(1e-9)
+    );
+
+    let json = render_json(&results, &wl, quick, cores, par.threads());
     std::fs::write(&out, json).expect("write BENCH_preprocess.json");
     println!("wrote {}", out.display());
 
     if let Some(bp) = baseline {
-        gate_against_baseline(&results, &bp);
+        gate_against_baseline(&results, &wl, &bp);
     }
 }
 
 /// Uncached/cached floors enforced by `--baseline` at the largest measured
-/// scale: the radix extraction rewrite must hold at least these speedups
-/// over the committed pre-rewrite numbers.
-const GATE_UNCACHED_SPEEDUP: f64 = 5.0;
+/// scale: the radix reduce rewrite and the counting memo must hold at
+/// least these speedups over the committed pre-rewrite numbers.
+const GATE_UNCACHED_SPEEDUP: f64 = 4.0;
 const GATE_CACHED_SPEEDUP: f64 = 2.0;
 /// Extraction may take at most this share of an uncached build.
 const GATE_EXTRACT_RATIO: f64 = 0.4;
+/// The Prop 3.3 reduction may take at most this share of an uncached build.
+const GATE_REDUCE_RATIO: f64 = 0.5;
+/// `Engine::build_many` must beat independent warm builds by this factor.
+const GATE_WORKLOAD_SPEEDUP: f64 = 2.0;
 
 /// Pull a `"key": <number>` field out of a JSON chunk (flat numeric fields
 /// only — all this binary ever writes).
@@ -235,9 +345,11 @@ fn baseline_scale(text: &str, n: usize) -> Option<(f64, f64, u64)> {
 /// Compare the freshly measured largest scale against the committed
 /// baseline file and abort (non-zero exit) when any floor is missed:
 /// identical answer count, ≥ [`GATE_UNCACHED_SPEEDUP`]× uncached,
-/// ≥ [`GATE_CACHED_SPEEDUP`]× warm, and extraction at most
-/// [`GATE_EXTRACT_RATIO`] of the uncached build.
-fn gate_against_baseline(results: &[ScaleResult], path: &Path) {
+/// ≥ [`GATE_CACHED_SPEEDUP`]× warm, extraction at most
+/// [`GATE_EXTRACT_RATIO`] and reduction at most [`GATE_REDUCE_RATIO`] of
+/// the uncached build, and batched workload builds at least
+/// [`GATE_WORKLOAD_SPEEDUP`]× over independent warm builds.
+fn gate_against_baseline(results: &[ScaleResult], wl: &WorkloadResult, path: &Path) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
     let new = results.last().expect("at least one scale measured");
@@ -261,10 +373,14 @@ fn gate_against_baseline(results: &[ScaleResult], path: &Path) {
     let uncached_speedup = base_uncached_ms / new_uncached_ms.max(1e-9);
     let cached_speedup = base_cached_ms / new_cached_ms.max(1e-9);
     let extract_ratio = new.uncached.profile.millis(Stage::Extract) / new_uncached_ms.max(1e-9);
+    let reduce_ratio = new.uncached.profile.millis(Stage::Reduce) / new_uncached_ms.max(1e-9);
+    let workload_speedup = wl.independent.as_secs_f64() / wl.batched.as_secs_f64().max(1e-9);
     println!(
         "gate at n = {}: uncached {uncached_speedup:.2}x (need >= {GATE_UNCACHED_SPEEDUP}), \
          cached {cached_speedup:.2}x (need >= {GATE_CACHED_SPEEDUP}), \
-         extract share {extract_ratio:.3} (need <= {GATE_EXTRACT_RATIO})",
+         extract share {extract_ratio:.3} (need <= {GATE_EXTRACT_RATIO}), \
+         reduce share {reduce_ratio:.3} (need <= {GATE_REDUCE_RATIO}), \
+         workload {workload_speedup:.2}x (need >= {GATE_WORKLOAD_SPEEDUP})",
         new.n
     );
     assert!(
@@ -285,6 +401,18 @@ fn gate_against_baseline(results: &[ScaleResult], path: &Path) {
          (limit {GATE_EXTRACT_RATIO})",
         new.n
     );
+    assert!(
+        reduce_ratio <= GATE_REDUCE_RATIO,
+        "reduction takes {reduce_ratio:.3} of the uncached build at n = {} \
+         (limit {GATE_REDUCE_RATIO})",
+        new.n
+    );
+    assert!(
+        workload_speedup >= GATE_WORKLOAD_SPEEDUP,
+        "batched workload at n = {} is only {workload_speedup:.2}x faster than \
+         independent warm builds (need {GATE_WORKLOAD_SPEEDUP}x)",
+        wl.n
+    );
     println!("gate passed");
 }
 
@@ -300,7 +428,13 @@ fn stage_json(p: &BuildProfile) -> String {
     )
 }
 
-fn render_json(results: &[ScaleResult], quick: bool, cores: usize, threads: usize) -> String {
+fn render_json(
+    results: &[ScaleResult],
+    wl: &WorkloadResult,
+    quick: bool,
+    cores: usize,
+    threads: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"preprocess\",\n");
@@ -329,6 +463,23 @@ fn render_json(results: &[ScaleResult], quick: bool, cores: usize, threads: usiz
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let counts = wl
+        .counts
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    s.push_str(&format!(
+        "  \"workload\": {{\"n\": {}, \"queries\": {}, \"batched_ms\": {:.3}, \
+         \"independent_ms\": {:.3}, \"speedup\": {:.3}, \"counts\": [{}]}}\n",
+        wl.n,
+        WORKLOAD_QUERIES.len(),
+        wl.batched.as_secs_f64() * 1e3,
+        wl.independent.as_secs_f64() * 1e3,
+        wl.independent.as_secs_f64() / wl.batched.as_secs_f64().max(1e-9),
+        counts
+    ));
+    s.push_str("}\n");
     s
 }

@@ -6,7 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lowdeg_core::{Engine, SkipMode};
+use lowdeg_core::{ArtifactCache, Engine, SkipMode};
 use lowdeg_gen::{ColoredGraphSpec, DegreeClass};
 use lowdeg_index::Epsilon;
 use lowdeg_logic::parse_query;
@@ -76,8 +76,12 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
         "explain" => {
             let db = load(rest.first().ok_or_else(usage)?)?;
             let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
-            let engine = build(&db, &q)?;
-            write!(out, "{}", engine.explain()).map_err(w)?;
+            // build through a cache so the report can show the artifact /
+            // counting-memo state a long-lived process would accumulate
+            let cache = ArtifactCache::new();
+            let engine = Engine::build_full(&db, &q, eps, SkipMode::Eager, &par, Some(&cache))
+                .map_err(|e| e.to_string())?;
+            write!(out, "{}", engine.explain_with_cache(&cache)).map_err(w)?;
             Ok(())
         }
         "count" => {
@@ -392,6 +396,9 @@ mod tests {
         let out = run_str(&["explain", db.to_str().unwrap(), "B(x) & R(y) & !E(x, y)"]).unwrap();
         assert!(out.contains("arity: 2"));
         assert!(out.contains("colored graph:"));
+        assert!(out.contains("artifact cache:"));
+        assert!(out.contains("counting memo:"));
+        assert!(out.contains("eviction(s)"));
     }
 
     #[test]

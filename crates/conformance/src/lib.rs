@@ -46,6 +46,7 @@ pub mod differential;
 pub mod dynamic;
 pub mod json;
 pub mod latticecheck;
+pub mod memocheck;
 pub mod metamorphic;
 pub mod parcheck;
 pub mod querygen;

@@ -6,6 +6,7 @@ use crate::differential::{differential_case, CaseConfig, CaseStats, Disagreement
 use crate::dynamic::dynamic_case;
 use crate::json::Json;
 use crate::latticecheck::latticecheck_case;
+use crate::memocheck::memocheck_case;
 use crate::metamorphic::metamorphic_case;
 use crate::parcheck::parcheck_case;
 use crate::querygen::{QueryGen, QueryShape, ALL_SHAPES};
@@ -234,6 +235,7 @@ fn check_one(case: &Case, cfg: &CaseConfig, inject: Mutation) -> (CaseStats, Vec
         bad.extend(parcheck_case(&case.s, &case.q));
         bad.extend(cachecheck_case(&case.s, &case.q));
         bad.extend(latticecheck_case(&case.s, &case.q));
+        bad.extend(memocheck_case(&case.s, &case.q));
     }
     (stats, bad)
 }
@@ -285,6 +287,7 @@ fn aggregate_one(
             b.extend(parcheck_case(s2, q2));
             b.extend(cachecheck_case(s2, q2));
             b.extend(latticecheck_case(s2, q2));
+            b.extend(memocheck_case(s2, q2));
         }
         b.iter().any(|d| d.check == first_check)
     };

@@ -22,6 +22,7 @@
 //! [`BuildProfile`] is stored on every [`crate::Engine`] and surfaces in
 //! `--explain` output and `BENCH_preprocess.json`.
 
+use crate::counting::CountingMemo;
 use crate::reduction::ReductionCore;
 use lowdeg_index::{Epsilon, FxHashMap};
 use lowdeg_storage::{GaifmanGraph, Structure};
@@ -33,30 +34,113 @@ use std::time::Instant;
 /// radius, arity, and ε (the near store's layout depends on it).
 type ClusterKey = (u64, usize, usize, u64);
 
+/// Default [`ArtifactCache`] capacity: generous enough that eviction never
+/// fires in ordinary workloads (one entry per distinct
+/// `(structure, r, k, ε)`), while still bounding a pathological sweep over
+/// thousands of structures.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
 #[derive(Default)]
 struct CacheInner {
     gaifman: FxHashMap<u64, GaifmanGraph>,
+    gaifman_used: FxHashMap<u64, u64>,
     cores: FxHashMap<ClusterKey, Arc<ReductionCore>>,
+    counting: FxHashMap<ClusterKey, Arc<CountingMemo>>,
+    core_used: FxHashMap<ClusterKey, u64>,
+}
+
+impl CacheInner {
+    /// Evict least-recently-used entries down to `capacity` per kind. A
+    /// core eviction drops the matching counting memo with it — the memo's
+    /// counts are only meaningful against its core.
+    fn enforce(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.gaifman.len() > capacity {
+            let &fp = self
+                .gaifman_used
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .expect("non-empty over capacity")
+                .0;
+            self.gaifman.remove(&fp);
+            self.gaifman_used.remove(&fp);
+            evicted += 1;
+        }
+        while self.cores.len() > capacity {
+            let &key = self
+                .core_used
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .expect("non-empty over capacity")
+                .0;
+            self.cores.remove(&key);
+            self.counting.remove(&key);
+            self.core_used.remove(&key);
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 /// In-process cache of per-structure build products, shared across the
 /// clauses of one query and across repeated engine builds. Internally
 /// synchronized: share it by reference (or `Arc`) between builds.
 ///
-/// The cache is strictly opt-in — every default build path runs cold — and
-/// entries are only ever *added*; see the module docs for the invalidation
-/// contract.
-#[derive(Default)]
+/// The cache is strictly opt-in — every default build path runs cold. It
+/// holds at most [`ArtifactCache::capacity`] reduction cores (each with
+/// its counting memo) and as many Gaifman graphs; beyond that the
+/// least-recently-used entry is evicted ([`ArtifactCache::evictions`]
+/// counts them, and `--explain` surfaces the counter). See the module docs
+/// for the explicit-invalidation contract.
 pub struct ArtifactCache {
     inner: Mutex<CacheInner>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl ArtifactCache {
-    /// Empty cache.
+    /// Empty cache with the default (generous) capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache retaining at most `capacity` entries of each kind
+    /// (reduction cores with their counting memos, and Gaifman graphs).
+    /// A capacity of `0` is treated as `1` — the cache always admits the
+    /// entry being inserted.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-kind entry limit this cache enforces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total LRU evictions so far (all artifact kinds).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Next recency stamp.
+    fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Warm `structure`'s lazy Gaifman slot from the cache when its
@@ -65,13 +149,15 @@ impl ArtifactCache {
     /// `structure.gaifman()` is subsequently hit-free.
     pub fn prime_gaifman(&self, structure: &Structure, par: &lowdeg_par::ParConfig) {
         let fp = structure.fingerprint();
-        let cached = self
-            .inner
-            .lock()
-            .expect("cache poisoned")
-            .gaifman
-            .get(&fp)
-            .cloned();
+        let stamp = self.touch();
+        let cached = {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            let got = inner.gaifman.get(&fp).cloned();
+            if got.is_some() {
+                inner.gaifman_used.insert(fp, stamp);
+            }
+            got
+        };
         match cached {
             Some(g) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -80,11 +166,11 @@ impl ArtifactCache {
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let g = structure.gaifman_with(par).clone();
-                self.inner
-                    .lock()
-                    .expect("cache poisoned")
-                    .gaifman
-                    .insert(fp, g);
+                let mut inner = self.inner.lock().expect("cache poisoned");
+                inner.gaifman.insert(fp, g);
+                inner.gaifman_used.insert(fp, stamp);
+                let evicted = inner.enforce(self.capacity);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
     }
@@ -101,28 +187,53 @@ impl ArtifactCache {
         build: impl FnOnce() -> ReductionCore,
     ) -> Arc<ReductionCore> {
         let key: ClusterKey = (fingerprint, r, k, eps.value().to_bits());
-        if let Some(hit) = self
-            .inner
-            .lock()
-            .expect("cache poisoned")
-            .cores
-            .get(&key)
-            .cloned()
+        let stamp = self.touch();
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            if let Some(hit) = inner.cores.get(&key).cloned() {
+                inner.core_used.insert(key, stamp);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock: core construction is the expensive
         // pseudo-linear pass, and concurrent builders at worst duplicate
         // work (last insert wins; all candidates are identical by key).
         let built = Arc::new(build());
-        self.inner
-            .lock()
-            .expect("cache poisoned")
-            .cores
-            .insert(key, built.clone());
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.cores.insert(key, built.clone());
+        inner.core_used.insert(key, stamp);
+        let evicted = inner.enforce(self.capacity);
+        drop(inner);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         built
+    }
+
+    /// The shared [`CountingMemo`] for the core at
+    /// `(fingerprint, r, k, eps)` — created empty on first use and
+    /// retained (and evicted) alongside the core entry of the same key.
+    /// Every engine built against the same core through this cache drains
+    /// its ie-count stage into the one memo, so repeated builds — and
+    /// [`crate::Engine::build_many`] workloads of distinct queries sharing
+    /// a quantifier-free core — skip every previously counted component.
+    pub fn counting_memo(
+        &self,
+        fingerprint: u64,
+        r: usize,
+        k: usize,
+        eps: Epsilon,
+    ) -> Arc<CountingMemo> {
+        let key: ClusterKey = (fingerprint, r, k, eps.value().to_bits());
+        let stamp = self.touch();
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.core_used.insert(key, stamp);
+        inner
+            .counting
+            .entry(key)
+            .or_insert_with(|| Arc::new(CountingMemo::new()))
+            .clone()
     }
 
     /// Drop every entry derived from `fingerprint` (the explicit
@@ -130,17 +241,32 @@ impl ArtifactCache {
     pub fn invalidate(&self, fingerprint: u64) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.gaifman.remove(&fingerprint);
+        inner.gaifman_used.remove(&fingerprint);
         inner.cores.retain(|&(fp, ..), _| fp != fingerprint);
+        inner.counting.retain(|&(fp, ..), _| fp != fingerprint);
+        inner.core_used.retain(|&(fp, ..), _| fp != fingerprint);
+    }
+
+    /// Drop only the counting memos derived from `fingerprint`, keeping
+    /// the reduction cores. Benchmarks use this to measure a warm-core /
+    /// cold-memo build (what N independent per-query caches would do).
+    pub fn invalidate_counting(&self, fingerprint: u64) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.counting.retain(|&(fp, ..), _| fp != fingerprint);
     }
 
     /// Drop everything.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.gaifman.clear();
+        inner.gaifman_used.clear();
         inner.cores.clear();
+        inner.counting.clear();
+        inner.core_used.clear();
     }
 
-    /// `(hits, misses)` across both artifact kinds (diagnostics).
+    /// `(hits, misses)` across the keyed artifact kinds (diagnostics; the
+    /// counting memos keep their own probe counters).
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -148,10 +274,29 @@ impl ArtifactCache {
         )
     }
 
-    /// Number of retained entries across both artifact kinds.
+    /// Number of retained entries across all artifact kinds.
     pub fn entries(&self) -> usize {
         let inner = self.inner.lock().expect("cache poisoned");
-        inner.gaifman.len() + inner.cores.len()
+        inner.gaifman.len() + inner.cores.len() + inner.counting.len()
+    }
+
+    /// Aggregated `(hits, misses, components)` over the retained counting
+    /// memos (diagnostics; surfaced by `--explain`).
+    pub fn counting_stats(&self) -> (u64, u64, usize) {
+        let memos: Vec<Arc<CountingMemo>> = {
+            let inner = self.inner.lock().expect("cache poisoned");
+            inner.counting.values().cloned().collect()
+        };
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut components = 0usize;
+        for m in memos {
+            let (h, mi) = m.stats();
+            hits += h;
+            misses += mi;
+            components += m.len();
+        }
+        (hits, misses, components)
     }
 }
 
@@ -344,6 +489,62 @@ mod tests {
         let _wider = get(2);
         assert_eq!(builds, 2, "one build per distinct key");
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn lru_capacity_evicts_oldest_core() {
+        let cache = ArtifactCache::with_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        let par = lowdeg_par::ParConfig::serial();
+        let s = sample(1);
+        let build = |k: usize| {
+            crate::reduction::build_core(&s, 0, k, Epsilon::new(0.5), &par, &Profiler::new())
+        };
+        cache.reduction_core(s.fingerprint(), 0, 1, Epsilon::new(0.5), || build(1));
+        let memo1 = cache.counting_memo(s.fingerprint(), 0, 1, Epsilon::new(0.5));
+        assert_eq!(cache.evictions(), 0);
+        // a second key over capacity evicts the k=1 core and its memo
+        cache.reduction_core(s.fingerprint(), 0, 2, Epsilon::new(0.5), || build(2));
+        assert_eq!(cache.evictions(), 1);
+        // the k=1 core is gone: asking again rebuilds (a miss), and its
+        // memo slot is fresh (the old Arc is no longer the cached one)
+        let mut rebuilt = false;
+        cache.reduction_core(s.fingerprint(), 0, 1, Epsilon::new(0.5), || {
+            rebuilt = true;
+            build(1)
+        });
+        assert!(rebuilt, "evicted core must rebuild");
+        let memo1_again = cache.counting_memo(s.fingerprint(), 0, 1, Epsilon::new(0.5));
+        assert!(
+            !Arc::ptr_eq(&memo1, &memo1_again),
+            "eviction drops the counting memo with its core"
+        );
+        // zero capacity is clamped: the cache still admits one entry
+        let tiny = ArtifactCache::with_capacity(0);
+        assert_eq!(tiny.capacity(), 1);
+    }
+
+    #[test]
+    fn counting_memo_is_shared_and_invalidated() {
+        let cache = ArtifactCache::new();
+        let s = sample(2);
+        let a = cache.counting_memo(s.fingerprint(), 0, 2, Epsilon::new(0.5));
+        let b = cache.counting_memo(s.fingerprint(), 0, 2, Epsilon::new(0.5));
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one memo");
+        let other = cache.counting_memo(s.fingerprint(), 0, 3, Epsilon::new(0.5));
+        assert!(!Arc::ptr_eq(&a, &other), "distinct keys get distinct memos");
+        assert_eq!(cache.entries(), 2);
+        // invalidate_counting drops memos but keeps cores
+        let par = lowdeg_par::ParConfig::serial();
+        cache.reduction_core(s.fingerprint(), 0, 2, Epsilon::new(0.5), || {
+            crate::reduction::build_core(&s, 0, 2, Epsilon::new(0.5), &par, &Profiler::new())
+        });
+        assert_eq!(cache.entries(), 3);
+        cache.invalidate_counting(s.fingerprint());
+        assert_eq!(cache.entries(), 1, "cores survive a counting invalidation");
+        let c = cache.counting_memo(s.fingerprint(), 0, 2, Epsilon::new(0.5));
+        assert!(!Arc::ptr_eq(&a, &c), "invalidated memo is replaced");
+        assert_eq!(cache.counting_stats(), (0, 0, 0));
     }
 
     #[test]

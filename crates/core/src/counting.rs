@@ -10,11 +10,13 @@
 
 use crate::connected_cq::{count_connected, ConnectedError};
 use crate::graph_query::{GraphClause, GraphQuery};
-use lowdeg_index::SliceInterner;
+use lowdeg_index::{FxHashMap, SliceInterner};
 use lowdeg_logic::{DistCmp, Formula, Var};
 use lowdeg_par::{par_map, ParConfig};
 use lowdeg_storage::Structure;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Count the answers of a *generalized conjunction* (Lemma 3.5): conjuncts
 /// may be positive atoms, negated atoms of any arity, equalities and
@@ -223,8 +225,30 @@ pub fn count_clause_with_config(
     adjacency: &crate::enumerate::EdgeAdjacency,
     par: &ParConfig,
 ) -> u64 {
+    count_clause_with_memo(graph, gq, clause, adjacency, par, None)
+}
+
+/// [`count_clause_with_config`] with an optional cross-query
+/// [`CountingMemo`]: distinct lattice components probe the memo by
+/// canonical signature and only novel ones are counted. The result is
+/// bit-identical with and without a memo (a memo entry is the exact count
+/// of its signature).
+pub fn count_clause_with_memo(
+    graph: &Structure,
+    gq: &GraphQuery,
+    clause: &GraphClause,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    par: &ParConfig,
+    memo: Option<&CountingMemo>,
+) -> u64 {
     let (lists, sets, neg) = clause_tables(graph, gq, clause);
-    count_clause_lattice(adjacency, &lists, &sets, &neg, par)
+    match memo {
+        None => count_clause_lattice(adjacency, &lists, &sets, &neg, par, None),
+        Some(m) => {
+            let tokens = color_tokens(clause, m.iota_sizes());
+            count_clause_lattice(adjacency, &lists, &sets, &neg, par, Some((m, &tokens)))
+        }
+    }
 }
 
 /// The per-term reference evaluation of Lemma 3.5: nested differences, each
@@ -252,7 +276,7 @@ pub fn count_clause_lattice_serial(
     adjacency: &crate::enumerate::EdgeAdjacency,
 ) -> u64 {
     let (lists, sets, neg) = clause_tables(graph, gq, clause);
-    let total = lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial());
+    let total = lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial(), None);
     total.max(0) as u64
 }
 
@@ -271,9 +295,9 @@ pub fn count_clause_lattice_sliced(
     let (lists, sets, neg) = clause_tables(graph, gq, clause);
     let m = neg.len();
     let total = if m == 0 {
-        lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial())
+        lattice_sum_single(adjacency, &lists, &sets, &neg, &ParConfig::serial(), None)
     } else {
-        lattice_sum_sliced(adjacency, &lists, &sets, &neg, bits.clamp(1, m), par)
+        lattice_sum_sliced(adjacency, &lists, &sets, &neg, bits.clamp(1, m), par, None)
     };
     total.max(0) as u64
 }
@@ -312,6 +336,333 @@ struct CompJob {
     edges: Vec<(usize, usize)>,
 }
 
+/// Cross-query memo of distinct lattice-component counts — the *counting
+/// core* layered on top of a shared [`crate::ReductionCore`].
+///
+/// A component's count depends only on the candidate list behind each of
+/// its positions (a set of color relations over the fixed colored graph)
+/// and the positive-`E`-edge pattern among them — not on which clause,
+/// query, or lattice term it came from. Keying by that canonical
+/// *component signature* lets every build against the same core reuse
+/// counts across clauses, across the `2^m` lattice slices, and across
+/// different queries whose clauses realize the same color combinations.
+/// An [`crate::ArtifactCache`] retains one memo per core key; the
+/// conformance `memocheck` oracle cross-checks that memoized counting is
+/// observably identical to the memo-free path.
+///
+/// Internally synchronized (probe/publish batch under one mutex), so the
+/// sliced lattice walk's worker threads share it directly.
+#[derive(Default)]
+pub struct CountingMemo {
+    map: Mutex<FxHashMap<Box<[u32]>, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// `iota_sizes[r]` = injection domain size when unary relation `r` of
+    /// the colored graph is a `C_ι` color, else `0`. Set once per memo by
+    /// the engine from the reduction core; the core's cache key pins the
+    /// colored graph, so every build sharing this memo agrees on it.
+    iota_sizes: std::sync::OnceLock<Vec<u32>>,
+}
+
+impl CountingMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare which unary relations are `C_ι` colors (see
+    /// [`canonical_component_key`]: iota colors are interchangeable up to a
+    /// size-preserving renaming, so signatures erase their identities).
+    /// First caller wins; later calls with the same core are no-ops.
+    pub(crate) fn set_iota_sizes(&self, sizes: Vec<u32>) {
+        let _ = self.iota_sizes.set(sizes);
+    }
+
+    /// The declared iota classification (empty when none was declared —
+    /// signatures then keep every color literal).
+    fn iota_sizes(&self) -> &[u32] {
+        self.iota_sizes.get().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct component signatures retained.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether no component has been counted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` over all probes (diagnostics).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Look up a batch of keys under one lock; `None` keys (components the
+    /// caller resolves directly) are passed through untouched and not
+    /// counted as probes.
+    fn probe(&self, keys: &[Option<Box<[u32]>>]) -> Vec<Option<u64>> {
+        let map = self.map.lock().expect("memo poisoned");
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let out = keys
+            .iter()
+            .map(|k| {
+                let got = k.as_ref().and_then(|k| map.get(&**k).copied());
+                if k.is_some() {
+                    match got {
+                        Some(_) => hits += 1,
+                        None => misses += 1,
+                    }
+                }
+                got
+            })
+            .collect();
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out
+    }
+
+    /// Publish freshly computed counts under one lock. Concurrent builders
+    /// may race on a key; all candidates are equal by construction (the
+    /// count is a deterministic function of the signature), so last-write
+    /// wins harmlessly.
+    fn publish(&self, entries: Vec<(Box<[u32]>, u64)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut map = self.map.lock().expect("memo poisoned");
+        for (k, v) in entries {
+            map.insert(k, v);
+        }
+    }
+}
+
+impl std::fmt::Debug for CountingMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("CountingMemo")
+            .field("components", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+/// The canonical color token of one clause position, split into the
+/// `C_ι` injection colors (erasable, see [`canonical_component_key`]) and
+/// everything else. Equal `rest` plus size-matched iotas ⇒ candidate
+/// lists related by a count-preserving copy swap over the colored graph.
+#[derive(Debug, PartialEq, Eq)]
+struct PosToken {
+    /// Sorted, deduplicated non-iota relation ids; equal `rest` under
+    /// equal iotas means a literally identical candidate list.
+    rest: Vec<u32>,
+    /// `(injection domain size, relation id)` of each `C_ι` color, sorted.
+    iotas: Vec<(u32, u32)>,
+}
+
+/// Per-position tokens of one clause. `iota_sizes` classifies the colored
+/// graph's unary relations (empty slice: treat every color literally).
+fn color_tokens(clause: &GraphClause, iota_sizes: &[u32]) -> Vec<PosToken> {
+    clause
+        .colors
+        .iter()
+        .map(|cs| {
+            let mut rest: Vec<u32> = Vec::new();
+            let mut iotas: Vec<(u32, u32)> = Vec::new();
+            for r in cs {
+                let id = r.index() as u32;
+                match iota_sizes.get(r.index()) {
+                    Some(&s) if s > 0 => iotas.push((s, id)),
+                    _ => rest.push(id),
+                }
+            }
+            rest.sort_unstable();
+            rest.dedup();
+            iotas.sort_unstable();
+            iotas.dedup();
+            PosToken { rest, iotas }
+        })
+        .collect()
+}
+
+/// Components above this size skip the exact canonical search (the search
+/// is factorial in the member count; components never exceed the query
+/// arity, so this only triggers for very wide queries).
+const MAX_CANON_MEMBERS: usize = 6;
+
+/// Encode one slot ordering of a component: per slot
+/// `[|rest|, rest…, |iotas|, (size, name)…]`, then [`SIG_SEP`] and the
+/// edge pairs renumbered to slot indices, sorted. With `rename`, iota
+/// `name`s are first-occurrence ranks in this ordering — the identity of
+/// a `C_ι` relation is erased, only its domain size and its
+/// equality pattern across the component's slots survive. Without it,
+/// names are the raw relation ids.
+fn key_for_order(tokens: &[PosToken], job: &CompJob, order: &[usize], rename: bool) -> Vec<u32> {
+    let mut key: Vec<u32> = Vec::with_capacity(4 * job.members.len() + 2 * job.edges.len() + 2);
+    key.push(job.members.len() as u32);
+    let mut names: Vec<u32> = Vec::new();
+    for &s in order {
+        let tok = &tokens[job.members[s]];
+        key.push(tok.rest.len() as u32);
+        key.extend_from_slice(&tok.rest);
+        key.push(tok.iotas.len() as u32);
+        for &(size, raw) in &tok.iotas {
+            let name = if rename {
+                match names.iter().position(|&x| x == raw) {
+                    Some(i) => i as u32,
+                    None => {
+                        names.push(raw);
+                        (names.len() - 1) as u32
+                    }
+                }
+            } else {
+                raw
+            };
+            key.push(size);
+            key.push(name);
+        }
+    }
+    key.push(SIG_SEP);
+    let slot_of = |pos: usize| -> u32 {
+        order
+            .iter()
+            .position(|&s| job.members[s] == pos)
+            .expect("edge endpoint is a member") as u32
+    };
+    let mut edges: Vec<(u32, u32)> = job
+        .edges
+        .iter()
+        .map(|&(i, j)| {
+            let (a, b) = (slot_of(i), slot_of(j));
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    for (a, b) in edges {
+        key.push(a);
+        key.push(b);
+    }
+    key
+}
+
+/// The cross-query canonical signature of one component: the
+/// lexicographically least [`key_for_order`] image over all slot
+/// orderings, with `C_ι` relation ids renamed by first occurrence.
+///
+/// Equal signatures imply a slot correspondence under which the non-iota
+/// colors match literally and the iota colors match up to a
+/// size-preserving bijection of injection ids, with an identical
+/// positive-edge pattern. Over the reduction's colored graph that
+/// bijection induces a vertex bijection `v_(b̄,ι) ↦ v_(b̄,σ(ι))` between
+/// the slots' candidate lists — adjacency is shared by all copies of a
+/// cluster tuple and self-edges are excluded for every copy, so the swap
+/// preserves both the edge pattern and the equality pattern — hence equal
+/// counts over the same adjacency. Position names, clause context and the
+/// specific injections are all erased, so the signature matches across
+/// clauses, across the lattice, and across queries that permute which
+/// answer position carries which color.
+///
+/// Components wider than [`MAX_CANON_MEMBERS`] fall back to a single
+/// deterministic ordering with raw iota ids (sound, shares less). The two
+/// encodings cannot alias: a component has at most `k` members while a
+/// `C_ι` relation id is at least `2 + k`, so renamed iota names (below
+/// the member count) and raw ids never coincide for keys of equal width.
+fn canonical_component_key(tokens: &[PosToken], job: &CompJob) -> Box<[u32]> {
+    let m = job.members.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    if m > MAX_CANON_MEMBERS {
+        order.sort_by(|&a, &b| {
+            let (ta, tb) = (&tokens[job.members[a]], &tokens[job.members[b]]);
+            ta.rest
+                .cmp(&tb.rest)
+                .then_with(|| ta.iotas.cmp(&tb.iotas))
+                .then(a.cmp(&b))
+        });
+        return key_for_order(tokens, job, &order, false).into_boxed_slice();
+    }
+    // exact canonical form: minimum image over all m! orderings
+    let mut best = key_for_order(tokens, job, &order, true);
+    permute_orders(&mut order, 0, &mut |order| {
+        let key = key_for_order(tokens, job, order, true);
+        if key < best {
+            best = key;
+        }
+    });
+    best.into_boxed_slice()
+}
+
+/// Visit every permutation of `order[at..]` (recursive swap enumeration;
+/// the initial `order` is restored on return).
+fn permute_orders(order: &mut Vec<usize>, at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at + 1 >= order.len() {
+        visit(order);
+        return;
+    }
+    for i in at..order.len() {
+        order.swap(at, i);
+        permute_orders(order, at + 1, visit);
+        order.swap(at, i);
+    }
+}
+
+/// Resolve the distinct component jobs of one walk to counts: singleton
+/// components read their list length, multi-member components probe the
+/// memo (when one is supplied) and only the genuinely novel signatures are
+/// counted — in parallel when `par` is given, serially otherwise (the
+/// sliced walk already runs each slice on a worker thread).
+fn component_counts(
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    lists: &[Vec<lowdeg_storage::Node>],
+    sets: &[NodeSet],
+    jobs: &[CompJob],
+    memo: Option<MemoCtx<'_>>,
+    par: Option<&ParConfig>,
+) -> Vec<u64> {
+    let compute = |idx: &[u32]| -> Vec<u64> {
+        match par {
+            Some(p) => par_map(p, idx, |&i| {
+                count_job(adjacency, lists, sets, &jobs[i as usize])
+            }),
+            None => idx
+                .iter()
+                .map(|&i| count_job(adjacency, lists, sets, &jobs[i as usize]))
+                .collect(),
+        }
+    };
+    let Some((memo, tokens)) = memo else {
+        let all: Vec<u32> = (0..jobs.len() as u32).collect();
+        return compute(&all);
+    };
+    let mut keys: Vec<Option<Box<[u32]>>> = jobs
+        .iter()
+        .map(|job| (job.members.len() > 1).then(|| canonical_component_key(tokens, job)))
+        .collect();
+    let cached = memo.probe(&keys);
+    let mut counts: Vec<u64> = vec![0; jobs.len()];
+    let mut miss: Vec<u32> = Vec::new();
+    for (i, c) in cached.into_iter().enumerate() {
+        match c {
+            Some(v) => counts[i] = v,
+            None if keys[i].is_none() => counts[i] = sets[jobs[i].members[0]].len,
+            None => miss.push(i as u32),
+        }
+    }
+    let computed = compute(&miss);
+    let mut fresh: Vec<(Box<[u32]>, u64)> = Vec::with_capacity(miss.len());
+    for (&i, &v) in miss.iter().zip(&computed) {
+        counts[i as usize] = v;
+        fresh.push((keys[i as usize].take().expect("miss implies key"), v));
+    }
+    memo.publish(fresh);
+    counts
+}
+
 /// The subset-lattice evaluation (see [`count_clause_with_config`]).
 ///
 /// Serial pools walk the whole `2^m` lattice once; multi-thread pools slice
@@ -326,18 +677,23 @@ fn count_clause_lattice(
     sets: &[NodeSet],
     neg: &[(usize, usize)],
     par: &ParConfig,
+    memo: Option<MemoCtx<'_>>,
 ) -> u64 {
     let m = neg.len();
     let masks = 1usize << m;
     let bits = lattice_slice_bits(par, m);
     let total = if bits == 0 || par.runs_serial(masks) {
-        lattice_sum_single(adjacency, lists, sets, neg, par)
+        lattice_sum_single(adjacency, lists, sets, neg, par, memo)
     } else {
-        lattice_sum_sliced(adjacency, lists, sets, neg, bits, par)
+        lattice_sum_sliced(adjacency, lists, sets, neg, bits, par, memo)
     };
     debug_assert!(total >= 0, "inclusion–exclusion cannot go negative");
     total.max(0) as u64
 }
+
+/// Memo handle threaded through the lattice walk: the shared
+/// [`CountingMemo`] plus the current clause's per-position color tokens.
+type MemoCtx<'a> = (&'a CountingMemo, &'a [PosToken]);
 
 /// How many top rank bits to slice the lattice walk on for `par`: enough
 /// subtrees for `threads · 4`-way load balancing, capped at `m` (slices of
@@ -362,6 +718,7 @@ fn lattice_sum_single(
     sets: &[NodeSet],
     neg: &[(usize, usize)],
     par: &ParConfig,
+    memo: Option<MemoCtx<'_>>,
 ) -> i128 {
     let masks = 1usize << neg.len();
     let mut interner: SliceInterner<u32> = SliceInterner::new();
@@ -375,7 +732,7 @@ fn lattice_sum_single(
         &mut jobs,
         &mut terms,
     );
-    let counts: Vec<u64> = par_map(par, &jobs, |job| count_job(adjacency, lists, sets, job));
+    let counts = component_counts(adjacency, lists, sets, &jobs, memo, Some(par));
     lattice_partial_sum(&terms, &counts)
 }
 
@@ -392,6 +749,7 @@ fn lattice_sum_sliced(
     neg: &[(usize, usize)],
     bits: usize,
     par: &ParConfig,
+    memo: Option<MemoCtx<'_>>,
 ) -> i128 {
     let m = neg.len();
     debug_assert!(bits >= 1 && bits <= m);
@@ -399,7 +757,7 @@ fn lattice_sum_sliced(
     let slice_ids: Vec<u32> = (0..(1u32 << bits)).collect();
     let partials: Vec<i128> = par_map(par, &slice_ids, |&s| {
         let lo = s as usize * per;
-        lattice_slice_sum(adjacency, lists, sets, neg, lo..lo + per)
+        lattice_slice_sum(adjacency, lists, sets, neg, lo..lo + per, memo)
     });
     partials.iter().sum()
 }
@@ -412,6 +770,7 @@ fn lattice_slice_sum(
     sets: &[NodeSet],
     neg: &[(usize, usize)],
     ranks: std::ops::Range<usize>,
+    memo: Option<MemoCtx<'_>>,
 ) -> i128 {
     let mut interner: SliceInterner<u32> = SliceInterner::new();
     let mut jobs: Vec<CompJob> = Vec::new();
@@ -424,10 +783,10 @@ fn lattice_slice_sum(
         &mut jobs,
         &mut terms,
     );
-    let counts: Vec<u64> = jobs
-        .iter()
-        .map(|job| count_job(adjacency, lists, sets, job))
-        .collect();
+    // Each slice runs on a worker thread already: novel components count
+    // serially here, but the shared memo means a component discovered by
+    // one slice is a hit for every later one.
+    let counts = component_counts(adjacency, lists, sets, &jobs, memo, None);
     lattice_partial_sum(&terms, &counts)
 }
 
@@ -765,8 +1124,22 @@ pub fn count_graph_query_with_adjacency(
     adjacency: &crate::enumerate::EdgeAdjacency,
     par: &ParConfig,
 ) -> Result<u64, ConnectedError> {
+    count_graph_query_with_adjacency_memo(graph, gq, adjacency, par, None)
+}
+
+/// [`count_graph_query_with_adjacency`] with an optional cross-query
+/// [`CountingMemo`] (see [`count_clause_with_memo`]); the engine threads
+/// the [`crate::ArtifactCache`]'s per-core memo through here so repeated
+/// and batched builds skip every previously counted component.
+pub fn count_graph_query_with_adjacency_memo(
+    graph: &Structure,
+    gq: &GraphQuery,
+    adjacency: &crate::enumerate::EdgeAdjacency,
+    par: &ParConfig,
+    memo: Option<&CountingMemo>,
+) -> Result<u64, ConnectedError> {
     let counts = par_map(par, &gq.clauses, |clause| {
-        count_clause_with_config(graph, gq, clause, adjacency, par)
+        count_clause_with_memo(graph, gq, clause, adjacency, par, memo)
     });
     Ok(counts.iter().sum())
 }
@@ -897,6 +1270,60 @@ mod tests {
         };
         let via_conj = count_conjunction(&s, &q.free, &parts).unwrap();
         assert_eq!(via_dnf, via_conj);
+    }
+
+    #[test]
+    fn memoized_counting_is_bit_identical() {
+        use crate::graph_query::{GraphClause, GraphQuery};
+        let s = ColoredGraphSpec::balanced(40, DegreeClass::Bounded(3)).generate(21);
+        let e = s.signature().rel("E").unwrap();
+        let b = s.signature().rel("B").unwrap();
+        let r = s.signature().rel("R").unwrap();
+        let g = s.signature().rel("G").unwrap();
+        let adj = crate::enumerate::EdgeAdjacency::build(&s, e);
+        // two queries over the same graph whose clauses share color
+        // combinations (the second permutes the first's positions)
+        let q1 = GraphQuery {
+            k: 3,
+            edge: e,
+            clauses: vec![GraphClause {
+                colors: vec![vec![b], vec![r], vec![g]],
+            }],
+        };
+        let q2 = GraphQuery {
+            k: 3,
+            edge: e,
+            clauses: vec![GraphClause {
+                colors: vec![vec![r], vec![g], vec![b]],
+            }],
+        };
+        let par = ParConfig::serial();
+        let memo = CountingMemo::new();
+        for gq in [&q1, &q2] {
+            let plain = count_graph_query_with_adjacency(&s, gq, &adj, &par).unwrap();
+            let memoized =
+                count_graph_query_with_adjacency_memo(&s, gq, &adj, &par, Some(&memo)).unwrap();
+            assert_eq!(plain, memoized, "memo must not change the count");
+            // a second memoized run of the same query is all hits
+            let again =
+                count_graph_query_with_adjacency_memo(&s, gq, &adj, &par, Some(&memo)).unwrap();
+            assert_eq!(plain, again);
+        }
+        let (hits, misses) = memo.stats();
+        assert!(hits > 0, "repeat runs must hit the memo");
+        assert!(misses > 0, "first run must populate the memo");
+        assert!(!memo.is_empty());
+        // q2's permuted clause realizes q1's canonical signatures: the
+        // cross-query probe volume exceeds what q1's reruns alone explain
+        let distinct = memo.len() as u64;
+        assert!(
+            hits >= distinct,
+            "expected cross-run sharing, got {hits} hits over {distinct} components"
+        );
+        // the sliced walk shares the same memo and stays exact
+        let sliced = count_clause_lattice_sliced(&s, &q1, &q1.clauses[0], &adj, 2, &par);
+        let memo_single = count_clause_with_memo(&s, &q1, &q1.clauses[0], &adj, &par, Some(&memo));
+        assert_eq!(sliced, memo_single);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The public façade tying the pipeline together.
 
 use crate::artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
-use crate::counting::count_graph_query_with_adjacency;
+use crate::counting::{count_graph_query_with_adjacency, count_graph_query_with_adjacency_memo};
 use crate::enumerate::{Enumerator, SkipMode, VertexStream};
 use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
 use crate::testing::TestIndex;
@@ -115,9 +115,33 @@ impl Engine {
         // cached extract product): counting, enumeration and the test
         // paths all share the one copy behind its `Arc`.
         let adjacency = reduction.adjacency().clone();
+        // With a cache, the ie-count stage drains into the per-core
+        // counting memo: components counted by any earlier build against
+        // the same core (this query or another) are probe hits. The count
+        // is bit-identical either way — memo entries are exact.
+        let memo = cache.map(|c| {
+            c.counting_memo(
+                structure.fingerprint(),
+                reduction.radius(),
+                reduction.arity(),
+                eps,
+            )
+        });
+        // Declare the C_ι colors so component signatures can erase the
+        // injection identities — that is what makes signatures match
+        // across queries that permute which position carries which color.
+        if let Some(m) = &memo {
+            m.set_iota_sizes(reduction.iota_color_sizes());
+        }
         let count = profiler.time(Stage::IeCount, || {
-            count_graph_query_with_adjacency(reduction.graph(), reduction.query(), &adjacency, par)
-                .expect("reduced clauses are well-formed generalized conjunctions")
+            count_graph_query_with_adjacency_memo(
+                reduction.graph(),
+                reduction.query(),
+                &adjacency,
+                par,
+                memo.as_deref(),
+            )
+            .expect("reduced clauses are well-formed generalized conjunctions")
         });
         let enumerator = Enumerator::build_full_with_adjacency(
             reduction.graph(),
@@ -138,6 +162,30 @@ impl Engine {
             },
             profile: profiler.snapshot(),
         })
+    }
+
+    /// Batch-build one engine per query against a single structure,
+    /// sharing every cross-query artifact through `cache`: the Gaifman
+    /// graph, the query-independent [`crate::ReductionCore`] per distinct
+    /// `(r, k)`, and — the batch-specific win — the per-core
+    /// [`crate::counting::CountingMemo`], so a lattice component counted
+    /// for one query is a probe hit for every later query realizing the
+    /// same color combination. Each engine is bit-identical to what
+    /// [`Engine::build_full`] would produce for its query alone (with or
+    /// without a cache) — the conformance `memocheck` oracle enforces
+    /// this. Queries build in order; the first error aborts the batch.
+    pub fn build_many(
+        structure: &Structure,
+        queries: &[&Query],
+        eps: Epsilon,
+        mode: SkipMode,
+        par: &ParConfig,
+        cache: &ArtifactCache,
+    ) -> Result<Vec<Self>, EngineError> {
+        queries
+            .iter()
+            .map(|q| Self::build_full(structure, q, eps, mode, par, Some(cache)))
+            .collect()
     }
 
     /// Per-stage build timings (`extract → reduce → ie-count → fixpoint →
@@ -490,6 +538,42 @@ mod tests {
     #[test]
     fn ternary_end_to_end() {
         check_engine(4, 12, "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)");
+    }
+
+    #[test]
+    fn build_many_matches_individual_builds() {
+        let s = ColoredGraphSpec::balanced(40, DegreeClass::Bounded(3)).generate(7);
+        let sources = [
+            "B(x) & R(y) & !E(x, y)",
+            "R(x) & G(y) & !E(x, y)",
+            "G(x) & B(y) & !E(x, y)",
+        ];
+        let queries: Vec<_> = sources
+            .iter()
+            .map(|src| parse_query(s.signature(), src).unwrap())
+            .collect();
+        let refs: Vec<&lowdeg_logic::Query> = queries.iter().collect();
+        let cache = crate::ArtifactCache::new();
+        let par = ParConfig::serial();
+        let batch = Engine::build_many(&s, &refs, Epsilon::new(0.5), SkipMode::Eager, &par, &cache)
+            .unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (engine, q) in batch.iter().zip(&queries) {
+            let solo = Engine::build_with(&s, q, Epsilon::new(0.5), SkipMode::Eager).unwrap();
+            assert_eq!(engine.count(), solo.count());
+            let a: Vec<Vec<Node>> = engine.enumerate().collect();
+            let b: Vec<Vec<Node>> = solo.enumerate().collect();
+            assert_eq!(a, b, "batched build must be observably identical");
+        }
+        // the batch shared one core (one miss, then hits) and its memo
+        let (hits, _misses) = cache.stats();
+        assert!(hits > 0, "later queries must reuse the shared core");
+        let (memo_hits, memo_misses, components) = cache.counting_stats();
+        assert!(memo_misses > 0 && components > 0);
+        assert!(
+            memo_hits > 0,
+            "color-permuted queries must share counted components"
+        );
     }
 
     #[test]

@@ -124,10 +124,15 @@ enum AdjRepr {
         vtuple: Vec<u32>,
         /// Tuple index → first vertex index (length `#tuples + 1`).
         block: Vec<u32>,
-        /// Tuple-adjacency CSR: for each tuple the sorted tuple indices
-        /// within Gaifman distance `2r+1` (always including itself).
-        tadj_off: Vec<usize>,
-        tadj: Vec<u32>,
+        /// Tuple index → bounds of its adjacency row in `rows`. Tuples
+        /// over the same element *set* have identical rows, so the join
+        /// computes each distinct row once and every member tuple aliases
+        /// the same `rows` range — the bounds are *not* a monotone CSR.
+        row_start: Vec<u32>,
+        row_end: Vec<u32>,
+        /// Shared row storage: sorted tuple indices within Gaifman
+        /// distance `2r+1` (every row contains its owners).
+        rows: Vec<u32>,
     },
 }
 
@@ -214,18 +219,29 @@ impl EdgeAdjacency {
     }
 
     /// Adopt the reduction's tuple-level join output. `block` maps tuple
-    /// index → first vertex index, `tadj_off`/`tadj` is the tuple-adjacency
-    /// CSR (rows sorted, each containing the tuple itself), and `first` is
-    /// the node id of vertex index 0. Vertex-level degree and pair counts
-    /// follow from the blocks: every vertex of tuple `j` has degree
-    /// `Σ_{j'∈tadj(j)} |block(j')| − 1` (the `−1` skips the vertex itself).
-    pub fn from_blocks(first: u32, block: Vec<u32>, tadj_off: Vec<usize>, tadj: Vec<u32>) -> Self {
-        debug_assert_eq!(block.len(), tadj_off.len());
+    /// index → first vertex index, `row_start`/`row_end` bound each
+    /// tuple's adjacency row in the shared `rows` storage (rows sorted,
+    /// each containing the tuple itself; tuples over the same element set
+    /// alias one row), and `first` is the node id of vertex index 0.
+    /// Vertex-level degree and pair counts follow from the blocks: every
+    /// vertex of tuple `j` has degree `Σ_{j'∈row(j)} |block(j')| − 1` (the
+    /// `−1` skips the vertex itself); the fanout sum is memoized per
+    /// distinct row, so shared rows are scanned once.
+    pub fn from_block_rows(
+        first: u32,
+        block: Vec<u32>,
+        row_start: Vec<u32>,
+        row_end: Vec<u32>,
+        rows: Vec<u32>,
+    ) -> Self {
         let tuples = block.len() - 1;
+        debug_assert_eq!(row_start.len(), tuples);
+        debug_assert_eq!(row_end.len(), tuples);
         let n_vertices = *block.last().unwrap_or(&0) as usize;
         let mut vtuple: Vec<u32> = vec![0u32; n_vertices];
         let mut pairs: usize = 0;
         let mut max_degree = 0usize;
+        let mut fanout_memo: FxHashMap<u32, usize> = FxHashMap::default();
         for j in 0..tuples {
             let cnt = (block[j + 1] - block[j]) as usize;
             if cnt == 0 {
@@ -234,10 +250,13 @@ impl EdgeAdjacency {
             for v in block[j]..block[j + 1] {
                 vtuple[v as usize] = j as u32;
             }
-            let fanout: usize = tadj[tadj_off[j]..tadj_off[j + 1]]
-                .iter()
-                .map(|&j2| (block[j2 as usize + 1] - block[j2 as usize]) as usize)
-                .sum();
+            // distinct rows have distinct starts, so the start is the key
+            let fanout: usize = *fanout_memo.entry(row_start[j]).or_insert_with(|| {
+                rows[row_start[j] as usize..row_end[j] as usize]
+                    .iter()
+                    .map(|&j2| (block[j2 as usize + 1] - block[j2 as usize]) as usize)
+                    .sum()
+            });
             let degree = fanout - 1; // every row contains `j` itself
             pairs += cnt * degree;
             max_degree = max_degree.max(degree);
@@ -250,8 +269,9 @@ impl EdgeAdjacency {
                 first,
                 vtuple,
                 block,
-                tadj_off,
-                tadj,
+                row_start,
+                row_end,
+                rows,
             },
         }
     }
@@ -268,13 +288,14 @@ impl EdgeAdjacency {
                 first,
                 vtuple,
                 block,
-                tadj_off,
-                tadj,
+                row_start,
+                row_end,
+                rows,
             } => {
                 let (adj, skip) = match v.0.checked_sub(*first) {
                     Some(i) if (i as usize) < vtuple.len() => {
                         let j = vtuple[i as usize] as usize;
-                        (tadj[tadj_off[j]..tadj_off[j + 1]].iter(), i)
+                        (rows[row_start[j] as usize..row_end[j] as usize].iter(), i)
                     }
                     _ => ([].iter(), 0),
                 };
@@ -301,8 +322,9 @@ impl EdgeAdjacency {
             AdjRepr::Blocks {
                 first,
                 vtuple,
-                tadj_off,
-                tadj,
+                row_start,
+                row_end,
+                rows,
                 ..
             } => {
                 if u == v {
@@ -317,7 +339,7 @@ impl EdgeAdjacency {
                 }
                 let ju = vtuple[iu as usize] as usize;
                 let jv = vtuple[iv as usize];
-                tadj[tadj_off[ju]..tadj_off[ju + 1]]
+                rows[row_start[ju] as usize..row_end[ju] as usize]
                     .binary_search(&jv)
                     .is_ok()
             }
@@ -363,7 +385,13 @@ pub enum Strategy {
 pub struct LevelPlan {
     /// The sorted candidate list `P(G)`.
     pub list: Vec<Node>,
-    /// `node → index in list` (or `VOID`).
+    /// `node → index in list` (or `VOID`). Dense over the whole graph
+    /// domain, so it is only materialized when the eager machinery is built
+    /// and needs O(1) lookups in its inner loops; lazy levels leave it empty
+    /// and [`LevelPlan::index_of`] binary-searches the sorted list instead.
+    /// (Zeroing one `n_graph`-sized vec per large level used to dominate
+    /// warm builds: tens of levels × multi-MB allocations, all dead weight
+    /// whenever the eager tables are skipped.)
     index_in_list: Vec<u32>,
     /// The `E_k` relation in CSR form, keyed by the non-list endpoint `u`
     /// (sorted-run binary search, see [`crate::csr::PairCsr`]). Only
@@ -389,10 +417,7 @@ impl LevelPlan {
         par: &ParConfig,
         profiler: &Profiler,
     ) -> Self {
-        let mut index_in_list = vec![VOID; n_graph];
-        for (i, &v) in list.iter().enumerate() {
-            index_in_list[v.index()] = i as u32;
-        }
+        debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "list sorted");
 
         // Decide whether the paper-faithful eager machinery is affordable:
         // materializing E_k costs about |E_1| * maxdeg^2 per expansion round.
@@ -408,11 +433,16 @@ impl LevelPlan {
                 SkipMode::Lazy => false,
             };
 
+        let mut index_in_list: Vec<u32> = Vec::new();
         let mut ek: Option<PairCsr> = None;
         let mut skip_store = None;
         let mut eager_built = false;
 
         if try_eager {
+            index_in_list = vec![VOID; n_graph];
+            for (i, &v) in list.iter().enumerate() {
+                index_in_list[v.index()] = i as u32;
+            }
             // E_1 = E' ; E_{i+1}(u,y) = E_i(u,y) ∨ ∃ z z' v:
             //    E'(z,u) ∧ next(z',z) ∧ E'(v,z') ∧ E_i(v,y)
             //
@@ -507,9 +537,8 @@ impl LevelPlan {
                     enumerate_subsets(u_list, k - 1, &mut subset, &mut |vset| {
                         let z = walk_skip(
                             &list,
-                            &index_in_list,
+                            index_in_list[y.index()] as usize,
                             adjacency,
-                            y,
                             vset.iter().map(|&v| Node(v)),
                         );
                         keys.push(y);
@@ -536,6 +565,11 @@ impl LevelPlan {
             }
         }
 
+        if !eager_built {
+            // the dense map only served the (skipped) table build
+            index_in_list = Vec::new();
+        }
+
         LevelPlan {
             list,
             index_in_list,
@@ -547,6 +581,9 @@ impl LevelPlan {
 
     #[inline]
     fn index_of(&self, v: Node) -> Option<usize> {
+        if self.index_in_list.is_empty() {
+            return self.list.binary_search(&v).ok();
+        }
         let i = self.index_in_list[v.index()];
         (i != VOID).then_some(i as usize)
     }
@@ -593,17 +630,15 @@ fn enumerate_subsets(
 }
 
 /// Linear skip walk (the fallback and the eager-table generator): first
-/// `z ≥ y` in the list not `E'`-adjacent to any element of `vs`.
+/// `z ≥ y` in the list not `E'`-adjacent to any element of `vs`, starting
+/// from `start` = `y`'s index in the list.
 fn walk_skip(
     list: &[Node],
-    index_in_list: &[u32],
+    start: usize,
     adjacency: &EdgeAdjacency,
-    y: Node,
     vs: impl Iterator<Item = Node> + Clone,
 ) -> Option<Node> {
-    let start = index_in_list[y.index()];
-    debug_assert_ne!(start, VOID, "skip must start on a list node");
-    list[start as usize..]
+    list[start..]
         .iter()
         .copied()
         .find(|&z| vs.clone().all(|v| !adjacency.adjacent(z, v)))
@@ -823,12 +858,11 @@ impl ClauseIter<'_> {
             self.v_scratch = v;
             return (hit != VOID).then_some(Node(hit));
         }
-        let start = level.index_in_list[y.index()] as usize;
+        let start = level.index_of(y).expect("skip must start on a list node");
         let z = walk_skip(
             &level.list,
-            &level.index_in_list,
+            start,
             self.adjacency,
-            y,
             v.iter().map(|&u| Node(u)),
         );
         // charge the walk: distance travelled in the list (first touch only;

@@ -3,7 +3,7 @@
 //! surface a user consults when a query preprocesses slowly or the
 //! combination budget trips.
 
-use crate::artifacts::BuildProfile;
+use crate::artifacts::{ArtifactCache, BuildProfile};
 use crate::enumerate::Strategy;
 use crate::Engine;
 use std::fmt;
@@ -19,6 +19,49 @@ pub struct Explain {
     pub count: u64,
     /// Per-stage build timings (all zero for sentences).
     pub profile: BuildProfile,
+    /// State of the [`ArtifactCache`] the engine was built through
+    /// (`None` when built cache-less or not requested).
+    pub cache: Option<CacheReport>,
+}
+
+/// Observability snapshot of an [`ArtifactCache`]: LRU geometry plus the
+/// artifact- and counting-memo-level hit accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheReport {
+    /// Per-kind LRU entry limit.
+    pub capacity: usize,
+    /// Live entries across artifact kinds.
+    pub entries: usize,
+    /// Artifact-level (Gaifman graph / reduction core) probe hits.
+    pub hits: u64,
+    /// Artifact-level probe misses (each populated an entry).
+    pub misses: u64,
+    /// LRU evictions so far, all artifact kinds.
+    pub evictions: u64,
+    /// Counting-memo probe hits (lattice components served from the memo).
+    pub memo_hits: u64,
+    /// Counting-memo probe misses (components counted and published).
+    pub memo_misses: u64,
+    /// Distinct component signatures held across all counting memos.
+    pub memo_components: usize,
+}
+
+impl CacheReport {
+    /// Snapshot `cache`'s counters.
+    pub fn of(cache: &ArtifactCache) -> CacheReport {
+        let (hits, misses) = cache.stats();
+        let (memo_hits, memo_misses, memo_components) = cache.counting_stats();
+        CacheReport {
+            capacity: cache.capacity(),
+            entries: cache.entries(),
+            hits,
+            misses,
+            evictions: cache.evictions(),
+            memo_hits,
+            memo_misses,
+            memo_components,
+        }
+    }
 }
 
 /// What Proposition 3.3 produced.
@@ -53,6 +96,17 @@ pub struct ClauseReport {
 }
 
 impl Engine {
+    /// As [`Engine::explain`], also reporting the state of the
+    /// [`ArtifactCache`] the engine was built through — LRU capacity,
+    /// live entries, artifact and counting-memo hit/miss counters, and
+    /// evictions.
+    pub fn explain_with_cache(&self, cache: &ArtifactCache) -> Explain {
+        Explain {
+            cache: Some(CacheReport::of(cache)),
+            ..self.explain()
+        }
+    }
+
     /// Describe what the preprocessing built.
     pub fn explain(&self) -> Explain {
         let reduction = self.reduction().map(|red| {
@@ -85,6 +139,7 @@ impl Engine {
             reduction,
             count: self.count(),
             profile: self.profile().clone(),
+            cache: None,
         }
     }
 }
@@ -122,6 +177,18 @@ impl fmt::Display for Explain {
                 writeln!(f, "build stages: {}", self.profile)?;
             }
         }
+        if let Some(c) = &self.cache {
+            writeln!(
+                f,
+                "artifact cache: {}/{} entries, {} hit(s) / {} miss(es), {} eviction(s)",
+                c.entries, c.capacity, c.hits, c.misses, c.evictions
+            )?;
+            writeln!(
+                f,
+                "counting memo: {} component(s), {} hit(s) / {} miss(es)",
+                c.memo_components, c.memo_hits, c.memo_misses
+            )?;
+        }
         Ok(())
     }
 }
@@ -155,6 +222,33 @@ mod tests {
         assert!(rendered.contains("build stages:"));
         assert!(rendered.contains("extract"));
         assert!(rendered.contains("ie-count"));
+    }
+
+    #[test]
+    fn explain_with_cache_reports_counters() {
+        use crate::{ArtifactCache, SkipMode};
+        use lowdeg_par::ParConfig;
+        let s = ColoredGraphSpec::balanced(40, DegreeClass::Bounded(3)).generate(61);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let cache = ArtifactCache::with_capacity(8);
+        let par = ParConfig::serial();
+        let eps = Epsilon::new(0.5);
+        let _first = Engine::build_full(&s, &q, eps, SkipMode::Eager, &par, Some(&cache)).unwrap();
+        let warm = Engine::build_full(&s, &q, eps, SkipMode::Eager, &par, Some(&cache)).unwrap();
+        let ex = warm.explain_with_cache(&cache);
+        let c = ex.cache.as_ref().expect("cache report");
+        assert_eq!(c.capacity, 8);
+        assert!(c.entries > 0);
+        assert!(c.hits > 0, "second build must hit the artifact cache");
+        assert!(c.memo_components > 0);
+        assert!(c.memo_hits > 0, "second build must hit the counting memo");
+        assert_eq!(c.evictions, 0);
+        let rendered = ex.to_string();
+        assert!(rendered.contains("artifact cache:"));
+        assert!(rendered.contains("counting memo:"));
+        // cache-less explain stays cache-silent
+        assert!(warm.explain().cache.is_none());
+        assert!(!warm.explain().to_string().contains("artifact cache:"));
     }
 
     #[test]

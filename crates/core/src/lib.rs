@@ -53,10 +53,11 @@ pub mod naive;
 pub mod reduction;
 pub mod testing;
 
-pub use artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
+pub use artifacts::{ArtifactCache, BuildProfile, Profiler, Stage, DEFAULT_CACHE_CAPACITY};
+pub use counting::CountingMemo;
 pub use engine::{AnswerStream, Engine};
 pub use enumerate::{SkipMode, VertexStream};
 pub use error::EngineError;
 pub use graph_query::{position_list, GraphClause, GraphQuery};
-pub use reduction::{Reduction, ReductionCore};
+pub use reduction::{CoreDigest, Reduction, ReductionCore};
 pub use testing::TestIndex;

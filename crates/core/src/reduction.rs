@@ -29,6 +29,24 @@
 //!    of an answer are pairwise `> 2r+1` apart, so `𝒩_r(ā)` *is* that
 //!    disjoint union up to isomorphism). Accepted combinations become the
 //!    exclusive clauses of `ψ₂`; `ψ₁` is the pairwise `¬E` guard.
+//!
+//! # Assembly layout
+//!
+//! The production build ([`build_core`]) never materializes per-vertex
+//! records. Cluster tuples live in one flat CSR (`tuple_data`/`tuple_off`,
+//! filled by sharded enumeration over anchor ranges), canonical types are
+//! interned through a sorted-run dedup of the exact neighborhood keys (the
+//! expensive canonical encodings run in parallel, once per distinct key),
+//! and every vertex id is *arithmetic*: the vertices of tuple `j` occupy
+//! the contiguous block `block[j]..block[j+1]`, one per matching-size ι in
+//! ι-id order, so `v_(b̄,ι) = base_n + 1 + block[j] + rank(ι)`. The color
+//! and `F`-edge streams are emitted per tuple shard and adopted through
+//! the builder's pre-sorted bulk paths; no `(tuple, ι) → vertex` hash map
+//! exists anywhere. [`build_core_reference`] keeps the original per-vertex
+//! construction alive as a differential oracle: it materializes the vertex
+//! records and the lookup map, then *asserts* they coincide with the
+//! arithmetic layout before converting into the same [`ReductionCore`]
+//! shape.
 
 use crate::artifacts::{ArtifactCache, Profiler, Stage};
 use crate::enumerate::EdgeAdjacency;
@@ -39,7 +57,7 @@ use lowdeg_locality::{localize, LocalQuery, TypeId, TypeInterner};
 use lowdeg_logic::eval::{eval, Assignment};
 use lowdeg_logic::Query;
 use lowdeg_par::{par_flat_map, par_map, par_partition, ParConfig};
-use lowdeg_storage::{Node, RelId, Signature, Structure};
+use lowdeg_storage::{GaifmanGraph, Node, RelId, Signature, Structure};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -53,7 +71,8 @@ pub const DEFAULT_COMBINATION_BUDGET: u64 = 1_000_000;
 /// `k = 64`.
 const MAX_ARITY: usize = 64;
 
-/// Packed `(tuple_id, iota)` key of the cluster-vertex lookup.
+/// Packed `(tuple_id, iota)` key of the reference build's cluster-vertex
+/// lookup (the production layout resolves vertices arithmetically).
 #[inline]
 fn pack_lookup_key(tuple_id: u32, iota: u16) -> u64 {
     ((tuple_id as u64) << 16) | iota as u64
@@ -69,24 +88,30 @@ fn pack_signature(sig: Option<(u16, u32)>) -> u64 {
     }
 }
 
-/// One cluster vertex `v_(b̄, ι)`.
+/// One cluster vertex `v_(b̄, ι)` of the *reference* build (the production
+/// layout stores no per-vertex records).
 #[derive(Clone, Debug)]
-pub(crate) struct VertexInfo {
+struct VertexInfo {
     /// The underlying tuple `b̄` of `A`-elements (may contain repeats).
-    pub(crate) tuple: Vec<Node>,
+    tuple: Vec<Node>,
     /// Injection id into [`ReductionCore::iotas`].
-    pub(crate) iota: u16,
+    iota: u16,
     /// Canonical neighborhood type.
-    pub(crate) ty: TypeId,
+    ty: TypeId,
 }
 
 /// The query-independent core of the Proposition 3.3 preprocessing:
 /// Steps 3–4 for a given `(structure, r, k, ε)` — the near-pair relation
-/// `R`, the cluster vertices with their interned neighborhood types, and
+/// `R`, the cluster tuples with their interned neighborhood types, and
 /// the colored graph `G` complete with `E`- and `F`-edges. Only Step 5
 /// (the acceptance clauses) depends on the query's matrix, so an
 /// [`ArtifactCache`] shares one `ReductionCore` across every engine built
 /// over the same structure at the same `(r, k, ε)`.
+///
+/// Vertices are implicit: tuple `j`'s vertices occupy the id block
+/// `base_n + 1 + block[j] .. base_n + 1 + block[j+1]`, one per injection of
+/// matching size in ι-id order, so a `(tuple, ι)` pair maps to its vertex
+/// by pure arithmetic and a vertex decodes back through [`Self::v_tuple`].
 #[derive(Debug)]
 pub struct ReductionCore {
     /// The colored graph `G` (colors and edges only; acceptance is per
@@ -95,16 +120,31 @@ pub struct ReductionCore {
     /// Pairs of `A`-nodes within distance `2r+1` (the paper's relation `R`
     /// in Step 5, stored per the Storing Theorem).
     pub(crate) near: Arc<RadixFuncStore<()>>,
-    /// Cluster vertices; vertex id = `base_n + 1 + index`.
-    pub(crate) vertices: Vec<VertexInfo>,
-    /// Every distinct cluster tuple `b̄`, interned once; probes resolve a
-    /// stack-assembled slice to its id without allocating.
+    /// Flat cluster-tuple CSR: tuple `j` is
+    /// `tuple_data[tuple_off[j] as usize..tuple_off[j+1] as usize]`.
+    pub(crate) tuple_data: Vec<Node>,
+    /// CSR offsets into [`Self::tuple_data`] (length `#tuples + 1`).
+    pub(crate) tuple_off: Vec<u32>,
+    /// Canonical neighborhood type per tuple.
+    pub(crate) tuple_ty: Vec<TypeId>,
+    /// Tuple index → first vertex index (length `#tuples + 1`); the last
+    /// entry is the total vertex count.
+    pub(crate) block: Vec<u32>,
+    /// Vertex index → owning tuple index.
+    pub(crate) v_tuple: Vec<u32>,
+    /// Every distinct cluster tuple `b̄`, interned once, ids equal to the
+    /// CSR tuple indices; probes resolve a stack-assembled slice to its id
+    /// without allocating.
     pub(crate) tuples: SliceInterner<Node>,
-    /// Packed `(tuple_id, ι) → vertex id` (see [`pack_lookup_key`]).
-    pub(crate) lookup: FxHashMap<u64, Node>,
     /// All injections `{1..s} → {1..k}`, 0-based; `iotas[id]` lists target
     /// positions.
     pub(crate) iotas: Vec<Vec<u8>>,
+    /// Injection ids per cluster size, ascending (`iotas_by_size[s][rank]`
+    /// is the ι of the vertex at `rank` within a size-`s` tuple's block).
+    pub(crate) iotas_by_size: Vec<Vec<u16>>,
+    /// Injection id → rank within its size class (the inverse of
+    /// [`Self::iotas_by_size`]).
+    pub(crate) iota_rank: Vec<u16>,
     /// Canonical neighborhood types with their representatives (Step 5
     /// evaluates the matrix on disjoint unions of these).
     pub(crate) interner: TypeInterner,
@@ -142,6 +182,36 @@ impl ReductionCore {
     fn ct(&self, t: TypeId) -> RelId {
         RelId((2 + self.k + self.iotas.len() + t.index()) as u32)
     }
+
+    /// Tuple `j` of the CSR.
+    #[inline]
+    fn tuple_slice(&self, j: usize) -> &[Node] {
+        &self.tuple_data[self.tuple_off[j] as usize..self.tuple_off[j + 1] as usize]
+    }
+
+    /// Classification of the colored graph's unary relations for the
+    /// counting memo: `sizes[r]` = injection domain size when relation `r`
+    /// is a `C_ι` color, `0` otherwise (relations past the iota range are
+    /// simply absent). Two `C_ι` colors of equal size select
+    /// count-isomorphic copy sets of the same clusters, which lets
+    /// component signatures erase the injection identities.
+    pub(crate) fn iota_color_sizes(&self) -> Vec<u32> {
+        let base = 2 + self.k;
+        let mut sizes = vec![0u32; base + self.iotas.len()];
+        for (id, io) in self.iotas.iter().enumerate() {
+            sizes[base + id] = io.len() as u32;
+        }
+        sizes
+    }
+
+    /// Decode a vertex *index* (not node id) to `(tuple, ι id)`.
+    #[inline]
+    fn decode_vertex(&self, idx: usize) -> (usize, u16) {
+        let tid = self.v_tuple[idx] as usize;
+        let rank = idx - self.block[tid] as usize;
+        let len = (self.tuple_off[tid + 1] - self.tuple_off[tid]) as usize;
+        (tid, self.iotas_by_size[len][rank])
+    }
 }
 
 /// The output of the Proposition 3.3 preprocessing.
@@ -164,6 +234,22 @@ pub struct Reduction {
     /// [`Reduction::test_signature`] allocates nothing. Exactly one clause
     /// matches any signature (clauses are mutually exclusive).
     accepted: FxHashSet<Box<[u64]>>,
+}
+
+/// A structural fingerprint of a built [`Reduction`] for differential
+/// testing: the cluster tuples, their type ids, the colored graph's
+/// content hash, the full vertex-level `E`-adjacency, and the Step 5
+/// acceptance set. Two builds that agree on a `CoreDigest` are
+/// observationally identical.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDigest {
+    pub tuples: Vec<Vec<Node>>,
+    pub tuple_types: Vec<u32>,
+    pub graph_fingerprint: u64,
+    pub adjacency_rows: Vec<Vec<u32>>,
+    pub accepted: Vec<Vec<u64>>,
+    pub clauses: usize,
 }
 
 impl Reduction {
@@ -240,92 +326,42 @@ impl Reduction {
         };
 
         let reduce_started = std::time::Instant::now();
-
-        let iota_id = |positions: &[u8]| -> u16 {
-            core.iotas
-                .iter()
-                .position(|io| io.as_slice() == positions)
-                .expect("every injection enumerated") as u16
-        };
-
-        // --- Step 5: acceptance per partition × type combination.
-        let partitions = all_partitions(k);
-        let mut clauses: Vec<GraphClause> = Vec::new();
-        let mut combo_total: u64 = 0;
-        for p in &partitions {
-            let mut c: u64 = 1;
-            for part in p {
-                c = c.saturating_mul(core.types_by_size[part.len()].len() as u64);
-            }
-            combo_total = combo_total.saturating_add(c);
-        }
-        if combo_total > budget {
-            return Err(EngineError::CombinationBudget {
-                needed: combo_total,
-                budget,
-            });
-        }
-
-        let mut accepted: FxHashSet<Box<[u64]>> = FxHashSet::default();
-        for p in &partitions {
-            let ell = p.len();
-            // iota of each part: its (sorted) position list
-            let part_iotas: Vec<u16> = p.iter().map(|part| iota_id(part)).collect();
-            let size_types: Vec<Vec<TypeId>> = p
-                .iter()
-                .map(|part| core.types_by_size[part.len()].iter().copied().collect())
-                .collect();
-            let mut combo: Vec<usize> = vec![0; ell];
-            if size_types.iter().any(|ts| ts.is_empty()) {
-                continue;
-            }
-            loop {
-                let tys: Vec<TypeId> = combo
-                    .iter()
-                    .zip(&size_types)
-                    .map(|(&i, ts)| ts[i])
-                    .collect();
-                if accepts_combo(&local, query, &core.interner, p, &tys) {
-                    let mut colors: Vec<Vec<RelId>> = Vec::with_capacity(k);
-                    let mut signature: Vec<u64> = Vec::with_capacity(k);
-                    for j in 0..ell {
-                        colors.push(vec![core.ci(part_iotas[j]), core.ct(tys[j])]);
-                        signature.push(pack_signature(Some((part_iotas[j], tys[j].0))));
-                    }
-                    for _ in ell..k {
-                        colors.push(vec![core.cbot()]);
-                        signature.push(pack_signature(None));
-                    }
-                    clauses.push(GraphClause { colors });
-                    accepted.insert(signature.into_boxed_slice());
-                }
-                // odometer
-                let mut pos = ell;
-                loop {
-                    if pos == 0 {
-                        break;
-                    }
-                    pos -= 1;
-                    combo[pos] += 1;
-                    if combo[pos] < size_types[pos].len() {
-                        break;
-                    }
-                    combo[pos] = 0;
-                }
-                if combo.iter().all(|&c| c == 0) {
-                    break;
-                }
-            }
-        }
-
-        let query_out = GraphQuery {
-            k,
-            edge: core.edge,
-            clauses,
-        };
-
+        let (query_out, accepted) = step5(&core, &local, query, budget)?;
         profiler.add(Stage::Reduce, reduce_started.elapsed().as_nanos() as u64);
 
+        Ok(Reduction {
+            core,
+            query: query_out,
+            radius: r,
+            two_r1,
+            local,
+            accepted,
+        })
+    }
+
+    /// Differential oracle: the original per-vertex construction, kept
+    /// verbatim (hash-map interning, materialized vertex records, the
+    /// `(tuple, ι) → vertex` lookup) and *asserted* against the arithmetic
+    /// block layout while converting into the shared [`ReductionCore`]
+    /// shape. Test-only; never cached, never profiled.
+    #[doc(hidden)]
+    pub fn build_reference(
+        structure: &Structure,
+        query: &Query,
+        eps: Epsilon,
+        budget: u64,
+        par: &ParConfig,
+    ) -> Result<Self, EngineError> {
+        let k = query.arity();
+        assert!(
+            k >= 1,
+            "Reduction requires arity >= 1 (use model checking for sentences)"
+        );
+        let local = localize(structure, query)?;
+        let r = local.radius;
+        let two_r1 = 2 * r + 1;
+        let core = Arc::new(build_core_reference(structure, r, k, eps, par));
+        let (query_out, accepted) = step5(&core, &local, query, budget)?;
         Ok(Reduction {
             core,
             query: query_out,
@@ -364,6 +400,12 @@ impl Reduction {
         self.two_r1
     }
 
+    /// The core's `C_ι` classification (see
+    /// [`ReductionCore::iota_color_sizes`]).
+    pub(crate) fn iota_color_sizes(&self) -> Vec<u32> {
+        self.core.iota_color_sizes()
+    }
+
     /// Query arity `k`.
     pub fn arity(&self) -> usize {
         self.core.k
@@ -376,7 +418,29 @@ impl Reduction {
 
     /// Number of cluster vertices (the `|V|` of Step 3).
     pub fn cluster_count(&self) -> usize {
-        self.core.vertices.len()
+        self.core.v_tuple.len()
+    }
+
+    /// Structural fingerprint for differential tests (see [`CoreDigest`]).
+    #[doc(hidden)]
+    pub fn core_digest(&self) -> CoreDigest {
+        let c = &*self.core;
+        let ntup = c.tuple_off.len() - 1;
+        let tuples: Vec<Vec<Node>> = (0..ntup).map(|j| c.tuple_slice(j).to_vec()).collect();
+        let tuple_types: Vec<u32> = c.tuple_ty.iter().map(|t| t.0).collect();
+        let adjacency_rows: Vec<Vec<u32>> = (0..c.adjacency.len())
+            .map(|v| c.adjacency.neighbors(Node(v as u32)).map(|u| u.0).collect())
+            .collect();
+        let mut accepted: Vec<Vec<u64>> = self.accepted.iter().map(|s| s.to_vec()).collect();
+        accepted.sort_unstable();
+        CoreDigest {
+            tuples,
+            tuple_types,
+            graph_fingerprint: c.graph.fingerprint(),
+            adjacency_rows,
+            accepted,
+            clauses: self.query.clauses.len(),
+        }
     }
 
     /// `f(ā)`: map a tuple of `A`-elements to graph vertices, in `O(k²)`
@@ -384,7 +448,7 @@ impl Reduction {
     /// core of every membership probe: position grouping runs on
     /// stack-resident component bitmasks, each part's tuple is assembled in
     /// a stack buffer and resolved through the tuple interner, and the
-    /// vertex lookup probes with a packed integer key.
+    /// vertex id follows arithmetically from the tuple's block.
     fn forward_write(&self, tuple: &[Node], out: &mut [Node]) -> Result<(), EngineError> {
         let k = self.core.k;
         if tuple.len() != k {
@@ -452,11 +516,8 @@ impl Reduction {
                 .tuples
                 .lookup(&b_buf[..s])
                 .expect("every connected tuple has a cluster vertex");
-            out[emitted] = *self
-                .core
-                .lookup
-                .get(&pack_lookup_key(tid, io))
-                .expect("every connected tuple has a cluster vertex");
+            let vidx = self.core.block[tid as usize] + self.core.iota_rank[io as usize] as u32;
+            out[emitted] = Node((self.core.base_n + 1) as u32 + vidx);
             emitted += 1;
         }
         for slot in out.iter_mut().take(k).skip(emitted) {
@@ -510,11 +571,12 @@ impl Reduction {
             let Some(idx) = v.index().checked_sub(self.core.base_n + 1) else {
                 return false;
             };
-            let Some(info) = self.core.vertices.get(idx) else {
+            if idx >= self.core.v_tuple.len() {
                 return false;
-            };
-            let io = &self.core.iotas[info.iota as usize];
-            for (j, &b) in info.tuple.iter().enumerate() {
+            }
+            let (tid, io_id) = self.core.decode_vertex(idx);
+            let io = &self.core.iotas[io_id as usize];
+            for (j, &b) in self.core.tuple_slice(tid).iter().enumerate() {
                 let pos = io[j] as usize;
                 if out[pos] != UNSET {
                     return false; // two clusters claim one position
@@ -538,10 +600,11 @@ impl Reduction {
     /// and for base `A`-nodes).
     pub fn vertex_signature(&self, v: Node) -> Option<(u16, u32)> {
         let idx = v.index().checked_sub(self.core.base_n + 1)?;
-        self.core
-            .vertices
-            .get(idx)
-            .map(|info| (info.iota, info.ty.0))
+        if idx >= self.core.v_tuple.len() {
+            return None;
+        }
+        let (tid, io_id) = self.core.decode_vertex(idx);
+        Some((io_id, self.core.tuple_ty[tid].0))
     }
 
     /// O(k²) membership test through the accepted-signature set.
@@ -563,11 +626,144 @@ impl Reduction {
     }
 }
 
+/// What [`step5`] produces: the exclusive clauses of `ψ₂` plus the packed
+/// signature set backing [`Reduction::test_signature`].
+type Step5Output = (GraphQuery, FxHashSet<Box<[u64]>>);
+
+/// Step 5: acceptance per partition × type combination, shared between the
+/// production and reference builds.
+fn step5(
+    core: &ReductionCore,
+    local: &LocalQuery,
+    query: &Query,
+    budget: u64,
+) -> Result<Step5Output, EngineError> {
+    let k = core.k;
+    let iota_id = |positions: &[u8]| -> u16 {
+        core.iotas
+            .iter()
+            .position(|io| io.as_slice() == positions)
+            .expect("every injection enumerated") as u16
+    };
+
+    let partitions = all_partitions(k);
+    let mut clauses: Vec<GraphClause> = Vec::new();
+    let mut combo_total: u64 = 0;
+    for p in &partitions {
+        let mut c: u64 = 1;
+        for part in p {
+            c = c.saturating_mul(core.types_by_size[part.len()].len() as u64);
+        }
+        combo_total = combo_total.saturating_add(c);
+    }
+    if combo_total > budget {
+        return Err(EngineError::CombinationBudget {
+            needed: combo_total,
+            budget,
+        });
+    }
+
+    let mut accepted: FxHashSet<Box<[u64]>> = FxHashSet::default();
+    for p in &partitions {
+        let ell = p.len();
+        // iota of each part: its (sorted) position list
+        let part_iotas: Vec<u16> = p.iter().map(|part| iota_id(part)).collect();
+        let size_types: Vec<Vec<TypeId>> = p
+            .iter()
+            .map(|part| core.types_by_size[part.len()].iter().copied().collect())
+            .collect();
+        let mut combo: Vec<usize> = vec![0; ell];
+        if size_types.iter().any(|ts| ts.is_empty()) {
+            continue;
+        }
+        loop {
+            let tys: Vec<TypeId> = combo
+                .iter()
+                .zip(&size_types)
+                .map(|(&i, ts)| ts[i])
+                .collect();
+            if accepts_combo(local, query, &core.interner, p, &tys) {
+                let mut colors: Vec<Vec<RelId>> = Vec::with_capacity(k);
+                let mut signature: Vec<u64> = Vec::with_capacity(k);
+                for j in 0..ell {
+                    colors.push(vec![core.ci(part_iotas[j]), core.ct(tys[j])]);
+                    signature.push(pack_signature(Some((part_iotas[j], tys[j].0))));
+                }
+                for _ in ell..k {
+                    colors.push(vec![core.cbot()]);
+                    signature.push(pack_signature(None));
+                }
+                clauses.push(GraphClause { colors });
+                accepted.insert(signature.into_boxed_slice());
+            }
+            // odometer
+            let mut pos = ell;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                combo[pos] += 1;
+                if combo[pos] < size_types[pos].len() {
+                    break;
+                }
+                combo[pos] = 0;
+            }
+            if combo.iter().all(|&c| c == 0) {
+                break;
+            }
+        }
+    }
+
+    Ok((
+        GraphQuery {
+            k,
+            edge: core.edge,
+            clauses,
+        },
+        accepted,
+    ))
+}
+
+/// Shard count for a partitioned pass over `len` items.
+fn partition_parts(par: &ParConfig, len: usize) -> usize {
+    if par.runs_serial(len) {
+        1
+    } else {
+        par.threads() * 4
+    }
+}
+
+/// Ranked ι layout: injection ids grouped by size (ascending within each
+/// group — matching the reference build's per-tuple emission order), the
+/// id → rank inverse, and the per-size counts.
+fn iota_layout(k: usize, iotas: &[Vec<u8>]) -> (Vec<Vec<u16>>, Vec<u16>, Vec<u32>) {
+    let mut by_size: Vec<Vec<u16>> = vec![Vec::new(); k + 1];
+    let mut rank: Vec<u16> = vec![0; iotas.len()];
+    for (id, io) in iotas.iter().enumerate() {
+        rank[id] = by_size[io.len()].len() as u16;
+        by_size[io.len()].push(id as u16);
+    }
+    let cnt: Vec<u32> = by_size.iter().map(|v| v.len() as u32).collect();
+    (by_size, rank, cnt)
+}
+
 /// The query-independent Steps 3–4 of Proposition 3.3, factored out so an
 /// [`ArtifactCache`] can memoize the result per `(structure, r, k, eps)`:
 /// the near-pair relation `R` (Step 5, via the Storing Theorem), the
 /// connected cluster tuples (Step 3), each tuple's canonical neighborhood
 /// type (Step 4), and the colored graph `G` with its `E`- and `F`-edges.
+///
+/// Batch assembly throughout: tuples stream into a flat CSR from sharded
+/// anchor ranges; exact neighborhood keys are computed per shard; a single
+/// sort over key-ordered tuple indices groups duplicates, so the expensive
+/// canonical encodings run in parallel once per *distinct* key and the
+/// serial remainder is one `intern_encoded` call per group (in first-
+/// occurrence order — type-id assignment is bit-identical to the reference
+/// build's per-tuple hash-map pass). Vertices are never materialized:
+/// colors and `F`-edges are emitted straight from tuple shards with
+/// arithmetic vertex ids and adopted through the builder's pre-sorted bulk
+/// paths.
 ///
 /// Charges the [`Profiler`] in two parts: the Gaifman distance-structure
 /// extraction (radix CSR, near pairs, cluster tuples) to
@@ -595,9 +791,574 @@ pub(crate) fn build_core(
         }
     }
 
-    // The two expensive phases — connected-tuple enumeration per anchor and
-    // the canonical encoding of each tuple's neighborhood — are pure per
-    // item, so they fan out over the shared worker pool (`lowdeg-par`).
+    let anchors: Vec<Node> = structure.domain().collect();
+
+    // Phase A: connected cluster tuples, sharded by anchor range straight
+    // into flat (lengths, data) runs — the stitched result is the tuple
+    // CSR, in exactly the anchor-major DFS order of the reference build.
+    let tuple_shards: Vec<(Vec<u32>, Vec<Node>)> = par_partition(
+        par,
+        &anchors,
+        partition_parts(par, anchors.len()),
+        |_, range| {
+            let mut lens: Vec<u32> = Vec::new();
+            let mut data: Vec<Node> = Vec::new();
+            let mut tuple: Vec<Node> = Vec::with_capacity(k);
+            for &a in range {
+                let ball = g.ball(a, rhat);
+                tuple.clear();
+                tuple.push(a);
+                enumerate_cluster_tuples(&ball, k, &near, &mut tuple, &mut |t: &[Node]| {
+                    lens.push(t.len() as u32);
+                    data.extend_from_slice(t);
+                });
+            }
+            (lens, data)
+        },
+    );
+    let ntup: usize = tuple_shards.iter().map(|(l, _)| l.len()).sum();
+    let mut tuple_off: Vec<u32> = Vec::with_capacity(ntup + 1);
+    tuple_off.push(0);
+    let mut tuple_data: Vec<Node> =
+        Vec::with_capacity(tuple_shards.iter().map(|(_, d)| d.len()).sum());
+    for (lens, data) in tuple_shards {
+        for l in lens {
+            tuple_off.push(tuple_off.last().unwrap() + l);
+        }
+        if tuple_data.is_empty() {
+            tuple_data = data; // adopt the first (possibly only) shard
+        } else {
+            tuple_data.extend(data);
+        }
+    }
+    let tslice =
+        |j: usize| -> &[Node] { &tuple_data[tuple_off[j] as usize..tuple_off[j + 1] as usize] };
+
+    // Everything up to here reads only the base structure's distance
+    // machinery; everything after assembles the reduced instance.
+    profiler.add(Stage::Extract, extract_started.elapsed().as_nanos() as u64);
+    let assemble_started = std::time::Instant::now();
+
+    // Shared element-set grouping: tuples bucketed by their sorted
+    // distinct elements. Both the key pass below and the E-join at the end
+    // work per *group* — the set-invariant tail of a tuple's neighborhood
+    // key and its near-tuple row each depend on the element set alone.
+    let esg = element_set_groups(&tuple_off, &tuple_data);
+    let ngroups = esg.heads.len();
+
+    // Phase B1 (per set group): the r-ball members and the set-invariant
+    // tail of the exact neighborhood key, computed once per group instead
+    // of once per tuple. Each shard carries (member run lengths, member
+    // data, key-tail run lengths, key-tail data) for its group range.
+    type B1Shard = (Vec<u32>, Vec<Node>, Vec<u32>, Vec<u32>);
+    let b1_shards: Vec<B1Shard> =
+        par_partition(par, &esg.heads, partition_parts(par, ntup), |_, range| {
+            let mut mlens: Vec<u32> = Vec::with_capacity(range.len());
+            let mut mdata: Vec<Node> = Vec::new();
+            let mut slens: Vec<u32> = Vec::with_capacity(range.len());
+            let mut sdata: Vec<u32> = Vec::new();
+            let mut key: Vec<u32> = Vec::new();
+            for &head in range {
+                let t = tslice(head as usize);
+                let members = lowdeg_storage::ball_of_tuple(g, esg.eslice(head as usize), r);
+                structure.neighborhood_key_with_members(&members, t, &mut key);
+                let tail = &key[1 + t.len()..];
+                mlens.push(members.len() as u32);
+                mdata.extend_from_slice(&members);
+                slens.push(tail.len() as u32);
+                sdata.extend_from_slice(tail);
+            }
+            (mlens, mdata, slens, sdata)
+        });
+    let mut mem_off: Vec<u32> = Vec::with_capacity(ngroups + 1);
+    mem_off.push(0);
+    let mut mem_data: Vec<Node> = Vec::new();
+    let mut suf_off: Vec<u32> = Vec::with_capacity(ngroups + 1);
+    suf_off.push(0);
+    let mut suf_data: Vec<u32> = Vec::new();
+    for (mlens, mdata, slens, sdata) in b1_shards {
+        for l in mlens {
+            mem_off.push(mem_off.last().unwrap() + l);
+        }
+        if mem_data.is_empty() {
+            mem_data = mdata;
+        } else {
+            mem_data.extend(mdata);
+        }
+        for l in slens {
+            suf_off.push(suf_off.last().unwrap() + l);
+        }
+        if suf_data.is_empty() {
+            suf_data = sdata;
+        } else {
+            suf_data.extend(sdata);
+        }
+    }
+    let mem = |gi: usize| -> &[Node] { &mem_data[mem_off[gi] as usize..mem_off[gi + 1] as usize] };
+    let suf = |gi: usize| -> &[u32] { &suf_data[suf_off[gi] as usize..suf_off[gi + 1] as usize] };
+
+    // Suffix classes: groups with byte-equal key tails share a class id.
+    // Only equality matters downstream, and the numbering is deterministic
+    // (sort with group-id tie-break).
+    let mut sorder: Vec<u32> = (0..ngroups as u32).collect();
+    sorder.sort_unstable_by(|&a, &b| suf(a as usize).cmp(suf(b as usize)).then(a.cmp(&b)));
+    let mut suf_class: Vec<u32> = vec![0u32; ngroups];
+    let mut nclasses = 0u32;
+    let mut i = 0usize;
+    while i < sorder.len() {
+        let mut e = i + 1;
+        while e < sorder.len() && suf(sorder[e] as usize) == suf(sorder[i] as usize) {
+            e += 1;
+        }
+        for &gi in &sorder[i..e] {
+            suf_class[gi as usize] = nclasses;
+        }
+        nclasses += 1;
+        i = e;
+    }
+    drop(sorder);
+
+    // Phase B2 (per tuple): the short tuple-dependent key head
+    // `[|members|, local ranks of the components]`. Head + the group's
+    // tail is character-for-character the exact neighborhood key, so two
+    // tuples have equal keys iff their heads match and their groups'
+    // suffix classes match.
+    let tuple_idx: Vec<u32> = (0..ntup as u32).collect();
+    let pre_shards: Vec<Vec<u32>> =
+        par_partition(par, &tuple_idx, partition_parts(par, ntup), |_, range| {
+            let mut data: Vec<u32> = Vec::with_capacity(range.len() * (k + 1));
+            for &j in range {
+                let j = j as usize;
+                let members = mem(esg.tgroup[j] as usize);
+                data.push(members.len() as u32);
+                for &b in tslice(j) {
+                    data.push(members.binary_search(&b).expect("component in own ball") as u32);
+                }
+            }
+            data
+        });
+    let mut pre_off: Vec<u32> = Vec::with_capacity(ntup + 1);
+    pre_off.push(0);
+    for j in 0..ntup {
+        pre_off.push(pre_off.last().unwrap() + 1 + (tuple_off[j + 1] - tuple_off[j]));
+    }
+    let mut pre_data: Vec<u32> = Vec::with_capacity(*pre_off.last().unwrap() as usize);
+    for shard in pre_shards {
+        if pre_data.is_empty() {
+            pre_data = shard;
+        } else {
+            pre_data.extend(shard);
+        }
+    }
+    let pre = |j: usize| -> &[u32] { &pre_data[pre_off[j] as usize..pre_off[j + 1] as usize] };
+
+    // Sorted-run dedup over `(suffix class, key head)` — short compares
+    // instead of full-key compares. Tuple indices ordered with index as
+    // tie-break, so each run's head is its *minimal* tuple index; runs
+    // become type groups, and groups re-sorted by head recover first-
+    // occurrence order — the exact order the reference build interns in.
+    let same_key = |a: usize, b: usize| -> bool {
+        suf_class[esg.tgroup[a] as usize] == suf_class[esg.tgroup[b] as usize] && pre(a) == pre(b)
+    };
+    let mut order: Vec<u32> = (0..ntup as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (x, y) = (a as usize, b as usize);
+        suf_class[esg.tgroup[x] as usize]
+            .cmp(&suf_class[esg.tgroup[y] as usize])
+            .then_with(|| pre(x).cmp(pre(y)))
+            .then(a.cmp(&b))
+    });
+    let mut groups: Vec<(u32, u32, u32)> = Vec::new(); // (head tuple, start, end) in `order`
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut e = i + 1;
+        while e < order.len() && same_key(order[e] as usize, order[i] as usize) {
+            e += 1;
+        }
+        groups.push((order[i], i as u32, e as u32));
+        i = e;
+    }
+    groups.sort_unstable_by_key(|&(head, _, _)| head);
+
+    // Canonical encodings: the expensive pipeline (neighborhood assembly,
+    // canonical form) fans out over the distinct groups only.
+    let encoded: Vec<(Vec<u8>, Structure, Vec<Node>)> = par_map(par, &groups, |&(head, _, _)| {
+        let t = tslice(head as usize);
+        let nb = structure.neighborhood_of_tuple(t, r);
+        let local_tuple: Vec<Node> = t
+            .iter()
+            .map(|&p| nb.to_local(p).expect("tuple in own neighborhood"))
+            .collect();
+        let enc = lowdeg_locality::types::canonical_encoding(nb.structure(), &local_tuple);
+        (enc, nb.structure().clone(), local_tuple)
+    });
+
+    // Serial remainder: one intern per distinct key, scattered to members.
+    let mut interner = TypeInterner::new();
+    let mut tuple_ty: Vec<TypeId> = vec![TypeId(0); ntup];
+    let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
+    for (&(head, start, end), (enc, rep_s, rep_t)) in groups.iter().zip(encoded) {
+        let ty = interner.intern_encoded(enc, move || (rep_s, rep_t));
+        for &j in &order[start as usize..end as usize] {
+            tuple_ty[j as usize] = ty;
+        }
+        // equal keys imply equal tuple length, so one insert covers the run
+        types_by_size[tslice(head as usize).len()].insert(ty);
+    }
+    drop(order);
+    drop(groups);
+    drop(pre_data);
+    drop(pre_off);
+    drop(suf_data);
+    drop(suf_off);
+    drop(mem_data);
+    drop(mem_off);
+    drop(suf_class);
+
+    // --- injections ι : {1..s} → {1..k} and the arithmetic vertex layout
+    let iotas = all_injections(k);
+    let (iotas_by_size, iota_rank, iota_cnt) = iota_layout(k, &iotas);
+    let mut block: Vec<u32> = Vec::with_capacity(ntup + 1);
+    block.push(0);
+    for j in 0..ntup {
+        block.push(block.last().unwrap() + iota_cnt[tslice(j).len()]);
+    }
+    let nverts = *block.last().unwrap() as usize;
+    let mut v_tuple: Vec<u32> = vec![0u32; nverts];
+    for j in 0..ntup {
+        for v in block[j]..block[j + 1] {
+            v_tuple[v as usize] = j as u32;
+        }
+    }
+
+    // Tuple interner for forward probes; ids coincide with CSR indices
+    // because each ordered connected tuple is enumerated exactly once
+    // (its anchor is its first component).
+    let mut tuple_arena: SliceInterner<Node> = SliceInterner::new();
+    for j in 0..ntup {
+        let tid = tuple_arena.intern(tslice(j));
+        debug_assert_eq!(tid as usize, j, "cluster tuples are pairwise distinct");
+    }
+
+    // --- signature of G
+    let mut sigb = Signature::builder();
+    let e_decl = sigb.relation("E", 2).expect("fresh signature");
+    for i in 0..k {
+        sigb.relation(&format!("F{}", i + 1), 2).expect("fresh");
+    }
+    sigb.relation("Cbot", 1).expect("fresh");
+    for (id, io) in iotas.iter().enumerate() {
+        let name = format!(
+            "CI{id}_{}",
+            io.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join("_")
+        );
+        sigb.relation(&name, 1).expect("fresh");
+    }
+    for t in 0..interner.len() {
+        sigb.relation(&format!("CT{t}"), 1).expect("fresh");
+    }
+    let tau = Arc::new(sigb.finish());
+    let e = e_decl;
+    let f_rel = |i: usize| RelId((1 + i) as u32);
+    let cbot = RelId((1 + k) as u32);
+    let ci = |id: u16| RelId((2 + k + id as usize) as u32);
+    let ct = |t: TypeId| RelId((2 + k + iotas.len() + t.index()) as u32);
+
+    // --- build G
+    let dummy = Node(n as u32);
+    let total = n + 1 + nverts;
+    let mut gb = Structure::builder(tau.clone(), total);
+    gb.fact(cbot, &[dummy]).expect("in range");
+
+    // Color and F-edge streams, emitted per tuple shard with arithmetic
+    // vertex ids. Shards cover ascending tuple ranges and vertex ids ascend
+    // with (tuple, ι-rank), so the per-relation concatenations are strictly
+    // sorted by construction and go through the builder's pre-sorted bulk
+    // paths — `finish` re-sorts nothing.
+    type ColorShard = (Vec<Vec<Node>>, Vec<Vec<Node>>, Vec<Vec<Node>>);
+    let n_types = interner.len();
+    let color_shards: Vec<ColorShard> =
+        par_partition(par, &tuple_idx, partition_parts(par, nverts), |_, range| {
+            let mut ci_s: Vec<Vec<Node>> = vec![Vec::new(); iotas.len()];
+            let mut ct_s: Vec<Vec<Node>> = vec![Vec::new(); n_types];
+            let mut ff_s: Vec<Vec<Node>> = vec![Vec::new(); k];
+            for &j in range {
+                let j = j as usize;
+                let t = tslice(j);
+                let ty = tuple_ty[j];
+                let vbase = (n + 1) as u32 + block[j];
+                for (rank, &io_id) in iotas_by_size[t.len()].iter().enumerate() {
+                    let vn = Node(vbase + rank as u32);
+                    ci_s[io_id as usize].push(vn);
+                    ct_s[ty.index()].push(vn);
+                    let io = &iotas[io_id as usize];
+                    for (jj, &b) in t.iter().enumerate() {
+                        let f = &mut ff_s[io[jj] as usize];
+                        f.push(vn);
+                        f.push(b);
+                    }
+                }
+            }
+            (ci_s, ct_s, ff_s)
+        });
+    let mut shard_it = color_shards.into_iter();
+    let (mut ci_nodes, mut ct_nodes, mut f_flat) = shard_it.next().expect("at least one shard");
+    for (ci2, ct2, ff2) in shard_it {
+        for (d, s) in ci_nodes.iter_mut().zip(ci2) {
+            d.extend(s);
+        }
+        for (d, s) in ct_nodes.iter_mut().zip(ct2) {
+            d.extend(s);
+        }
+        for (d, s) in f_flat.iter_mut().zip(ff2) {
+            d.extend(s);
+        }
+    }
+    for (id, nodes) in ci_nodes.into_iter().enumerate() {
+        gb.bulk_unary_sorted(ci(id as u16), nodes).expect("sorted");
+    }
+    for (tid, nodes) in ct_nodes.into_iter().enumerate() {
+        gb.bulk_unary_sorted(ct(TypeId(tid as u32)), nodes)
+            .expect("sorted");
+    }
+    for (i, flat) in f_flat.into_iter().enumerate() {
+        gb.bulk_binary_sorted(f_rel(i), flat).expect("sorted");
+    }
+
+    let adjacency = Arc::new(tuple_e_join(g, &esg, block.clone(), n, two_r1, nverts, par));
+    let graph = gb.finish().expect("non-empty");
+    profiler.add(Stage::Reduce, assemble_started.elapsed().as_nanos() as u64);
+
+    ReductionCore {
+        graph,
+        near: Arc::new(near),
+        tuple_data,
+        tuple_off,
+        tuple_ty,
+        block,
+        v_tuple,
+        tuples: tuple_arena,
+        iotas,
+        iotas_by_size,
+        iota_rank,
+        interner,
+        types_by_size,
+        dummy,
+        base_n: n,
+        k,
+        edge: e,
+        adjacency,
+    }
+}
+
+/// Tuples grouped by their sorted-distinct element *sets*, shared by the
+/// neighborhood-key pass and the `E`-join (both are functions of the set
+/// alone, independent of ι, ordering, and repetition). `heads[gi]` is the
+/// minimal member tuple of group `gi`, with groups ordered by head, so
+/// every layout derived from the grouping is deterministic.
+struct EsetGroups {
+    /// Per-tuple CSR of sorted distinct elements.
+    eset_off: Vec<u32>,
+    eset: Vec<Node>,
+    /// Minimal member tuple of each group, ascending.
+    heads: Vec<u32>,
+    /// tuple index → group index.
+    tgroup: Vec<u32>,
+}
+
+impl EsetGroups {
+    /// Tuple `j`'s sorted distinct elements.
+    fn eslice(&self, j: usize) -> &[Node] {
+        &self.eset[self.eset_off[j] as usize..self.eset_off[j + 1] as usize]
+    }
+}
+
+/// Bucket the cluster-tuple CSR by element set (sort with index tie-break,
+/// then runs → groups re-ordered by minimal member).
+fn element_set_groups(tuple_off: &[u32], tuple_data: &[Node]) -> EsetGroups {
+    let ntup = tuple_off.len() - 1;
+    let mut eset_off: Vec<u32> = Vec::with_capacity(ntup + 1);
+    eset_off.push(0);
+    let mut eset: Vec<Node> = Vec::with_capacity(tuple_data.len());
+    let mut buf: Vec<Node> = Vec::new();
+    for j in 0..ntup {
+        buf.clear();
+        buf.extend_from_slice(&tuple_data[tuple_off[j] as usize..tuple_off[j + 1] as usize]);
+        buf.sort_unstable();
+        buf.dedup();
+        eset.extend_from_slice(&buf);
+        eset_off.push(eset.len() as u32);
+    }
+    let eslice = |j: usize| -> &[Node] { &eset[eset_off[j] as usize..eset_off[j + 1] as usize] };
+    let mut order: Vec<u32> = (0..ntup as u32).collect();
+    order.sort_unstable_by(|&a, &b| eslice(a as usize).cmp(eslice(b as usize)).then(a.cmp(&b)));
+    let mut runs: Vec<(u32, u32, u32)> = Vec::new(); // (head, start, end) in `order`
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut e = i + 1;
+        while e < order.len() && eslice(order[e] as usize) == eslice(order[i] as usize) {
+            e += 1;
+        }
+        runs.push((order[i], i as u32, e as u32));
+        i = e;
+    }
+    runs.sort_unstable_by_key(|&(head, _, _)| head);
+    let mut tgroup: Vec<u32> = vec![0u32; ntup];
+    for (gi, &(_, start, end)) in runs.iter().enumerate() {
+        for &j in &order[start as usize..end as usize] {
+            tgroup[j as usize] = gi as u32;
+        }
+    }
+    let heads: Vec<u32> = runs.iter().map(|&(h, _, _)| h).collect();
+    EsetGroups {
+        eset_off,
+        eset,
+        heads,
+        tgroup,
+    }
+}
+
+/// The `E`-join at tuple granularity, shared by both builds: vertices are
+/// `E`-adjacent iff their underlying tuples come within `2r+1` — a property
+/// of the tuples' element sets alone. A dense element → tuple CSR replaces
+/// per-element hashing, and the join runs once per *distinct element set*:
+/// each [`EsetGroups`] group resolves its near tuples into one shared row,
+/// and every member tuple aliases that row —
+/// [`EdgeAdjacency::from_block_rows`] answers vertex-level queries straight
+/// off the shared rows and the ι-block map.
+fn tuple_e_join(
+    g: &GaifmanGraph,
+    esg: &EsetGroups,
+    block: Vec<u32>,
+    n: usize,
+    two_r1: usize,
+    nverts: usize,
+    par: &ParConfig,
+) -> EdgeAdjacency {
+    let ntup = esg.tgroup.len();
+
+    // Dense element → tuple incidence (distinct elements only), by
+    // counting sort: per-element tuple lists come out ascending.
+    let mut tinc_off: Vec<u32> = vec![0u32; n + 1];
+    for j in 0..ntup {
+        for &b in esg.eslice(j) {
+            tinc_off[b.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        tinc_off[i + 1] += tinc_off[i];
+    }
+    let mut tinc_cursor: Vec<u32> = tinc_off[..n].to_vec();
+    let mut tinc: Vec<u32> = vec![0u32; tinc_off[n] as usize];
+    for j in 0..ntup {
+        for &b in esg.eslice(j) {
+            tinc[tinc_cursor[b.index()] as usize] = j as u32;
+            tinc_cursor[b.index()] += 1;
+        }
+    }
+    drop(tinc_cursor);
+
+    // Each slice of groups resolves the near tuples of its element sets
+    // into slice-local rows. Rows come out sorted and cover every member
+    // tuple (`ball` always reaches the set's own elements).
+    let parts = if par.runs_serial(nverts) {
+        1
+    } else {
+        par.threads() * 4
+    };
+    let shards: Vec<(Vec<u32>, Vec<u32>)> = par_partition(par, &esg.heads, parts, |_, range| {
+        let mut adj_flat: Vec<u32> = Vec::new();
+        let mut row_len: Vec<u32> = Vec::with_capacity(range.len());
+        let mut reached: Vec<Node> = Vec::new();
+        for &head in range {
+            reached.clear();
+            for &b in esg.eslice(head as usize) {
+                reached.extend(g.ball_unsorted(b, two_r1));
+            }
+            reached.sort_unstable();
+            reached.dedup();
+            let start = adj_flat.len();
+            for &c in reached.iter() {
+                let (lo, hi) = (
+                    tinc_off[c.index()] as usize,
+                    tinc_off[c.index() + 1] as usize,
+                );
+                adj_flat.extend_from_slice(&tinc[lo..hi]);
+            }
+            adj_flat[start..].sort_unstable();
+            // dedup the new segment only (a plain `dedup()` could merge
+            // equal values across the previous segment's boundary)
+            let mut w = start;
+            for rdx in start..adj_flat.len() {
+                if w == start || adj_flat[rdx] != adj_flat[w - 1] {
+                    adj_flat[w] = adj_flat[rdx];
+                    w += 1;
+                }
+            }
+            adj_flat.truncate(w);
+            row_len.push((adj_flat.len() - start) as u32);
+        }
+        (row_len, adj_flat)
+    });
+    // Assemble the per-group row bounds; a single shard (serial pool) is
+    // adopted as-is instead of copied.
+    let mut grow_off: Vec<u32> = Vec::with_capacity(esg.heads.len() + 1);
+    grow_off.push(0);
+    for (row_len, _) in &shards {
+        for &l in row_len {
+            grow_off.push(grow_off.last().unwrap() + l);
+        }
+    }
+    debug_assert_eq!(grow_off.len(), esg.heads.len() + 1);
+    let rows: Vec<u32> = if shards.len() == 1 {
+        shards.into_iter().next().unwrap().1
+    } else {
+        let entries: usize = shards.iter().map(|(_, f)| f.len()).sum();
+        let mut out: Vec<u32> = Vec::with_capacity(entries);
+        for (_, f) in shards {
+            out.extend(f);
+        }
+        out
+    };
+    let mut row_start: Vec<u32> = vec![0u32; ntup];
+    let mut row_end: Vec<u32> = vec![0u32; ntup];
+    for j in 0..ntup {
+        let gi = esg.tgroup[j] as usize;
+        row_start[j] = grow_off[gi];
+        row_end[j] = grow_off[gi + 1];
+    }
+    EdgeAdjacency::from_block_rows((n + 1) as u32, block, row_start, row_end, rows)
+}
+
+/// The original per-vertex core construction, preserved as a differential
+/// oracle for [`build_core`] (see `tests/reduction_equivalence.rs`):
+/// hash-map key interning in tuple order, materialized [`VertexInfo`]
+/// records, the per-vertex color/`F`-edge loop, and the explicit
+/// `(tuple, ι) → vertex` lookup. Before converting into the shared
+/// [`ReductionCore`] shape it *asserts* that the materialized vertices
+/// coincide with the arithmetic block layout the production build uses.
+fn build_core_reference(
+    structure: &Structure,
+    r: usize,
+    k: usize,
+    eps: Epsilon,
+    par: &ParConfig,
+) -> ReductionCore {
+    let two_r1 = 2 * r + 1;
+    let rhat = k * two_r1;
+    let n = structure.cardinality();
+    let g = structure.gaifman_with(par);
+
+    let mut near = RadixFuncStore::new(n, 2, eps);
+    for a in structure.domain() {
+        for b in g.ball(a, two_r1) {
+            near.insert(&[a, b], ());
+        }
+    }
+
     let anchors: Vec<Node> = structure.domain().collect();
 
     // Phase A: connected cluster tuples, per anchor (parallel).
@@ -612,33 +1373,21 @@ pub(crate) fn build_core(
         local
     });
 
-    // Everything up to here reads only the base structure's distance
-    // machinery; everything after assembles the reduced instance.
-    profiler.add(Stage::Extract, extract_started.elapsed().as_nanos() as u64);
-    let assemble_started = std::time::Instant::now();
-
-    // Phase B: exact neighborhood keys (parallel). A key fingerprints the
-    // relabeled r-neighborhood of a tuple precisely — equal keys mean
-    // identical local structures and local tuples — so the serial intern
-    // pass below runs the expensive canonical-encoding pipeline once per
-    // distinct local shape instead of once per tuple.
+    // Phase B: exact neighborhood keys (parallel).
     let keys: Vec<Vec<u32>> = par_map(par, &tuples, |t| {
         let mut key = Vec::new();
         structure.neighborhood_key_of_tuple(t, r, &mut key);
         key
     });
 
-    // --- injections ι : {1..s} → {1..k}
     let iotas = all_injections(k);
 
-    // Deterministic sequential interning (in anchor order, so type-id
-    // assignment is reproducible); the canonical encoding — and the type
-    // representative — is computed only on each key's first occurrence.
-    // This changes nothing observable: repeated keys would re-derive the
-    // same encoding, and interning an existing encoding returns the same
-    // `TypeId` without touching the interner.
+    // Sequential interning in tuple order; the canonical encoding — and
+    // the type representative — is computed only on each key's first
+    // occurrence.
     let mut interner = TypeInterner::new();
     let mut vertices: Vec<VertexInfo> = Vec::new();
+    let mut tuple_ty: Vec<TypeId> = Vec::with_capacity(tuples.len());
     let mut types_by_size: Vec<BTreeSet<TypeId>> = vec![BTreeSet::new(); k + 1];
     let mut ty_memo: FxHashMap<Vec<u32>, TypeId> = FxHashMap::default();
     for (t, key) in tuples.iter().zip(keys) {
@@ -656,6 +1405,7 @@ pub(crate) fn build_core(
                 )
             }
         };
+        tuple_ty.push(ty);
         types_by_size[t.len()].insert(ty);
         for (id, io) in iotas.iter().enumerate() {
             if io.len() == t.len() {
@@ -695,17 +1445,13 @@ pub(crate) fn build_core(
     let ci = |id: u16| RelId((2 + k + id as usize) as u32);
     let ct = |t: TypeId| RelId((2 + k + iotas.len() + t.index()) as u32);
 
-    // --- build G
+    // --- build G, per-vertex (the original loop)
     let dummy = Node(n as u32);
     let vertex_node = |idx: usize| Node((n + 1 + idx) as u32);
     let total = n + 1 + vertices.len();
     let mut gb = Structure::builder(tau.clone(), total);
     gb.fact(cbot, &[dummy]).expect("in range");
 
-    // Color and F-edge streams. Vertex ids ascend with the index, and a
-    // vertex contributes at most one fact per relation, so every stream is
-    // strictly sorted by construction and goes through the builder's
-    // pre-sorted bulk paths — `finish` re-sorts nothing.
     let mut ci_nodes: Vec<Vec<Node>> = vec![Vec::new(); iotas.len()];
     let mut ct_nodes: Vec<Vec<Node>> = vec![Vec::new(); interner.len()];
     let mut f_flat: Vec<Vec<Node>> = vec![Vec::new(); k];
@@ -735,139 +1481,65 @@ pub(crate) fn build_core(
         gb.bulk_binary_sorted(f_rel(i), flat).expect("sorted");
     }
 
-    // E-edges: vertices whose elements come within 2r+1 — a property of the
-    // underlying tuples alone, independent of ι. Vertices of one tuple
-    // occupy a contiguous id block (one vertex per matching-size ι), so the
-    // join runs at tuple granularity: a dense element → tuple CSR replaces
-    // per-element hashing, each tuple resolves its near tuples once, and
-    // expanding blocks in ascending order emits the flat E-pair array
-    // **already in strict lexicographic order** — one pass, no comparison
-    // sort, no dedup, `finish` adopts it as-is.
-    let iota_cnt: Vec<u32> = (0..=k)
-        .map(|s| iotas.iter().filter(|io| io.len() == s).count() as u32)
-        .collect();
-    let mut block: Vec<u32> = Vec::with_capacity(tuples.len() + 1);
+    // --- convert to the arithmetic layout, asserting agreement
+    let ntup = tuples.len();
+    let mut tuple_off: Vec<u32> = Vec::with_capacity(ntup + 1);
+    tuple_off.push(0);
+    let mut tuple_data: Vec<Node> = Vec::new();
+    for t in &tuples {
+        tuple_data.extend_from_slice(t);
+        tuple_off.push(tuple_data.len() as u32);
+    }
+    let (iotas_by_size, iota_rank, iota_cnt) = iota_layout(k, &iotas);
+    let mut block: Vec<u32> = Vec::with_capacity(ntup + 1);
     block.push(0);
     for t in &tuples {
         block.push(block.last().unwrap() + iota_cnt[t.len()]);
     }
-    debug_assert_eq!(*block.last().unwrap() as usize, vertices.len());
+    let nverts = *block.last().unwrap() as usize;
+    assert_eq!(nverts, vertices.len(), "block layout covers all vertices");
+    let mut v_tuple: Vec<u32> = vec![0u32; nverts];
+    for j in 0..ntup {
+        for v in block[j]..block[j + 1] {
+            v_tuple[v as usize] = j as u32;
+        }
+    }
+    // This is the oracle's teeth: every materialized vertex must sit at
+    // exactly the id the production build computes arithmetically.
+    for (idx, v) in vertices.iter().enumerate() {
+        let tid = tuple_arena
+            .lookup(&v.tuple)
+            .expect("vertex tuple was interned");
+        assert_eq!(
+            idx as u32,
+            block[tid as usize] + iota_rank[v.iota as usize] as u32,
+            "vertex {idx} disagrees with the arithmetic block layout"
+        );
+        assert_eq!(
+            lookup.get(&pack_lookup_key(tid, v.iota)),
+            Some(&vertex_node(idx)),
+            "lookup map disagrees with the vertex order"
+        );
+        assert_eq!(v_tuple[idx], tid, "v_tuple disagrees");
+        assert_eq!(tuple_ty[tid as usize], v.ty, "tuple_ty disagrees");
+    }
 
-    // Dense element → tuple incidence (distinct elements only), by
-    // counting sort: per-element tuple lists come out ascending.
-    let mut distinct_buf: Vec<Node> = Vec::new();
-    let mut tinc_off: Vec<u32> = vec![0u32; n + 1];
-    let for_each_distinct = |t: &[Node], buf: &mut Vec<Node>, f: &mut dyn FnMut(Node)| {
-        buf.clear();
-        buf.extend_from_slice(t);
-        buf.sort_unstable();
-        buf.dedup();
-        for &b in buf.iter() {
-            f(b);
-        }
-    };
-    for t in &tuples {
-        for_each_distinct(t, &mut distinct_buf, &mut |b| {
-            tinc_off[b.index() + 1] += 1;
-        });
-    }
-    for i in 0..n {
-        tinc_off[i + 1] += tinc_off[i];
-    }
-    let mut tinc_cursor: Vec<u32> = tinc_off[..n].to_vec();
-    let mut tinc: Vec<u32> = vec![0u32; tinc_off[n] as usize];
-    for (j, t) in tuples.iter().enumerate() {
-        for_each_distinct(t, &mut distinct_buf, &mut |b| {
-            tinc[tinc_cursor[b.index()] as usize] = j as u32;
-            tinc_cursor[b.index()] += 1;
-        });
-    }
-    drop(tinc_cursor);
-
-    // Each slice of tuples resolves the near tuples of every source tuple
-    // into a slice-local tuple-adjacency CSR. That CSR *is* the join
-    // output: `E` connects two vertices iff their tuples are near, so the
-    // adjacency never expands to vertex pairs at all —
-    // [`EdgeAdjacency::from_blocks`] answers vertex-level queries straight
-    // off the tuple rows and the ι-block map. Rows come out sorted and
-    // self-inclusive (`ball` always reaches the tuple's own elements).
-    let tuple_idx: Vec<u32> = (0..tuples.len() as u32).collect();
-    let parts = if par.runs_serial(vertices.len()) {
-        1
-    } else {
-        par.threads() * 4
-    };
-    let shards: Vec<(Vec<u32>, Vec<u32>)> = par_partition(par, &tuple_idx, parts, |_, range| {
-        let mut adj_flat: Vec<u32> = Vec::new();
-        let mut row_len: Vec<u32> = Vec::with_capacity(range.len());
-        let mut reached: Vec<Node> = Vec::new();
-        for &j1 in range {
-            reached.clear();
-            for &b in &tuples[j1 as usize] {
-                reached.extend(g.ball_unsorted(b, two_r1));
-            }
-            reached.sort_unstable();
-            reached.dedup();
-            let start = adj_flat.len();
-            for &c in reached.iter() {
-                let (lo, hi) = (
-                    tinc_off[c.index()] as usize,
-                    tinc_off[c.index() + 1] as usize,
-                );
-                adj_flat.extend_from_slice(&tinc[lo..hi]);
-            }
-            adj_flat[start..].sort_unstable();
-            // dedup the new segment only (a plain `dedup()` could merge
-            // equal values across the previous segment's boundary)
-            let mut w = start;
-            for rdx in start..adj_flat.len() {
-                if w == start || adj_flat[rdx] != adj_flat[w - 1] {
-                    adj_flat[w] = adj_flat[rdx];
-                    w += 1;
-                }
-            }
-            adj_flat.truncate(w);
-            row_len.push((adj_flat.len() - start) as u32);
-        }
-        (row_len, adj_flat)
-    });
-    // Assemble the global tuple-adjacency CSR; a single shard (serial
-    // pool) is adopted as-is instead of copied.
-    let mut tadj_off: Vec<usize> = Vec::with_capacity(tuples.len() + 1);
-    tadj_off.push(0);
-    for (row_len, _) in &shards {
-        for &l in row_len {
-            tadj_off.push(tadj_off.last().unwrap() + l as usize);
-        }
-    }
-    debug_assert_eq!(tadj_off.len(), tuples.len() + 1);
-    let tadj: Vec<u32> = if shards.len() == 1 {
-        shards.into_iter().next().unwrap().1
-    } else {
-        let entries: usize = shards.iter().map(|(_, f)| f.len()).sum();
-        let mut out: Vec<u32> = Vec::with_capacity(entries);
-        for (_, f) in shards {
-            out.extend(f);
-        }
-        out
-    };
-    let adjacency = Arc::new(EdgeAdjacency::from_blocks(
-        (n + 1) as u32,
-        block,
-        tadj_off,
-        tadj,
-    ));
-
+    let esg = element_set_groups(&tuple_off, &tuple_data);
+    let adjacency = Arc::new(tuple_e_join(g, &esg, block.clone(), n, two_r1, nverts, par));
     let graph = gb.finish().expect("non-empty");
-    profiler.add(Stage::Reduce, assemble_started.elapsed().as_nanos() as u64);
 
     ReductionCore {
         graph,
         near: Arc::new(near),
-        vertices,
+        tuple_data,
+        tuple_off,
+        tuple_ty,
+        block,
+        v_tuple,
         tuples: tuple_arena,
-        lookup,
         iotas,
+        iotas_by_size,
+        iota_rank,
         interner,
         types_by_size,
         dummy,
@@ -1159,6 +1831,24 @@ mod tests {
         assert_eq!(red.arity(), 2);
         // radius 0 for a quantifier-free query
         assert_eq!(red.radius(), 0);
+    }
+
+    #[test]
+    fn radix_build_matches_reference_digest() {
+        let par = ParConfig::serial();
+        for seed in [1, 5] {
+            let s = small(seed);
+            for src in ["B(x) & R(y) & !E(x, y)", "exists z. E(x, z) & E(z, y)"] {
+                let q = parse_query(s.signature(), src).unwrap();
+                let radix =
+                    Reduction::build_with_config(&s, &q, eps(), DEFAULT_COMBINATION_BUDGET, &par)
+                        .unwrap();
+                let reference =
+                    Reduction::build_reference(&s, &q, eps(), DEFAULT_COMBINATION_BUDGET, &par)
+                        .unwrap();
+                assert_eq!(radix.core_digest(), reference.core_digest(), "`{src}`");
+            }
+        }
     }
 
     #[test]

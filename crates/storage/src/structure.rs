@@ -182,6 +182,21 @@ impl Structure {
         let ball = crate::neighborhood::ball_of_tuple(self.gaifman(), tuple, r);
         crate::neighborhood::local_key(self, &ball, tuple, out);
     }
+
+    /// As [`Structure::neighborhood_key_of_tuple`], with the ball supplied
+    /// by the caller. `members` must be the sorted, duplicate-free r-ball
+    /// of the tuple (every tuple component a member). Lets batch callers
+    /// that group tuples by element set compute the ball — and the
+    /// set-invariant tail of the key — once per group instead of once per
+    /// tuple.
+    pub fn neighborhood_key_with_members(
+        &self,
+        members: &[Node],
+        tuple: &[Node],
+        out: &mut Vec<u32>,
+    ) {
+        crate::neighborhood::local_key(self, members, tuple, out);
+    }
 }
 
 impl PartialEq for Structure {

@@ -1,0 +1,132 @@
+//! Differential suite for the radix-built Prop 3.3 assembly (DESIGN.md
+//! §13): `Reduction::build_with_config` — sorted/partitioned batch passes
+//! over near-pairs and cluster tuples, arithmetic block layout, no
+//! per-vertex hash interning — must be observationally identical to
+//! `Reduction::build_reference`, the retained per-vertex construction.
+//!
+//! Equality is asserted on the `CoreDigest`: cluster tuples and their type
+//! ids, the colored graph's content fingerprint, the full vertex-level
+//! `E`-adjacency rows, the Step 5 acceptance sets, and the clause count.
+//! Two builds that agree on a digest answer every engine query
+//! identically. The sweep covers the standing query corpus (binary,
+//! quantified, ternary) × the paper's degree classes × pool
+//! configurations (serial, forced-parallel, process default) × seeds; the
+//! CI thread matrix additionally runs the binary under
+//! `LOWDEG_THREADS ∈ {1, 0}` so `from_env` covers both ends.
+//!
+//! Sizes are deliberately small (n ≤ 384, and n ≤ 64 wherever the
+//! quantified query appears): the radius-1 localization of `TWO_HOP`
+//! makes type computation super-linear in practice, and the digest
+//! comparison itself materializes full adjacency rows twice.
+
+use lowdeg_bench::workloads::{
+    colored, colored_padded_clique, degree_classes, RUNNING_EXAMPLE, TERNARY_SCATTER, TWO_HOP,
+};
+use lowdeg_core::reduction::DEFAULT_COMBINATION_BUDGET;
+use lowdeg_core::Reduction;
+use lowdeg_index::Epsilon;
+use lowdeg_logic::parse_query;
+use lowdeg_par::ParConfig;
+use lowdeg_storage::Structure;
+
+const EPS: f64 = 0.5;
+
+/// The pool configurations under test: genuinely serial, forced parallel
+/// (pool engaged even on tiny inputs), and the process default.
+fn pools() -> Vec<ParConfig> {
+    vec![
+        ParConfig::serial(),
+        ParConfig::with_threads(4).min_items(1),
+        ParConfig::from_env(),
+    ]
+}
+
+/// Assert the radix-assembled reduction equals the reference digest for
+/// one (structure, query, pool) combination.
+fn assert_equivalent(s: &Structure, src: &str, par: &ParConfig, label: &str) {
+    let q = parse_query(s.signature(), src).expect("query parses");
+    let eps = Epsilon::new(EPS);
+    let radix = Reduction::build_with_config(s, &q, eps, DEFAULT_COMBINATION_BUDGET, par)
+        .expect("radix build");
+    let reference = Reduction::build_reference(s, &q, eps, DEFAULT_COMBINATION_BUDGET, par)
+        .expect("reference build");
+    assert_eq!(
+        radix.core_digest(),
+        reference.core_digest(),
+        "{label}: `{src}`"
+    );
+}
+
+#[test]
+fn degree_class_sweep_matches_reference() {
+    // All three query shapes — binary, quantified (radius 1), ternary —
+    // across every degree class and pool, at the quantified-affordable
+    // size.
+    for class in degree_classes() {
+        for seed in [3, 11] {
+            let s = colored(48, class, seed);
+            for src in [RUNNING_EXAMPLE, TWO_HOP, TERNARY_SCATTER] {
+                for (pi, par) in pools().iter().enumerate() {
+                    assert_equivalent(&s, src, par, &format!("{class:?} seed {seed} pool {pi}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_degree_scales_match_reference() {
+    // Bounded(2) is the bench class; sweep sizes so block layouts cross
+    // their thresholds. Quantifier-free shapes only — these are the ones
+    // that stay cheap as n grows.
+    for n in [48, 130, 384] {
+        let s = colored(n, lowdeg_gen::DegreeClass::Bounded(2), 1400 + n as u64);
+        for src in [RUNNING_EXAMPLE, TERNARY_SCATTER] {
+            for (pi, par) in pools().iter().enumerate() {
+                assert_equivalent(&s, src, par, &format!("bounded(2) n {n} pool {pi}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn padded_clique_matches_reference() {
+    // Low degree but not nowhere dense (§2.3): the clique forces dense
+    // near-pair neighborhoods through the radix partitioner.
+    let small = colored_padded_clique(64);
+    for src in [RUNNING_EXAMPLE, TWO_HOP, TERNARY_SCATTER] {
+        assert_equivalent(&small, src, &ParConfig::serial(), "clique n 64");
+    }
+    let large = colored_padded_clique(200);
+    for src in [RUNNING_EXAMPLE, TERNARY_SCATTER] {
+        assert_equivalent(&large, src, &ParConfig::serial(), "clique n 200");
+    }
+}
+
+#[test]
+fn parallel_pools_agree_with_serial_digest() {
+    // Transitivity check made explicit: every pool's radix digest equals
+    // the *serial* radix digest (not just its own reference).
+    let s = colored(128, lowdeg_gen::DegreeClass::Bounded(4), 7);
+    for src in [RUNNING_EXAMPLE, TWO_HOP, TERNARY_SCATTER] {
+        let q = parse_query(s.signature(), src).expect("query parses");
+        let eps = Epsilon::new(EPS);
+        let serial = Reduction::build_with_config(
+            &s,
+            &q,
+            eps,
+            DEFAULT_COMBINATION_BUDGET,
+            &ParConfig::serial(),
+        )
+        .expect("serial build");
+        for par in pools() {
+            let other = Reduction::build_with_config(&s, &q, eps, DEFAULT_COMBINATION_BUDGET, &par)
+                .expect("pool build");
+            assert_eq!(
+                serial.core_digest(),
+                other.core_digest(),
+                "pool-independent digest for `{src}`"
+            );
+        }
+    }
+}
