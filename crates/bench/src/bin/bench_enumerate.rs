@@ -1,42 +1,58 @@
-//! Boxed-vs-streaming answer throughput + delay distribution →
-//! `BENCH_enumerate.json`.
+//! Boxed vs streaming vs sharded-parallel answer throughput + delay
+//! distribution → `BENCH_enumerate.json`.
 //!
 //! ```bash
 //! cargo run --release -p lowdeg-bench --bin bench_enumerate             # full scales
 //! cargo run --release -p lowdeg-bench --bin bench_enumerate -- quick   # CI smoke
 //! cargo run --release -p lowdeg-bench --bin bench_enumerate -- --out e.json
+//! cargo run --release -p lowdeg-bench --bin bench_enumerate -- --baseline BENCH_enumerate.pr7.json
+//! LOWDEG_THREADS=4 cargo run --release -p lowdeg-bench --bin bench_enumerate
 //! ```
 //!
-//! The engine is built once per scale; measured is the *serving-side* path
-//! Theorem 2.7 is about. Two consumers walk the identical answer set:
+//! The engine is built once per scale — with the warm-up probe enabled, so
+//! first-answer setup is charged to preprocessing, not the first delay
+//! sample. Measured is the *serving-side* path Theorem 2.7 is about. Three
+//! consumers walk the identical answer set:
 //!
 //! * **boxed** — `Engine::enumerate()`, the `Box<dyn Iterator>` API that
 //!   clones one `Vec<Node>` per answer;
 //! * **streaming** — `Engine::for_each_answer`, the visitor API that reuses
-//!   one tuple buffer and allocates nothing per answer.
+//!   one tuple buffer and allocates nothing per answer;
+//! * **parallel** — `Engine::par_for_each_answer`, the sharded path that
+//!   splits every clause's top-level list across the `lowdeg-par` pool
+//!   (`LOWDEG_THREADS`) and drains the shards in serial answer order.
 //!
-//! Both fold the answer components into a checksum through
-//! `std::hint::black_box`, so neither loop can be optimized away and both
-//! pay the same read cost. Runs are interleaved best-of-3 after an untimed
-//! warm-up (the `bench_preprocess` protocol), so allocator/page-cache drift
-//! cannot favor whichever path runs later.
+//! All fold the answer components into a checksum through
+//! `std::hint::black_box`, so no loop can be optimized away and all pay the
+//! same read cost. Runs are interleaved best-of-3 after an untimed warm-up
+//! (the `bench_preprocess` protocol), so allocator/page-cache drift cannot
+//! favor whichever path runs later.
 //!
 //! A separate instrumented streaming pass records the *inter-answer delay
 //! distribution* — wall-clock nanoseconds between consecutive answers and
-//! the engine's own RAM-op accounting — reported as p50/p99/max. Wall-time
-//! percentiles include the `Instant::now()` probe overhead and OS jitter
-//! (the max is a scheduling artifact, not an algorithmic one); the RAM-op
-//! distribution is exact and deterministic.
+//! the engine's own RAM-op accounting — reported as p50/p99/p999/max. The
+//! pass repeats `REPS` times and keeps the **per-answer minimum** across
+//! reps: scheduler preemptions land at a different answer index every rep,
+//! so they cancel out of the minimum, while a genuinely algorithmic spike
+//! (a rehash, a page fault the prefault missed) recurs at the same index
+//! in every rep and survives. The RAM-op distribution is exact and
+//! deterministic.
+//!
+//! With `--baseline <file>` the run gates itself against a committed
+//! snapshot (CI uses `BENCH_enumerate.pr7.json`): identical answer counts,
+//! a wall-ns `max_p50_ratio` ceiling, unchanged RAM-op delays, and a
+//! parallel-speedup floor scaled to the effective pool width.
 
 use lowdeg_bench::workloads::{colored, RUNNING_EXAMPLE};
 use lowdeg_bench::{fmt_dur, time};
-use lowdeg_core::{Engine, SkipMode};
+use lowdeg_core::{Engine, EngineConfig, SkipMode};
 use lowdeg_gen::DegreeClass;
 use lowdeg_index::Epsilon;
 use lowdeg_logic::parse_query;
+use lowdeg_par::ParConfig;
 use std::hint::black_box;
 use std::ops::ControlFlow;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 const EPS: f64 = 0.5;
@@ -46,6 +62,7 @@ const REPS: usize = 3;
 struct Dist {
     p50: u64,
     p99: u64,
+    p999: u64,
     max: u64,
 }
 
@@ -54,6 +71,7 @@ struct ScaleResult {
     count: u64,
     boxed: Duration,
     streaming: Duration,
+    parallel: Duration,
     delay_wall_ns: Dist,
     delay_ops: Dist,
 }
@@ -64,6 +82,7 @@ fn dist(mut sample: Vec<u64>) -> Dist {
         return Dist {
             p50: 0,
             p99: 0,
+            p999: 0,
             max: 0,
         };
     }
@@ -72,6 +91,7 @@ fn dist(mut sample: Vec<u64>) -> Dist {
     Dist {
         p50: rank(0.50),
         p99: rank(0.99),
+        p999: rank(0.999),
         max: *sample.last().expect("non-empty"),
     }
 }
@@ -103,55 +123,108 @@ fn run_streaming(engine: &Engine) -> (u64, u64) {
     (black_box(sum), count)
 }
 
-fn bench_scale(n: usize, src: &str) -> ScaleResult {
+/// One full sharded-parallel pass; returns (checksum, answers).
+fn run_parallel(engine: &Engine, par: &ParConfig) -> (u64, u64) {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    engine.par_for_each_answer(par, |t| {
+        for &c in t {
+            sum = sum.wrapping_add(c.0 as u64);
+        }
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    (black_box(sum), count)
+}
+
+fn bench_scale(n: usize, src: &str, par: &ParConfig) -> ScaleResult {
     let s = colored(n, DegreeClass::Bounded(DEGREE), 1400 + n as u64);
     let q = parse_query(s.signature(), src).expect("parses");
-    let engine = Engine::build_with(&s, &q, Epsilon::new(EPS), SkipMode::Eager).expect("builds");
+    // warm_up: prefault the plans and charge first-answer setup to the
+    // build, so the instrumented pass below measures steady-state delays
+    let config = EngineConfig {
+        skip_mode: SkipMode::Eager,
+        eps: Epsilon::new(EPS),
+        warm_up: true,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::build_configured(&s, &q, &config, par, None).expect("builds");
 
     // warm-up, untimed; also pins the expected checksum and count
     let (checksum, count) = run_streaming(&engine);
 
     let mut best_boxed = Duration::MAX;
     let mut best_streaming = Duration::MAX;
+    let mut best_parallel = Duration::MAX;
     for rep in 0..REPS {
-        // swap the within-rep order each rep to cancel residual drift
-        let order: [bool; 2] = if rep % 2 == 0 {
-            [true, false]
-        } else {
-            [false, true]
+        // rotate the within-rep order each rep to cancel residual drift
+        let order: [u8; 3] = match rep % 3 {
+            0 => [0, 1, 2],
+            1 => [1, 2, 0],
+            _ => [2, 0, 1],
         };
-        for is_boxed in order {
-            if is_boxed {
-                let ((sum, c), dt) = time(|| run_boxed(&engine));
-                assert_eq!((sum, c), (checksum, count), "boxed pass diverged");
-                best_boxed = best_boxed.min(dt);
-            } else {
-                let ((sum, c), dt) = time(|| run_streaming(&engine));
-                assert_eq!((sum, c), (checksum, count), "streaming pass diverged");
-                best_streaming = best_streaming.min(dt);
+        for which in order {
+            match which {
+                0 => {
+                    let ((sum, c), dt) = time(|| run_boxed(&engine));
+                    assert_eq!((sum, c), (checksum, count), "boxed pass diverged");
+                    best_boxed = best_boxed.min(dt);
+                }
+                1 => {
+                    let ((sum, c), dt) = time(|| run_streaming(&engine));
+                    assert_eq!((sum, c), (checksum, count), "streaming pass diverged");
+                    best_streaming = best_streaming.min(dt);
+                }
+                _ => {
+                    let ((sum, c), dt) = time(|| run_parallel(&engine, par));
+                    assert_eq!((sum, c), (checksum, count), "parallel pass diverged");
+                    best_parallel = best_parallel.min(dt);
+                }
             }
         }
     }
 
-    // instrumented pass: per-answer wall-ns and RAM-op delays
-    let mut wall: Vec<u64> = Vec::with_capacity(count as usize);
-    let mut ops: Vec<u64> = Vec::with_capacity(count as usize);
-    let mut last = Instant::now();
-    engine.for_each_answer_with_ops(|t, d| {
-        black_box(t);
-        let now = Instant::now();
-        wall.push(now.duration_since(last).as_nanos() as u64);
-        ops.push(d);
-        last = now;
-        ControlFlow::Continue(())
-    });
+    // Instrumented pass: per-answer wall-ns and RAM-op delays. The wall
+    // sample is the per-answer *minimum* over REPS passes — preemptions
+    // land at a different index every rep and cancel out of the minimum,
+    // while an algorithmic spike recurs at the same index and survives
+    // (see the module docs). The sample vectors are prefaulted so the
+    // probe itself never page-faults mid-run. RAM ops are deterministic;
+    // the cross-rep assert makes that an invariant, not an assumption.
+    let mut floor: Vec<u64> = vec![u64::MAX; count as usize];
+    let mut ops: Vec<u64> = Vec::new();
+    for rep in 0..REPS {
+        let mut wall: Vec<u64> = vec![0; count as usize];
+        let mut o: Vec<u64> = vec![0; count as usize];
+        let mut i = 0usize;
+        let mut last = Instant::now();
+        engine.for_each_answer_with_ops(|t, d| {
+            black_box(t);
+            let now = Instant::now();
+            wall[i] = now.duration_since(last).as_nanos() as u64;
+            o[i] = d;
+            i += 1;
+            last = now;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(i as u64, count, "instrumented pass diverged");
+        for (f, w) in floor.iter_mut().zip(&wall) {
+            *f = (*f).min(*w);
+        }
+        if rep == 0 {
+            ops = o;
+        } else {
+            assert_eq!(o, ops, "RAM-op delays are not deterministic");
+        }
+    }
 
     ScaleResult {
         n,
         count,
         boxed: best_boxed,
         streaming: best_streaming,
-        delay_wall_ns: dist(wall),
+        parallel: best_parallel,
+        delay_wall_ns: dist(floor),
         delay_ops: dist(ops),
     }
 }
@@ -159,6 +232,11 @@ fn bench_scale(n: usize, src: &str) -> ScaleResult {
 /// Answers per second for a full pass.
 fn throughput(count: u64, d: Duration) -> f64 {
     count as f64 / d.as_secs_f64().max(1e-12)
+}
+
+/// Parallel-vs-serial answers/s: streaming best over parallel best.
+fn par_speedup(r: &ScaleResult) -> f64 {
+    r.streaming.as_secs_f64() / r.parallel.as_secs_f64().max(1e-12)
 }
 
 /// Worst-to-typical delay spread: `max / p50` of the wall-ns sample. The
@@ -182,44 +260,50 @@ fn main() {
             // crates/bench → repo root
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enumerate.json")
         });
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let scales: &[usize] = if quick {
         &[1 << 9, 1 << 10]
     } else {
         &[1 << 11, 1 << 12]
     };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let par = ParConfig::from_env(); // honors LOWDEG_THREADS
 
     println!(
         "enumerate bench: query `{RUNNING_EXAMPLE}`, degree class bounded({DEGREE}), \
-         boxed vs streaming, {cores} core(s)"
+         boxed vs streaming vs parallel, {} thread(s)",
+        par.threads()
     );
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>9} {:>22} {:>10} {:>22}",
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>9} {:>27} {:>10} {:>22}",
         "n",
         "answers",
         "boxed",
         "streaming",
-        "speedup",
-        "wall p50/p99/max ns",
+        "parallel",
+        "par x",
+        "wall p50/p99/p999/max ns",
         "max/p50",
         "ops p50/p99/max"
     );
 
     let mut results = Vec::new();
     for &n in scales {
-        let r = bench_scale(n, RUNNING_EXAMPLE);
+        let r = bench_scale(n, RUNNING_EXAMPLE, &par);
         println!(
-            "{n:>8} {:>10} {:>12} {:>12} {:>8.2}x {:>22} {:>9.1}x {:>22}",
+            "{n:>8} {:>10} {:>12} {:>12} {:>12} {:>8.2}x {:>27} {:>9.1}x {:>22}",
             r.count,
             fmt_dur(r.boxed),
             fmt_dur(r.streaming),
-            r.boxed.as_secs_f64() / r.streaming.as_secs_f64().max(1e-12),
+            fmt_dur(r.parallel),
+            par_speedup(&r),
             format!(
-                "{}/{}/{}",
-                r.delay_wall_ns.p50, r.delay_wall_ns.p99, r.delay_wall_ns.max
+                "{}/{}/{}/{}",
+                r.delay_wall_ns.p50, r.delay_wall_ns.p99, r.delay_wall_ns.p999, r.delay_wall_ns.max
             ),
             max_p50_ratio(&r.delay_wall_ns),
             format!(
@@ -230,12 +314,122 @@ fn main() {
         results.push(r);
     }
 
-    let json = render_json(&results, quick, cores);
+    let json = render_json(&results, quick, par.threads());
     std::fs::write(&out, json).expect("write BENCH_enumerate.json");
     println!("wrote {}", out.display());
+
+    if let Some(bp) = baseline {
+        gate_against_baseline(&results, par.threads(), &bp);
+    }
 }
 
-fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
+/// Wall-ns `max / p50` ceiling at every measured scale — the constant-delay
+/// tail the warm-up probe and the memo amortization are gated on (down
+/// from 15283/25382 in the PR 7 baseline).
+const GATE_MAX_P50_RATIO: f64 = 200.0;
+/// RAM-op delay must stay byte-for-byte at the PR 3 numbers.
+const GATE_OPS_P99: u64 = 4;
+const GATE_OPS_MAX: u64 = 11;
+/// Parallel answers/s floor over serial streaming when the pool is at
+/// least this wide…
+const GATE_PAR_THREADS: usize = 4;
+const GATE_PAR_SPEEDUP: f64 = 2.5;
+/// …and the parity floor on narrower pools, where `par_for_each_answer`
+/// falls back to the identical serial code path: the 10% headroom is
+/// timer noise between two best-of-`REPS` runs of the same loop.
+const GATE_PAR_PARITY: f64 = 0.9;
+
+/// Pull a `"key": <number>` field out of a JSON chunk (flat numeric fields
+/// only — all this binary ever writes).
+fn field_f64(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = chunk.find(&pat)? + pat.len();
+    let rest = chunk[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The baseline entry for scale `n`: `(count, max_p50_ratio)`.
+fn baseline_scale(text: &str, n: usize) -> Option<(u64, f64)> {
+    // each scale entry starts `{"n": <n>,`; scan entry-by-entry
+    let mut rest = text;
+    while let Some(i) = rest.find("{\"n\":") {
+        let chunk_end = rest[i..]
+            .find("{\"n\":")
+            .and_then(|_| rest[i + 1..].find("{\"n\":").map(|j| i + 1 + j))
+            .unwrap_or(rest.len());
+        let chunk = &rest[i..chunk_end];
+        if field_f64(chunk, "n") == Some(n as f64) {
+            return Some((
+                field_f64(chunk, "count")? as u64,
+                field_f64(chunk, "max_p50_ratio")?,
+            ));
+        }
+        rest = &rest[chunk_end..];
+    }
+    None
+}
+
+/// Compare every freshly measured scale against the committed baseline and
+/// abort (non-zero exit) when any floor is missed: identical answer count,
+/// wall-ns `max_p50_ratio` ≤ [`GATE_MAX_P50_RATIO`], RAM-op delays at the
+/// PR 3 numbers, and the parallel-speedup floor matched to the pool width.
+fn gate_against_baseline(results: &[ScaleResult], threads: usize, path: &Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
+    for r in results {
+        let (base_count, base_ratio) = baseline_scale(&text, r.n).unwrap_or_else(|| {
+            panic!(
+                "baseline {} has no complete entry for n = {}",
+                path.display(),
+                r.n
+            )
+        });
+        assert_eq!(
+            r.count, base_count,
+            "answer count changed vs baseline at n = {}: {} vs {}",
+            r.n, r.count, base_count
+        );
+        let ratio = max_p50_ratio(&r.delay_wall_ns);
+        let speedup = par_speedup(r);
+        let par_floor = if threads >= GATE_PAR_THREADS {
+            GATE_PAR_SPEEDUP
+        } else {
+            GATE_PAR_PARITY
+        };
+        println!(
+            "gate at n = {}: max/p50 {ratio:.1} (need <= {GATE_MAX_P50_RATIO}, baseline \
+             {base_ratio:.1}), ops p99 {} max {} (need <= {GATE_OPS_P99}/{GATE_OPS_MAX}), \
+             parallel {speedup:.2}x at {threads} thread(s) (need >= {par_floor})",
+            r.n, r.delay_ops.p99, r.delay_ops.max
+        );
+        assert!(
+            ratio <= GATE_MAX_P50_RATIO,
+            "wall-ns max/p50 at n = {} is {ratio:.1} (ceiling {GATE_MAX_P50_RATIO}; \
+             baseline was {base_ratio:.1})",
+            r.n
+        );
+        assert!(
+            r.delay_ops.p99 <= GATE_OPS_P99 && r.delay_ops.max <= GATE_OPS_MAX,
+            "RAM-op delays regressed at n = {}: p99 {} max {} (limits \
+             {GATE_OPS_P99}/{GATE_OPS_MAX})",
+            r.n,
+            r.delay_ops.p99,
+            r.delay_ops.max
+        );
+        assert!(
+            speedup >= par_floor,
+            "parallel enumeration at n = {} is only {speedup:.2}x serial at {threads} \
+             thread(s) (floor {par_floor})",
+            r.n
+        );
+    }
+    println!("gate passed");
+}
+
+fn render_json(results: &[ScaleResult], quick: bool, threads: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"enumerate\",\n");
@@ -244,15 +438,17 @@ fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
     s.push_str(&format!("  \"skip_mode\": \"eager\",\n  \"eps\": {EPS},\n"));
     s.push_str(&format!("  \"reps\": {REPS},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
-    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str("  \"scales\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"n\": {}, \"count\": {}, \
              \"boxed_ms\": {:.3}, \"streaming_ms\": {:.3}, \
              \"boxed_answers_per_s\": {:.0}, \"streaming_answers_per_s\": {:.0}, \
-             \"speedup\": {:.3}, \
-             \"delay_wall_ns\": {{\"p50\": {}, \"p99\": {}, \"max\": {}, \
+             \"speedup\": {:.3},\n     \
+             \"parallel\": {{\"par_ms\": {:.3}, \"par_answers_per_s\": {:.0}, \
+             \"par_speedup\": {:.3}}},\n     \
+             \"delay_wall_ns\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \
              \"max_p50_ratio\": {:.3}}}, \
              \"delay_ops\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
             r.n,
@@ -262,8 +458,12 @@ fn render_json(results: &[ScaleResult], quick: bool, cores: usize) -> String {
             throughput(r.count, r.boxed),
             throughput(r.count, r.streaming),
             r.boxed.as_secs_f64() / r.streaming.as_secs_f64().max(1e-12),
+            r.parallel.as_secs_f64() * 1e3,
+            throughput(r.count, r.parallel),
+            par_speedup(r),
             r.delay_wall_ns.p50,
             r.delay_wall_ns.p99,
+            r.delay_wall_ns.p999,
             r.delay_wall_ns.max,
             max_p50_ratio(&r.delay_wall_ns),
             r.delay_ops.p50,

@@ -88,7 +88,9 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
             let db = load(rest.first().ok_or_else(usage)?)?;
             let q = query(&db, rest.get(1).ok_or_else(usage)?)?;
             let engine = build(&db, &q)?;
-            writeln!(out, "{}", engine.count()).map_err(w)?;
+            // the same pool drives the sharded recount; on a serial pool
+            // this is the precomputed count
+            writeln!(out, "{}", engine.par_count(&par)).map_err(w)?;
             Ok(())
         }
         "test" => {
@@ -118,24 +120,38 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), String> {
                 None => usize::MAX,
             };
             let engine = build(&db, &q)?;
+            // both formats stream through the sharded parallel visitor —
+            // the pool from --threads / LOWDEG_THREADS produces answers in
+            // the serial order, so the output is thread-count-invariant;
+            // a serial pool falls back to the delay-accounted visitor
             match format {
                 OutputFormat::Tsv => {
                     let mut emitted = 0usize;
-                    for t in engine.enumerate().take(limit) {
+                    let mut werr: Option<std::io::Error> = None;
+                    engine.par_for_each_answer(&par, |t| {
+                        if emitted == limit {
+                            return ControlFlow::Break(());
+                        }
                         let row: Vec<String> = t.iter().map(|n| n.to_string()).collect();
-                        writeln!(out, "{}", row.join("\t")).map_err(w)?;
+                        if let Err(e) = writeln!(out, "{}", row.join("\t")) {
+                            werr = Some(e);
+                            return ControlFlow::Break(());
+                        }
                         emitted += 1;
+                        ControlFlow::Continue(())
+                    });
+                    if let Some(e) = werr {
+                        return Err(w(e));
                     }
                     writeln!(out, "# {emitted} answers").map_err(w)?;
                 }
                 OutputFormat::Ndjson => {
-                    // stream through the visitor: one reused line buffer,
-                    // answers printed as they are produced
+                    // one reused line buffer, answers printed as produced
                     use std::fmt::Write as _;
                     let mut emitted = 0usize;
                     let mut line = String::new();
                     let mut werr: Option<std::io::Error> = None;
-                    engine.for_each_answer(|t| {
+                    engine.par_for_each_answer(&par, |t| {
                         if emitted == limit {
                             return ControlFlow::Break(());
                         }
@@ -271,9 +287,10 @@ pub fn usage() -> String {
   lowdeg generate     <n> <degree> <seed> [path]
   lowdeg import-edges <edge-list> [path]
 options: --eps <x>       pseudo-linearity parameter (default 0.25)
-         --threads <n>   preprocessing worker threads; 0 = auto, 1 = serial
-                         (default: LOWDEG_THREADS, else auto). Enumeration
-                         itself is always single-threaded
+         --threads <n>   worker threads for preprocessing AND the sharded
+                         enumerate/count answer paths; 0 = auto, 1 = serial
+                         (default: LOWDEG_THREADS, else auto). Answer order
+                         is identical at every thread count
          --format <f>    enumerate output: tsv (default) or ndjson, the
                          latter streamed answer-by-answer (constant memory)"
         .into()
@@ -388,6 +405,37 @@ mod tests {
         assert_eq!(four.trim(), "2");
         assert!(run_str(&["--threads", "x", "count", db.to_str().unwrap(), "B(x)"]).is_err());
         assert!(run_str(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn threads_do_not_change_enumeration_output() {
+        // the sharded answer path drains slices in serial order, so every
+        // thread count prints byte-identical rows — both formats
+        let db = temp_db();
+        let q = "B(x) & R(y) & !E(x, y)";
+        for format in ["tsv", "ndjson"] {
+            let serial = run_str(&[
+                "--threads",
+                "1",
+                "--format",
+                format,
+                "enumerate",
+                db.to_str().unwrap(),
+                q,
+            ])
+            .unwrap();
+            let parallel = run_str(&[
+                "--threads",
+                "4",
+                "--format",
+                format,
+                "enumerate",
+                db.to_str().unwrap(),
+                q,
+            ])
+            .unwrap();
+            assert_eq!(serial, parallel, "{format} output differs across pools");
+        }
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! * the **parallel-build oracle** ([`parcheck`]) — a serial
 //!   (`threads = 1`) and a forced-parallel build of every case must yield
 //!   the same count, enumeration order and per-clause plan statistics;
+//! * the **parallel-enumeration oracle** ([`enumcheck`]) — the sharded
+//!   `par_for_each_answer` / `par_count` surface must visit bit-identical
+//!   answers in bit-identical order to the serial, delay-accounted
+//!   visitor, including first answer, early-`Break` prefixes and repeated
+//!   passes over one engine;
 //! * the **artifact-cache oracle** ([`cachecheck`]) — a cold build and
 //!   builds through a priming/warm `ArtifactCache` must yield the same
 //!   count, enumeration order and per-clause plan statistics, and the warm
@@ -44,6 +49,7 @@ pub mod cachecheck;
 pub mod delay;
 pub mod differential;
 pub mod dynamic;
+pub mod enumcheck;
 pub mod json;
 pub mod latticecheck;
 pub mod memocheck;

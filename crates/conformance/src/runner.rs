@@ -4,6 +4,7 @@ use crate::cachecheck::cachecheck_case;
 use crate::delay::{delay_gates, DelayGate};
 use crate::differential::{differential_case, CaseConfig, CaseStats, Disagreement, Mutation};
 use crate::dynamic::dynamic_case;
+use crate::enumcheck::enumcheck_case;
 use crate::json::Json;
 use crate::latticecheck::latticecheck_case;
 use crate::memocheck::memocheck_case;
@@ -233,6 +234,7 @@ fn check_one(case: &Case, cfg: &CaseConfig, inject: Mutation) -> (CaseStats, Vec
     if inject == Mutation::None {
         bad.extend(metamorphic_case(&case.s, &case.q, case.case_seed));
         bad.extend(parcheck_case(&case.s, &case.q));
+        bad.extend(enumcheck_case(&case.s, &case.q));
         bad.extend(cachecheck_case(&case.s, &case.q));
         bad.extend(latticecheck_case(&case.s, &case.q));
         bad.extend(memocheck_case(&case.s, &case.q));
@@ -285,6 +287,7 @@ fn aggregate_one(
         if inject == Mutation::None {
             b.extend(metamorphic_case(s2, q2, case_seed));
             b.extend(parcheck_case(s2, q2));
+            b.extend(enumcheck_case(s2, q2));
             b.extend(cachecheck_case(s2, q2));
             b.extend(latticecheck_case(s2, q2));
             b.extend(memocheck_case(s2, q2));

@@ -17,8 +17,9 @@
 //! to a new fingerprint, so stale entries are never *returned*, only
 //! retained.
 //!
-//! The [`Profiler`] times the pipeline's five build stages
-//! (`extract → reduce → ie-count → fixpoint → skip-tables`); the resulting
+//! The [`Profiler`] times the pipeline's six build stages
+//! (`extract → reduce → ie-count → fixpoint → skip-tables → warm-up`);
+//! the resulting
 //! [`BuildProfile`] is stored on every [`crate::Engine`] and surfaces in
 //! `--explain` output and `BENCH_preprocess.json`.
 
@@ -311,7 +312,7 @@ impl std::fmt::Debug for ArtifactCache {
     }
 }
 
-/// The five build stages the profiler distinguishes.
+/// The six build stages the profiler distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
     /// Gaifman distance-structure extraction from the base database: the
@@ -330,15 +331,21 @@ pub enum Stage {
     Fixpoint,
     /// Eager skip-table generation.
     SkipTables,
+    /// Optional post-build warm-up: prefaulting the enumeration plans and
+    /// probing the first answer, so first-answer setup is charged to
+    /// preprocessing instead of the first delay sample (see
+    /// `EngineConfig::warm_up`). Zero unless warm-up was requested.
+    WarmUp,
 }
 
 /// All stages, in pipeline order (`BuildProfile` indexes follow it).
-pub const STAGES: [Stage; 5] = [
+pub const STAGES: [Stage; 6] = [
     Stage::Extract,
     Stage::Reduce,
     Stage::IeCount,
     Stage::Fixpoint,
     Stage::SkipTables,
+    Stage::WarmUp,
 ];
 
 impl Stage {
@@ -349,6 +356,7 @@ impl Stage {
             Stage::IeCount => 2,
             Stage::Fixpoint => 3,
             Stage::SkipTables => 4,
+            Stage::WarmUp => 5,
         }
     }
 
@@ -360,6 +368,7 @@ impl Stage {
             Stage::IeCount => "ie-count",
             Stage::Fixpoint => "fixpoint",
             Stage::SkipTables => "skip-tables",
+            Stage::WarmUp => "warm-up",
         }
     }
 }
@@ -371,7 +380,7 @@ impl Stage {
 /// build's wall clock.
 #[derive(Debug, Default)]
 pub struct Profiler {
-    nanos: [AtomicU64; 5],
+    nanos: [AtomicU64; 6],
 }
 
 impl Profiler {
@@ -402,6 +411,7 @@ impl Profiler {
                 self.nanos[2].load(Ordering::Relaxed),
                 self.nanos[3].load(Ordering::Relaxed),
                 self.nanos[4].load(Ordering::Relaxed),
+                self.nanos[5].load(Ordering::Relaxed),
             ],
         }
     }
@@ -410,7 +420,7 @@ impl Profiler {
 /// Frozen per-stage build timings (see [`Profiler`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BuildProfile {
-    nanos: [u64; 5],
+    nanos: [u64; 6],
 }
 
 impl BuildProfile {

@@ -69,6 +69,20 @@ impl PairCsr {
     pub fn contains(&self, u: u32, y: u32) -> bool {
         self.neighbors(u).binary_search(&y).is_ok()
     }
+
+    /// Read-touch every page of the offset and target arrays so probes that
+    /// follow pay no first-touch page fault. Returns a wrapping fold of the
+    /// words read so the pass cannot be optimized away.
+    pub fn prefault(&self) -> u64 {
+        let mut acc = 0u64;
+        for chunk in self.offsets.chunks(512) {
+            acc = acc.wrapping_add(chunk[0] as u64);
+        }
+        for chunk in self.targets.chunks(1024) {
+            acc = acc.wrapping_add(chunk[0] as u64);
+        }
+        acc
+    }
 }
 
 #[cfg(test)]

@@ -2,15 +2,67 @@
 
 use crate::artifacts::{ArtifactCache, BuildProfile, Profiler, Stage};
 use crate::counting::{count_graph_query_with_adjacency, count_graph_query_with_adjacency_memo};
-use crate::enumerate::{Enumerator, SkipMode, VertexStream};
+use crate::enumerate::{Enumerator, SkipLimits, SkipMode, VertexStream};
 use crate::reduction::{Reduction, DEFAULT_COMBINATION_BUDGET};
 use crate::testing::TestIndex;
 use crate::EngineError;
 use lowdeg_index::Epsilon;
 use lowdeg_logic::Query;
-use lowdeg_par::ParConfig;
+use lowdeg_par::{par_map, ParConfig};
 use lowdeg_storage::{Node, Structure};
 use std::ops::ControlFlow;
+
+/// Build-time configuration beyond the structure/query pair.
+///
+/// The two-argument entry points ([`Engine::build`], [`Engine::build_with`])
+/// cover the common cases; `EngineConfig` is the explicit form, and the only
+/// way to override the eager-machinery cost gates per engine or to request
+/// the post-build warm-up.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// How the `skip` function is materialized (see [`SkipMode`]).
+    pub skip_mode: SkipMode,
+    /// The ε of the Storing Theorem tries.
+    pub eps: Epsilon,
+    /// Override for the `E_k` materialization cost gate
+    /// ([`crate::enumerate::EK_COST_LIMIT`]). `None` defers to the
+    /// `LOWDEG_EK_COST_LIMIT` environment variable, then the constant.
+    pub ek_cost_limit: Option<u64>,
+    /// Override for the eager table size gate
+    /// ([`crate::enumerate::EAGER_SKIP_LIMIT`]). `None` = the constant.
+    pub eager_skip_limit: Option<u64>,
+    /// Run the post-build warm-up: prefault the enumeration plans and probe
+    /// the first answer, charging both to the `warm-up` build stage instead
+    /// of the first delay sample of the real enumeration.
+    pub warm_up: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            skip_mode: SkipMode::Eager,
+            eps: Epsilon::default_eps(),
+            ek_cost_limit: None,
+            eager_skip_limit: None,
+            warm_up: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective cost gates: explicit overrides win, then the
+    /// environment, then the compiled-in constants.
+    pub fn skip_limits(&self) -> SkipLimits {
+        let mut limits = SkipLimits::from_env();
+        if let Some(v) = self.ek_cost_limit {
+            limits.ek_cost_limit = v;
+        }
+        if let Some(v) = self.eager_skip_limit {
+            limits.eager_skip_limit = v;
+        }
+        limits
+    }
+}
 
 /// A fully preprocessed query over a fixed database: constant-time
 /// [`Engine::test`], pseudo-linear [`Engine::count`], constant-delay
@@ -25,6 +77,9 @@ pub struct Engine {
     kind: EngineKind,
     /// Per-stage build timings (all zero for sentences).
     profile: BuildProfile,
+    /// The effective eager-machinery cost gates the build ran under
+    /// (surfaced by `explain`).
+    skip_limits: SkipLimits,
 }
 
 #[derive(Debug)]
@@ -60,12 +115,14 @@ impl Engine {
     }
 
     /// Preprocess with an explicit [`SkipMode`] and worker-pool
-    /// configuration. Only the *build* phase parallelizes (reduction,
-    /// counting, skip-table construction); [`Engine::enumerate`] and
-    /// [`Engine::test`] are single-threaded regardless — the constant-delay
-    /// and constant-time guarantees are per-operation RAM bounds that
-    /// threads cannot (and must not) change. The built engine is identical
-    /// for every thread count.
+    /// configuration. The *build* phase parallelizes (reduction, counting,
+    /// skip-table construction) and the built engine is identical for every
+    /// thread count. [`Engine::enumerate`] / [`Engine::for_each_answer`] /
+    /// [`Engine::test`] stay single-threaded — the constant-delay and
+    /// constant-time guarantees are per-operation RAM bounds that threads
+    /// cannot (and must not) change; the sharded
+    /// [`Engine::par_for_each_answer`] trades the delay guarantee for
+    /// throughput while keeping the exact same answer order.
     pub fn build_with_config(
         structure: &Structure,
         query: &Query,
@@ -92,6 +149,27 @@ impl Engine {
         par: &ParConfig,
         cache: Option<&ArtifactCache>,
     ) -> Result<Self, EngineError> {
+        let config = EngineConfig {
+            skip_mode: mode,
+            eps,
+            ..EngineConfig::default()
+        };
+        Self::build_configured(structure, query, &config, par, cache)
+    }
+
+    /// The fully explicit entry point: as [`Engine::build_full`], driven by
+    /// an [`EngineConfig`] — the only way to override the eager-machinery
+    /// cost gates per engine or to request the post-build warm-up.
+    pub fn build_configured(
+        structure: &Structure,
+        query: &Query,
+        config: &EngineConfig,
+        par: &ParConfig,
+        cache: Option<&ArtifactCache>,
+    ) -> Result<Self, EngineError> {
+        let eps = config.eps;
+        let mode = config.skip_mode;
+        let limits = config.skip_limits();
         let arity = query.arity();
         if arity == 0 {
             let truth = lowdeg_locality::model_check(structure, query)?;
@@ -99,6 +177,7 @@ impl Engine {
                 arity,
                 kind: EngineKind::Sentence { truth },
                 profile: BuildProfile::default(),
+                skip_limits: limits,
             });
         }
         let profiler = Profiler::new();
@@ -149,9 +228,13 @@ impl Engine {
             adjacency,
             mode,
             eps,
+            limits,
             par,
             &profiler,
         );
+        if config.warm_up {
+            enumerator.warm_up(&profiler);
+        }
         let test = TestIndex::from_reduction(reduction, eps);
         Ok(Engine {
             arity,
@@ -161,6 +244,7 @@ impl Engine {
                 count,
             },
             profile: profiler.snapshot(),
+            skip_limits: limits,
         })
     }
 
@@ -189,8 +273,8 @@ impl Engine {
     }
 
     /// Per-stage build timings (`extract → reduce → ie-count → fixpoint →
-    /// skip-tables`). On a multi-thread pool the fixpoint / skip-table
-    /// stages report cumulative task time, not wall time.
+    /// skip-tables → warm-up`). On a multi-thread pool the fixpoint /
+    /// skip-table stages report cumulative task time, not wall time.
     pub fn profile(&self) -> &BuildProfile {
         &self.profile
     }
@@ -308,6 +392,138 @@ impl Engine {
                 return;
             }
         }
+    }
+
+    /// Shard the answer space into contiguous tasks `(clause, lo, hi)` over
+    /// each clause's outermost candidate list. Task order (clause-major,
+    /// ascending slices) is the serial enumeration order, so draining task
+    /// results in this order reproduces it exactly.
+    fn shard_tasks(enumerator: &Enumerator, parts_per_clause: usize) -> Vec<(usize, usize, usize)> {
+        let mut tasks = Vec::new();
+        for (ci, plan) in enumerator.plans().iter().enumerate() {
+            let top = plan.top_len();
+            if top == 0 {
+                continue; // empty outer list: the clause has no answers
+            }
+            let part_len = top.div_ceil(parts_per_clause.max(1)).max(1);
+            let mut lo = 0;
+            while lo < top {
+                tasks.push((ci, lo, (lo + part_len).min(top)));
+                lo += part_len;
+            }
+        }
+        tasks
+    }
+
+    /// Theorem 2.7, sharded: drive every answer through `f` in **exactly
+    /// the serial order** ([`Engine::for_each_answer`]), materializing the
+    /// shards on the worker pool.
+    ///
+    /// Each clause's outermost candidate list is cut into contiguous
+    /// slices; workers run the per-level skip machinery independently per
+    /// slice ([`crate::ClausePlan::iter_slice`]) and the results are
+    /// concatenated in slice order — bit-identical to the serial visitor,
+    /// because the outermost level walks its sorted list in order with an
+    /// empty forbidden set and inner levels depend only on the values fixed
+    /// above them (DESIGN §14). What is traded away is the *delay*
+    /// guarantee: answers arrive in order but in shard-sized bursts, so the
+    /// delay-accounted reference path stays [`Engine::for_each_answer`].
+    ///
+    /// Returning [`ControlFlow::Break`] stops the drain at that answer.
+    /// The shards are materialized before the drain begins, so a Break
+    /// saves callback work but not shard work — callers that mostly stop
+    /// early (e.g. `first()`) should prefer the serial visitor.
+    /// Configurations that would run serially (1 thread, or fewer answers
+    /// than the pool's cutoff) fall back to the serial visitor with zero
+    /// overhead.
+    pub fn par_for_each_answer(
+        &self,
+        par: &ParConfig,
+        mut f: impl FnMut(&[Node]) -> ControlFlow<()>,
+    ) {
+        let EngineKind::Reduced {
+            test,
+            enumerator,
+            count,
+        } = &self.kind
+        else {
+            return self.for_each_answer(f);
+        };
+        if par.is_serial() || par.runs_serial(*count as usize) {
+            return self.for_each_answer(f);
+        }
+        let reduction = test.reduction();
+        let tasks = Self::shard_tasks(enumerator, par.threads().saturating_mul(4));
+        // Task lists are tiny (threads·4 per clause), far below any sane
+        // serial-fallback cutoff — distribute them unconditionally.
+        let cfg = par.min_items(1);
+        let arity = self.arity;
+        let shards: Vec<Vec<Node>> = par_map(&cfg, &tasks, |&(ci, lo, hi)| {
+            let plan = &enumerator.plans()[ci];
+            let mut iter = plan.iter_slice(enumerator.adjacency(), lo, hi);
+            let mut answer: Vec<Node> = Vec::with_capacity(arity);
+            let mut buf: Vec<Node> = Vec::new();
+            while iter.advance() {
+                let ok = reduction.backward_into(iter.tuple(), &mut answer);
+                assert!(ok, "ψ(G) answers lie in the image of f");
+                buf.extend_from_slice(&answer);
+            }
+            buf
+        });
+        for shard in &shards {
+            for answer in shard.chunks_exact(arity) {
+                if f(answer).is_break() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `|φ(A)|` by sharded parallel traversal. The build-time
+    /// [`Engine::count`] is free and exact — this path exists to *measure*
+    /// the parallel enumeration machinery (it drives the same sharded
+    /// cursors as [`Engine::par_for_each_answer`], skipping answer
+    /// materialization) and as an end-to-end cross-check. Serial-falling
+    /// configurations return the precomputed count directly.
+    pub fn par_count(&self, par: &ParConfig) -> u64 {
+        let EngineKind::Reduced {
+            enumerator, count, ..
+        } = &self.kind
+        else {
+            return self.count();
+        };
+        if par.is_serial() || par.runs_serial(*count as usize) {
+            return *count;
+        }
+        let tasks = Self::shard_tasks(enumerator, par.threads().saturating_mul(4));
+        let cfg = par.min_items(1);
+        let counts: Vec<u64> = par_map(&cfg, &tasks, |&(ci, lo, hi)| {
+            let plan = &enumerator.plans()[ci];
+            let mut iter = plan.iter_slice(enumerator.adjacency(), lo, hi);
+            let mut c = 0u64;
+            while iter.advance() {
+                c += 1;
+            }
+            c
+        });
+        counts.iter().sum()
+    }
+
+    /// Theorem 2.7, sharded and materialized: every answer in exactly the
+    /// serial enumeration order (see [`Engine::par_for_each_answer`]).
+    pub fn par_enumerate(&self, par: &ParConfig) -> Vec<Vec<Node>> {
+        let mut out = Vec::new();
+        self.par_for_each_answer(par, |a| {
+            out.push(a.to_vec());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// The effective eager-machinery cost gates this engine was built under
+    /// (diagnostics; surfaced by `explain`).
+    pub fn skip_limits(&self) -> SkipLimits {
+        self.skip_limits
     }
 
     /// Theorem 2.7: constant-delay enumeration of `φ(A)`.
@@ -574,6 +790,105 @@ mod tests {
             memo_hits > 0,
             "color-permuted queries must share counted components"
         );
+    }
+
+    #[test]
+    fn parallel_answers_match_serial_bit_for_bit() {
+        let s = ColoredGraphSpec::balanced(36, DegreeClass::Bounded(3)).generate(9);
+        let forced = ParConfig::with_threads(4).min_items(1);
+        for src in [
+            "B(x) & R(y) & !E(x, y)",
+            "B(x) & !R(x)",
+            "B(x) & R(y) & G(z) & !E(x, y) & !E(y, z) & !E(x, z)",
+        ] {
+            let q = parse_query(s.signature(), src).unwrap();
+            for mode in [SkipMode::Eager, SkipMode::Lazy] {
+                let engine = Engine::build_with(&s, &q, Epsilon::new(0.5), mode).unwrap();
+                let serial: Vec<Vec<Node>> = engine.enumerate().collect();
+                assert_eq!(
+                    engine.par_enumerate(&forced),
+                    serial,
+                    "`{src}` parallel order ({mode:?})"
+                );
+                assert_eq!(
+                    engine.par_count(&forced),
+                    engine.count(),
+                    "`{src}` parallel count ({mode:?})"
+                );
+                // serial fallback is also identical
+                assert_eq!(engine.par_enumerate(&ParConfig::serial()), serial);
+                // early Break stops at the right answer
+                let mut seen = Vec::new();
+                engine.par_for_each_answer(&forced, |a| {
+                    seen.push(a.to_vec());
+                    if seen.len() == 2 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                assert_eq!(seen.len(), serial.len().min(2));
+                assert_eq!(seen[..], serial[..seen.len()]);
+                // restartable: a second traversal sees the same answers
+                assert_eq!(engine.par_enumerate(&forced), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn configured_build_with_warm_up_is_identical() {
+        let s = ColoredGraphSpec::balanced(24, DegreeClass::Bounded(3)).generate(1);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let plain = Engine::build(&s, &q, Epsilon::new(0.5)).unwrap();
+        let config = EngineConfig {
+            warm_up: true,
+            eps: Epsilon::new(0.5),
+            ..EngineConfig::default()
+        };
+        let warmed = Engine::build_configured(&s, &q, &config, &ParConfig::serial(), None).unwrap();
+        assert_eq!(warmed.count(), plain.count());
+        let a: Vec<Vec<Node>> = warmed.enumerate().collect();
+        let b: Vec<Vec<Node>> = plain.enumerate().collect();
+        assert_eq!(a, b, "warm-up must not perturb the answers");
+        assert!(
+            warmed.profile().nanos(Stage::WarmUp) > 0,
+            "warm-up charged to its stage"
+        );
+        assert_eq!(plain.profile().nanos(Stage::WarmUp), 0);
+        // a tiny ek_cost_limit degrades eager levels but keeps answers
+        let degraded_cfg = EngineConfig {
+            ek_cost_limit: Some(0),
+            eps: Epsilon::new(0.5),
+            ..EngineConfig::default()
+        };
+        let degraded =
+            Engine::build_configured(&s, &q, &degraded_cfg, &ParConfig::serial(), None).unwrap();
+        assert_eq!(degraded.skip_limits().ek_cost_limit, 0);
+        let c: Vec<Vec<Node>> = degraded.enumerate().collect();
+        assert_eq!(c, b);
+        let en = degraded.enumerator().unwrap();
+        assert!(en
+            .plans()
+            .iter()
+            .flat_map(|p| p.levels.iter().flatten())
+            .all(|l| !l.eager_built && l.degraded));
+        // non-vacuous: this structure is dense enough for Large levels
+        let s2 = ColoredGraphSpec::balanced(400, DegreeClass::Bounded(2)).generate(1);
+        let q2 = parse_query(s2.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let degraded2 =
+            Engine::build_configured(&s2, &q2, &degraded_cfg, &ParConfig::serial(), None).unwrap();
+        let en2 = degraded2.enumerator().unwrap();
+        let larges = en2
+            .plans()
+            .iter()
+            .flat_map(|p| p.levels.iter().flatten())
+            .count();
+        assert!(larges > 0, "plan must contain large levels");
+        assert!(en2
+            .plans()
+            .iter()
+            .flat_map(|p| p.levels.iter().flatten())
+            .all(|l| !l.eager_built && l.degraded));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::graph_query::{position_list, GraphClause, GraphQuery};
 use lowdeg_index::{Epsilon, FxHashMap, FxHashSet, RadixFuncStore, SliceInterner};
 use lowdeg_par::{par_flat_map, par_map, ParConfig};
 use lowdeg_storage::{Node, Structure};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How the `skip` function is materialized.
@@ -75,8 +76,55 @@ pub const EAGER_SKIP_LIMIT: u64 = 4_000_000;
 /// `E_k` relation. The paper's table is pseudo-linear only when
 /// `n ≫ d̃^{3k}`; below that regime (i.e. on any practically dense
 /// instance) the level degrades to the lazy skip, which needs no `E_k` at
-/// all (see [`SkipMode::Lazy`]).
+/// all (see [`SkipMode::Lazy`]). Overridable per engine via
+/// [`SkipLimits`] / `EngineConfig`, or process-wide via the
+/// [`EK_COST_LIMIT_ENV`] environment variable.
 pub const EK_COST_LIMIT: u64 = 50_000_000;
+
+/// Environment variable overriding [`EK_COST_LIMIT`] process-wide. An
+/// explicit [`SkipLimits`] value passed through `EngineConfig` still wins
+/// over the environment.
+pub const EK_COST_LIMIT_ENV: &str = "LOWDEG_EK_COST_LIMIT";
+
+/// The effective cost gates of the eager skip machinery. Every level build
+/// consults one of these instead of the raw constants, so callers (the
+/// `EngineConfig`, the E10 ablation, stress tests) can move the
+/// eager-vs-lazy frontier without recompiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipLimits {
+    /// Cap on the estimated `E_k` materialization cost
+    /// `|E₁| · d̃² · (k−1)`; see [`EK_COST_LIMIT`].
+    pub ek_cost_limit: u64,
+    /// Cap on the estimated eager table size `Σ_y Σ_{s<k} C(|U(y)|, s)`;
+    /// see [`EAGER_SKIP_LIMIT`].
+    pub eager_skip_limit: u64,
+}
+
+impl Default for SkipLimits {
+    fn default() -> Self {
+        SkipLimits {
+            ek_cost_limit: EK_COST_LIMIT,
+            eager_skip_limit: EAGER_SKIP_LIMIT,
+        }
+    }
+}
+
+impl SkipLimits {
+    /// The process-wide defaults: [`EK_COST_LIMIT_ENV`] when set to a
+    /// parseable `u64`, otherwise the compiled-in constants. Unparseable
+    /// values are ignored rather than erroring — the variable is a tuning
+    /// knob, not configuration that must round-trip.
+    pub fn from_env() -> SkipLimits {
+        let mut limits = SkipLimits::default();
+        if let Some(v) = std::env::var(EK_COST_LIMIT_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            limits.ek_cost_limit = v;
+        }
+        limits
+    }
+}
 
 /// Sentinel for `void` in skip stores.
 const VOID: u32 = u32::MAX;
@@ -403,6 +451,19 @@ pub struct LevelPlan {
     skip_store: Option<RadixFuncStore<u32>>,
     /// Whether the eager table was actually built.
     pub eager_built: bool,
+    /// The estimated `E_k` materialization cost `|E₁| · d̃² · (k−1)` this
+    /// level was gated on (diagnostics; surfaced by `explain`).
+    pub ek_cost: u64,
+    /// Whether an eager build was requested but a cost gate silently
+    /// degraded the level to the lazy skip (the condition the explain
+    /// output now surfaces per level).
+    pub degraded: bool,
+    /// Peak lazy-skip memo length observed across finished traversals of
+    /// this level (memory-growth diagnostics; see [`ClauseIter`]'s `Drop`).
+    lazy_memo_peak: AtomicUsize,
+    /// Peak lazy-skip memo *capacity* across finished traversals — the
+    /// number that actually bounds resident memory between rehashes.
+    lazy_memo_cap_peak: AtomicUsize,
 }
 
 impl LevelPlan {
@@ -414,6 +475,7 @@ impl LevelPlan {
         n_graph: usize,
         mode: SkipMode,
         eps: Epsilon,
+        limits: SkipLimits,
         par: &ParConfig,
         profiler: &Profiler,
     ) -> Self {
@@ -428,7 +490,7 @@ impl LevelPlan {
             .saturating_mul(k as u64 - 1);
         let try_eager = k >= 2
             && match mode {
-                SkipMode::Eager => ek_cost <= EK_COST_LIMIT,
+                SkipMode::Eager => ek_cost <= limits.ek_cost_limit,
                 SkipMode::EagerForce => true,
                 SkipMode::Lazy => false,
             };
@@ -520,7 +582,7 @@ impl LevelPlan {
                 }
                 est = est.saturating_add(sum);
             }
-            if est <= EAGER_SKIP_LIMIT || mode == SkipMode::EagerForce {
+            if est <= limits.eager_skip_limit || mode == SkipMode::EagerForce {
                 // Per-y table entries are pure (walk_skip reads only frozen
                 // data): generate them in parallel as flattened
                 // (keys, values) runs, then insert sequentially in list
@@ -570,12 +632,19 @@ impl LevelPlan {
             index_in_list = Vec::new();
         }
 
+        // "Degraded" = an eager build was asked for and a cost gate said no.
+        // k == 1 has no forbidden sets at all, so nothing was given up there.
+        let eager_requested = k >= 2 && !matches!(mode, SkipMode::Lazy);
         LevelPlan {
             list,
             index_in_list,
             ek,
             skip_store,
             eager_built,
+            ek_cost,
+            degraded: eager_requested && !eager_built,
+            lazy_memo_peak: AtomicUsize::new(0),
+            lazy_memo_cap_peak: AtomicUsize::new(0),
         }
     }
 
@@ -605,6 +674,38 @@ impl LevelPlan {
     /// Size of the eager skip table, when built.
     pub fn skip_entries(&self) -> usize {
         self.skip_store.as_ref().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Peak lazy-skip memo `(len, capacity)` across finished traversals of
+    /// this level (both 0 for eager levels or before any cursor was
+    /// dropped). Capacity is what bounds resident memory between rehashes.
+    pub fn lazy_memo_peak(&self) -> (usize, usize) {
+        (
+            self.lazy_memo_peak.load(Ordering::Relaxed),
+            self.lazy_memo_cap_peak.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Read-touch every page of the level's frozen structures (candidate
+    /// list, dense index, `E_k`, eager skip table) so probes that follow
+    /// pay no first-touch page fault inside a delay sample. Returns a
+    /// wrapping fold of the words read so the pass cannot be optimized
+    /// away.
+    fn prefault(&self) -> u64 {
+        let mut acc = 0u64;
+        for chunk in self.list.chunks(1024) {
+            acc = acc.wrapping_add(chunk[0].0 as u64);
+        }
+        for chunk in self.index_in_list.chunks(1024) {
+            acc = acc.wrapping_add(chunk[0] as u64);
+        }
+        if let Some(ek) = &self.ek {
+            acc = acc.wrapping_add(ek.prefault());
+        }
+        if let Some(store) = &self.skip_store {
+            acc = acc.wrapping_add(store.prefault());
+        }
+        acc
     }
 }
 
@@ -656,6 +757,12 @@ pub struct ClausePlan {
     pub levels: Vec<Option<LevelPlan>>,
     /// Iteration order: small positions first, then large, ascending.
     order: Vec<usize>,
+    /// Peak forbidden-set interner length across finished traversals
+    /// (memory-growth diagnostics; see [`ClauseIter`]'s `Drop`).
+    vset_peak: AtomicUsize,
+    /// Peak forbidden-set interner id-map capacity across finished
+    /// traversals.
+    vset_cap_peak: AtomicUsize,
 }
 
 impl ClausePlan {
@@ -676,6 +783,7 @@ impl ClausePlan {
             adjacency,
             mode,
             eps,
+            SkipLimits::from_env(),
             par,
             &Profiler::new(),
         )
@@ -692,6 +800,7 @@ impl ClausePlan {
         adjacency: &EdgeAdjacency,
         mode: SkipMode,
         eps: Epsilon,
+        limits: SkipLimits,
         par: &ParConfig,
         profiler: &Profiler,
     ) -> Self {
@@ -722,6 +831,7 @@ impl ClausePlan {
                     n_graph,
                     mode,
                     eps,
+                    limits,
                     par,
                     profiler,
                 )),
@@ -737,6 +847,8 @@ impl ClausePlan {
             strategies,
             levels,
             order,
+            vset_peak: AtomicUsize::new(0),
+            vset_cap_peak: AtomicUsize::new(0),
         }
     }
 
@@ -745,8 +857,74 @@ impl ClausePlan {
         self.lists.iter().map(|l| l.len()).collect()
     }
 
+    /// Length of the outermost order level's candidate list — the axis
+    /// [`ClausePlan::iter_slice`] shards over.
+    pub fn top_len(&self) -> usize {
+        self.order
+            .first()
+            .map(|&p| self.lists[p].len())
+            .unwrap_or(0)
+    }
+
+    /// Peak forbidden-set interner `(len, id-map capacity)` across finished
+    /// traversals of this clause (memory-growth diagnostics).
+    pub fn vset_peak(&self) -> (usize, usize) {
+        (
+            self.vset_peak.load(Ordering::Relaxed),
+            self.vset_cap_peak.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Read-touch every page of the clause's frozen structures (see
+    /// [`Enumerator::prefault`]).
+    pub fn prefault(&self) -> u64 {
+        let mut acc = 0u64;
+        for list in &self.lists {
+            for chunk in list.chunks(1024) {
+                acc = acc.wrapping_add(chunk[0].0 as u64);
+            }
+        }
+        for level in self.levels.iter().flatten() {
+            acc = acc.wrapping_add(level.prefault());
+        }
+        acc
+    }
+
     /// Iterate this clause's vertex tuples.
     pub fn iter<'a>(&'a self, adjacency: &'a EdgeAdjacency) -> ClauseIter<'a> {
+        self.iter_slice(adjacency, 0, self.top_len())
+    }
+
+    /// As [`ClausePlan::iter`], restricted to the contiguous slice
+    /// `lo..hi` of the *outermost* order level's candidate list.
+    ///
+    /// The outermost level sees an empty forbidden set, so `skip(y, ∅) = y`
+    /// and the level walks its sorted list strictly in order; the inner
+    /// levels' output depends only on the values fixed above them, and the
+    /// lazy memo / interner are transparent caches. Concatenating the
+    /// cursors of any partition of `0..top_len()` in slice order therefore
+    /// reproduces the full cursor's output **bit for bit** — the invariant
+    /// the parallel answer path (`Engine::par_for_each_answer`) is built
+    /// on. Out-of-range bounds are clamped; an empty slice yields nothing.
+    pub fn iter_slice<'a>(
+        &'a self,
+        adjacency: &'a EdgeAdjacency,
+        lo: usize,
+        hi: usize,
+    ) -> ClauseIter<'a> {
+        let hi = hi.min(self.top_len());
+        let lo = lo.min(hi);
+        // Pre-size the lazy memos and the forbidden-set interner so the hot
+        // loop never pays their first few doublings mid-answer. Only lazy
+        // large levels ever insert; everything else stays at capacity 0.
+        let lazy_skip: Vec<FxHashMap<u64, u32>> = (0..self.k)
+            .map(|pos| {
+                let lazy_large = self.strategies[pos] == Strategy::Large
+                    && !self.levels[pos].as_ref().is_some_and(|l| l.eager_built);
+                let cap = if lazy_large { 64 } else { 0 };
+                FxHashMap::with_capacity_and_hasher(cap, Default::default())
+            })
+            .collect();
         ClauseIter {
             plan: self,
             adjacency,
@@ -754,8 +932,10 @@ impl ClausePlan {
             tuple: vec![Node(0); self.k],
             started: false,
             done: false,
-            lazy_skip: vec![FxHashMap::default(); self.k],
-            vsets: SliceInterner::new(),
+            top_lo: lo,
+            top_hi: hi,
+            lazy_skip,
+            vsets: SliceInterner::with_capacity(16, self.k.max(1)),
             v_scratch: Vec::with_capacity(self.k),
             key_scratch: Vec::with_capacity(self.k),
             ops: 0,
@@ -787,6 +967,11 @@ pub struct ClauseIter<'a> {
     tuple: Vec<Node>,
     started: bool,
     done: bool,
+    /// Bounds (list indexes, `lo..hi`) restricting the outermost order
+    /// level; the full range for [`ClausePlan::iter`], a shard for
+    /// [`ClausePlan::iter_slice`].
+    top_lo: usize,
+    top_hi: usize,
     /// Per-position memo for lazy skip: packed `(y << 32) | vset_id` →
     /// result node id (`VOID` = none).
     lazy_skip: Vec<FxHashMap<u64, u32>>,
@@ -851,12 +1036,22 @@ impl ClauseIter<'_> {
             self.v_scratch = v;
             return (raw != VOID).then_some(Node(raw));
         }
-        // lazy: intern the forbidden set (allocates only on its first
-        // occurrence), probe the memo with the packed (y, set-id) key
-        let memo_key = ((y.0 as u64) << 32) | self.vsets.intern(&v) as u64;
-        if let Some(&hit) = self.lazy_skip[pos].get(&memo_key) {
-            self.v_scratch = v;
-            return (hit != VOID).then_some(Node(hit));
+        // lazy: probe the memo with the packed (y, set-id) key. Only
+        // *non-trivial* walks (the jump target differs from `y`) are
+        // memoized — and only their forbidden sets interned. A trivial
+        // probe re-derives its answer in the single op charged above, so
+        // caching it would buy nothing while growing the memo by ~one entry
+        // per probe; that unbounded growth (and its multi-MB rehashes
+        // mid-`next()`) used to dominate the wall-clock delay tail. The
+        // non-trivial entries are bounded by the number of (list node,
+        // adjacent forbidden set) pairs — O(n·d̃), not O(#probes) — so the
+        // memo plateaus early and no single probe pays a large rehash.
+        if let Some(id) = self.vsets.lookup(&v) {
+            let memo_key = ((y.0 as u64) << 32) | id as u64;
+            if let Some(&hit) = self.lazy_skip[pos].get(&memo_key) {
+                self.v_scratch = v;
+                return (hit != VOID).then_some(Node(hit));
+            }
         }
         let start = level.index_of(y).expect("skip must start on a list node");
         let z = walk_skip(
@@ -866,12 +1061,17 @@ impl ClauseIter<'_> {
             v.iter().map(|&u| Node(u)),
         );
         // charge the walk: distance travelled in the list (first touch only;
-        // memoized lookups afterwards cost the single op charged above)
+        // memoized lookups afterwards cost the single op charged above —
+        // exactly what a trivial walk costs, so skipping its memoization
+        // leaves the per-output op counts bit-identical)
         let end = z
             .and_then(|zz| level.index_of(zz))
             .unwrap_or(level.list.len());
         self.ops += (end.saturating_sub(start) as u64) * (v.len().max(1) as u64);
-        self.lazy_skip[pos].insert(memo_key, z.map(|n| n.0).unwrap_or(VOID));
+        if end > start {
+            let memo_key = ((y.0 as u64) << 32) | self.vsets.intern(&v) as u64;
+            self.lazy_skip[pos].insert(memo_key, z.map(|n| n.0).unwrap_or(VOID));
+        }
         self.v_scratch = v;
         z
     }
@@ -880,14 +1080,22 @@ impl ClauseIter<'_> {
     /// none exists.
     fn init_level(&mut self, depth: usize) -> bool {
         let pos = self.plan.order[depth];
+        // The slice bounds apply to the outermost order level only; at
+        // depth 0 the forbidden set is empty, so `skip` stays in place and
+        // the bound check below never fires past a real answer.
+        let (lo, hi) = if depth == 0 {
+            (self.top_lo, self.top_hi)
+        } else {
+            (0, usize::MAX)
+        };
         match self.plan.strategies[pos] {
             Strategy::Small => {
-                self.state[pos].cursor = 0;
+                self.state[pos].cursor = lo;
                 self.find_small(depth, pos)
             }
             Strategy::Large => {
                 let level = self.plan.levels[pos].as_ref().expect("large level");
-                let Some(&first) = level.list.first() else {
+                let Some(&first) = level.list.get(lo).filter(|_| lo < hi) else {
                     return false;
                 };
                 match self.skip(pos, depth, first) {
@@ -897,6 +1105,9 @@ impl ClauseIter<'_> {
                             .expect("large level")
                             .index_of(z)
                             .expect("skip result is a list node");
+                        if zi >= hi {
+                            return false;
+                        }
                         self.state[pos].cursor = zi;
                         self.tuple[pos] = z;
                         true
@@ -910,6 +1121,7 @@ impl ClauseIter<'_> {
     /// Advance level `depth` to its next valid candidate.
     fn advance_level(&mut self, depth: usize) -> bool {
         let pos = self.plan.order[depth];
+        let hi = if depth == 0 { self.top_hi } else { usize::MAX };
         match self.plan.strategies[pos] {
             Strategy::Small => {
                 self.state[pos].cursor += 1;
@@ -918,7 +1130,7 @@ impl ClauseIter<'_> {
             Strategy::Large => {
                 let next_idx = self.state[pos].cursor + 1;
                 let level = self.plan.levels[pos].as_ref().expect("large level");
-                if next_idx >= level.list.len() {
+                if next_idx >= level.list.len().min(hi) {
                     return false;
                 }
                 let y = level.list[next_idx];
@@ -929,6 +1141,9 @@ impl ClauseIter<'_> {
                             .expect("large level")
                             .index_of(z)
                             .expect("skip result is a list node");
+                        if zi >= hi {
+                            return false;
+                        }
                         self.state[pos].cursor = zi;
                         self.tuple[pos] = z;
                         true
@@ -943,8 +1158,13 @@ impl ClauseIter<'_> {
     /// every earlier fixed value.
     fn find_small(&mut self, depth: usize, pos: usize) -> bool {
         let list = &self.plan.lists[pos];
+        let end = if depth == 0 {
+            self.top_hi.min(list.len())
+        } else {
+            list.len()
+        };
         let mut cur = self.state[pos].cursor;
-        while cur < list.len() {
+        while cur < end {
             self.ops += depth as u64 + 1; // adjacency tests + cursor move
             let cand = list[cur];
             let ok = self
@@ -1031,6 +1251,31 @@ impl ClauseIter<'_> {
     }
 }
 
+impl Drop for ClauseIter<'_> {
+    /// Fold this traversal's memory high-water marks into the plan so
+    /// `explain` can report lazy-memo and interner growth per level. The
+    /// counters are monotone maxima over all finished cursors (serial
+    /// passes, parallel shards, abandoned prefix walks alike).
+    fn drop(&mut self) {
+        for (pos, memo) in self.lazy_skip.iter().enumerate() {
+            if let Some(level) = self.plan.levels[pos].as_ref() {
+                level
+                    .lazy_memo_peak
+                    .fetch_max(memo.len(), Ordering::Relaxed);
+                level
+                    .lazy_memo_cap_peak
+                    .fetch_max(memo.capacity(), Ordering::Relaxed);
+            }
+        }
+        self.plan
+            .vset_peak
+            .fetch_max(self.vsets.len(), Ordering::Relaxed);
+        self.plan
+            .vset_cap_peak
+            .fetch_max(self.vsets.capacity(), Ordering::Relaxed);
+    }
+}
+
 impl Iterator for ClauseIter<'_> {
     type Item = Vec<Node>;
 
@@ -1055,8 +1300,11 @@ impl Enumerator {
 
     /// Preprocess every clause of the reduced query, running per-clause plan
     /// construction (and the inner `E_k` / skip-table passes) on the given
-    /// worker pool. Parallel and serial builds produce identical plans —
-    /// only preprocessing parallelizes, never enumeration.
+    /// worker pool. Parallel and serial builds produce identical plans;
+    /// enumeration through [`Enumerator::stream`] is single-threaded (the
+    /// delay-accounted reference path), while the engine's sharded answer
+    /// path (`Engine::par_for_each_answer`) fans [`ClausePlan::iter_slice`]
+    /// cursors over the same pool.
     pub fn build_with_config(
         graph: &Structure,
         gq: &GraphQuery,
@@ -1081,23 +1329,35 @@ impl Enumerator {
         profiler: &Profiler,
     ) -> Self {
         let adjacency = Arc::new(EdgeAdjacency::build(graph, gq.edge));
-        Self::build_full_with_adjacency(graph, gq, adjacency, mode, eps, par, profiler)
+        Self::build_full_with_adjacency(
+            graph,
+            gq,
+            adjacency,
+            mode,
+            eps,
+            SkipLimits::from_env(),
+            par,
+            profiler,
+        )
     }
 
     /// As [`Enumerator::build_full`], adopting a caller-built `E`-adjacency
-    /// instead of constructing one. The engine shares a single CSR between
-    /// the ie-count stage and the enumerator.
+    /// instead of constructing one, and explicit eager-machinery cost gates
+    /// (see [`SkipLimits`]). The engine shares a single CSR between the
+    /// ie-count stage and the enumerator.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_full_with_adjacency(
         graph: &Structure,
         gq: &GraphQuery,
         adjacency: Arc<EdgeAdjacency>,
         mode: SkipMode,
         eps: Epsilon,
+        limits: SkipLimits,
         par: &ParConfig,
         profiler: &Profiler,
     ) -> Self {
         let plans = par_map(par, &gq.clauses, |c| {
-            ClausePlan::build_full(graph, gq, c, &adjacency, mode, eps, par, profiler)
+            ClausePlan::build_full(graph, gq, c, &adjacency, mode, eps, limits, par, profiler)
         });
         Enumerator { adjacency, plans }
     }
@@ -1151,6 +1411,37 @@ impl Enumerator {
     /// The shared adjacency (diagnostics).
     pub fn adjacency(&self) -> &EdgeAdjacency {
         &self.adjacency
+    }
+
+    /// Read-touch every page of every plan's frozen structures (candidate
+    /// lists, dense indexes, `E_k`, eager skip tables). Freshly built plans
+    /// are usually resident, but structures assembled long before the first
+    /// query — or revived from the artifact cache — may not be; a
+    /// prefaulted enumerator pays no first-touch page fault inside a delay
+    /// sample. Returns a wrapping fold of the words read so callers can
+    /// `black_box` it.
+    pub fn prefault(&self) -> u64 {
+        let mut acc = 0u64;
+        for plan in &self.plans {
+            acc = acc.wrapping_add(plan.prefault());
+        }
+        acc
+    }
+
+    /// Optional post-build warm-up: prefault the plans and drive a
+    /// throwaway cursor to the first answer, so first-touch faults, the
+    /// first skip probes, and the cold instruction path are charged to
+    /// preprocessing ([`Stage::WarmUp`]) instead of the first delay sample
+    /// of the real enumeration.
+    pub fn warm_up(&self, profiler: &Profiler) {
+        let started = std::time::Instant::now();
+        let mut acc = self.prefault();
+        let mut probe = self.stream();
+        if probe.advance() {
+            acc = acc.wrapping_add(probe.tuple().first().map(|n| n.0 as u64).unwrap_or(0));
+        }
+        std::hint::black_box(acc);
+        profiler.add(Stage::WarmUp, started.elapsed().as_nanos() as u64);
     }
 }
 
@@ -1238,9 +1529,14 @@ mod tests {
     use std::sync::Arc;
 
     /// Build a colored graph directly (vertices with colors A/B, symmetric
-    /// edges) and check that enumeration matches brute force, under both
-    /// skip modes.
-    fn check_graph(n: usize, edges: &[(u32, u32)], color_a: &[u32], color_b: &[u32], k: usize) {
+    /// edges) plus a k-position alternating-color query over it.
+    fn colored_graph(
+        n: usize,
+        edges: &[(u32, u32)],
+        color_a: &[u32],
+        color_b: &[u32],
+        k: usize,
+    ) -> (Structure, GraphQuery) {
         let sig = Arc::new(Signature::new(&[("E", 2), ("A", 1), ("Bc", 1)]));
         let e = sig.rel("E").unwrap();
         let a_ = sig.rel("A").unwrap();
@@ -1266,6 +1562,13 @@ mod tests {
             edge: e,
             clauses: vec![GraphClause { colors }],
         };
+        (g, gq)
+    }
+
+    /// Check that enumeration matches brute force, under both skip modes.
+    fn check_graph(n: usize, edges: &[(u32, u32)], color_a: &[u32], color_b: &[u32], k: usize) {
+        let (g, gq) = colored_graph(n, edges, color_a, color_b, k);
+        let e = gq.edge;
 
         // brute force
         let brute_adj = EdgeAdjacency::build(&g, e);
@@ -1347,6 +1650,129 @@ mod tests {
     #[test]
     fn isolated_vertices_everywhere() {
         check_graph(12, &[], &[0, 1, 2, 3, 4, 5], &[6, 7, 8, 9, 10, 11], 2);
+    }
+
+    /// Concatenating `iter_slice` cursors over any partition of the top
+    /// level must reproduce `iter`'s output bit for bit — the invariant the
+    /// parallel answer path rests on.
+    #[test]
+    fn iter_slice_partitions_reproduce_full_order() {
+        let edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i, 20 + (i * 7) % 20)).collect();
+        let color_a: Vec<u32> = (0..20).collect();
+        let color_b: Vec<u32> = (20..40).collect();
+        for k in [1usize, 2, 3] {
+            let (g, gq) = colored_graph(40, &edges, &color_a, &color_b, k);
+            for mode in [SkipMode::Eager, SkipMode::Lazy] {
+                let en = Enumerator::build(&g, &gq, mode, Epsilon::new(0.5));
+                for plan in en.plans() {
+                    let full: Vec<Vec<Node>> = plan.iter(en.adjacency()).collect();
+                    for parts in [1usize, 2, 3, 7] {
+                        let top = plan.top_len();
+                        let step = top.div_ceil(parts).max(1);
+                        let mut glued: Vec<Vec<Node>> = Vec::new();
+                        let mut lo = 0;
+                        while lo < top.max(1) {
+                            glued.extend(plan.iter_slice(en.adjacency(), lo, lo + step));
+                            lo += step;
+                        }
+                        assert_eq!(glued, full, "k={k} {mode:?} parts={parts}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clamping and empty slices must be safe and yield nothing.
+    #[test]
+    fn iter_slice_bounds_are_clamped() {
+        let (g, gq) = colored_graph(8, &[(0, 4), (1, 5)], &[0, 1, 2], &[4, 5, 6], 2);
+        let en = Enumerator::build(&g, &gq, SkipMode::Lazy, Epsilon::new(0.5));
+        let plan = &en.plans()[0];
+        let top = plan.top_len();
+        assert_eq!(plan.iter_slice(en.adjacency(), 3, 3).count(), 0);
+        assert_eq!(plan.iter_slice(en.adjacency(), top + 5, top + 9).count(), 0);
+        let all: Vec<_> = plan.iter(en.adjacency()).collect();
+        let clamped: Vec<_> = plan.iter_slice(en.adjacency(), 0, top + 100).collect();
+        assert_eq!(all, clamped);
+    }
+
+    /// The lazy-memo amortization (memoize only non-trivial walks) must not
+    /// change the per-output RAM-op accounting.
+    #[test]
+    fn lazy_memo_fix_keeps_ops_flat() {
+        let edges: Vec<(u32, u32)> = (0..30u32).map(|i| (i, 30 + (i * 11) % 30)).collect();
+        let color_a: Vec<u32> = (0..30).collect();
+        let color_b: Vec<u32> = (30..60).collect();
+        let (g, gq) = colored_graph(60, &edges, &color_a, &color_b, 2);
+        let en = Enumerator::build(&g, &gq, SkipMode::Lazy, Epsilon::new(0.5));
+        let max_ops = en.max_ops_per_output();
+        assert!(max_ops > 0, "query must have answers");
+        // constant-delay bound: a small multiple of k and the max degree
+        assert!(max_ops <= 64, "max ops per output too high: {max_ops}");
+        // watermarks were folded in by the finished traversals
+        let (vlen, vcap) = en.plans()[0].vset_peak();
+        assert!(vlen <= vcap || vcap == 0, "len {vlen} over capacity {vcap}");
+    }
+
+    #[test]
+    fn prefault_and_warm_up_are_safe() {
+        let (g, gq) = colored_graph(8, &[(0, 4), (1, 5)], &[0, 1, 2], &[4, 5, 6], 2);
+        for mode in [SkipMode::Eager, SkipMode::Lazy] {
+            let en = Enumerator::build(&g, &gq, mode, Epsilon::new(0.5));
+            en.prefault();
+            let profiler = Profiler::new();
+            en.warm_up(&profiler);
+            let profile = profiler.snapshot();
+            assert!(profile.nanos(Stage::WarmUp) > 0, "warm-up timed");
+            // warm-up must not perturb the answers
+            let count = en.vertex_tuples().count();
+            assert!(count > 0);
+        }
+    }
+
+    #[test]
+    fn skip_limits_env_override() {
+        // from_env with no var set = defaults
+        let d = SkipLimits::default();
+        assert_eq!(d.ek_cost_limit, EK_COST_LIMIT);
+        assert_eq!(d.eager_skip_limit, EAGER_SKIP_LIMIT);
+        // a tiny explicit limit degrades every eager level to lazy
+        let (g, gq) = colored_graph(8, &[(0, 4), (1, 5)], &[0, 1, 2], &[4, 5, 6], 2);
+        let adjacency = Arc::new(EdgeAdjacency::build(&g, gq.edge));
+        let tiny = SkipLimits {
+            ek_cost_limit: 0,
+            eager_skip_limit: 0,
+        };
+        let en = Enumerator::build_full_with_adjacency(
+            &g,
+            &gq,
+            adjacency.clone(),
+            SkipMode::Eager,
+            Epsilon::new(0.5),
+            tiny,
+            &ParConfig::with_threads(1),
+            &Profiler::new(),
+        );
+        let en_default = Enumerator::build_full_with_adjacency(
+            &g,
+            &gq,
+            adjacency,
+            SkipMode::Eager,
+            Epsilon::new(0.5),
+            SkipLimits::default(),
+            &ParConfig::with_threads(1),
+            &Profiler::new(),
+        );
+        for plan in en.plans() {
+            for level in plan.levels.iter().flatten() {
+                assert!(!level.eager_built, "0-limit must degrade to lazy");
+                assert!(level.degraded, "degradation must be recorded");
+            }
+        }
+        // same answers either way
+        let a: Vec<_> = en.vertex_tuples().collect();
+        let b: Vec<_> = en_default.vertex_tuples().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

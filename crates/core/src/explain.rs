@@ -4,7 +4,7 @@
 //! combination budget trips.
 
 use crate::artifacts::{ArtifactCache, BuildProfile};
-use crate::enumerate::Strategy;
+use crate::enumerate::{SkipLimits, Strategy};
 use crate::Engine;
 use std::fmt;
 
@@ -19,6 +19,9 @@ pub struct Explain {
     pub count: u64,
     /// Per-stage build timings (all zero for sentences).
     pub profile: BuildProfile,
+    /// The effective eager-machinery cost gates the build ran under
+    /// (constants, `LOWDEG_EK_COST_LIMIT`, or `EngineConfig` overrides).
+    pub skip_limits: SkipLimits,
     /// State of the [`ArtifactCache`] the engine was built through
     /// (`None` when built cache-less or not requested).
     pub cache: Option<CacheReport>,
@@ -93,6 +96,24 @@ pub struct ClauseReport {
     pub strategies: Vec<Strategy>,
     /// Eager skip entries across the clause's large positions (0 = lazy).
     pub skip_entries: usize,
+    /// Per large position (in position order): whether the paper's eager
+    /// table was actually built.
+    pub eager_built: Vec<bool>,
+    /// Per large position: whether an eager build was requested but a cost
+    /// gate ([`SkipLimits`]) silently degraded the level to the lazy skip —
+    /// the condition this report exists to surface.
+    pub degraded: Vec<bool>,
+    /// The estimated `E_k` materialization cost `|E₁| · d̃² · (k−1)` the
+    /// gate compared against `ek_cost_limit` (identical across the
+    /// clause's levels; 0 when the clause has no large positions).
+    pub ek_cost: u64,
+    /// Per large position: peak lazy-skip memo `(len, capacity)` across
+    /// finished traversals (both 0 for eager levels or before any
+    /// enumeration ran) — the growth the memo amortization bounds.
+    pub lazy_memo_peaks: Vec<(usize, usize)>,
+    /// Peak forbidden-set interner `(len, id-map capacity)` across finished
+    /// traversals of this clause.
+    pub vset_peak: (usize, usize),
 }
 
 impl Engine {
@@ -120,6 +141,22 @@ impl Engine {
                             list_sizes: p.list_sizes(),
                             strategies: p.strategies.clone(),
                             skip_entries: p.levels.iter().flatten().map(|l| l.skip_entries()).sum(),
+                            eager_built: p.levels.iter().flatten().map(|l| l.eager_built).collect(),
+                            degraded: p.levels.iter().flatten().map(|l| l.degraded).collect(),
+                            ek_cost: p
+                                .levels
+                                .iter()
+                                .flatten()
+                                .map(|l| l.ek_cost)
+                                .next()
+                                .unwrap_or(0),
+                            lazy_memo_peaks: p
+                                .levels
+                                .iter()
+                                .flatten()
+                                .map(|l| l.lazy_memo_peak())
+                                .collect(),
+                            vset_peak: p.vset_peak(),
                         })
                         .collect()
                 })
@@ -139,6 +176,7 @@ impl Engine {
             reduction,
             count: self.count(),
             profile: self.profile().clone(),
+            skip_limits: self.skip_limits(),
             cache: None,
         }
     }
@@ -174,6 +212,44 @@ impl fmt::Display for Explain {
                     "enumeration: {large} large position(s) across clauses, \
                      {eager} eager skip entries (0 = lazy skip)"
                 )?;
+                let built: usize = r
+                    .clause_plans
+                    .iter()
+                    .map(|c| c.eager_built.iter().filter(|&&b| b).count())
+                    .sum();
+                let degraded: usize = r
+                    .clause_plans
+                    .iter()
+                    .map(|c| c.degraded.iter().filter(|&&d| d).count())
+                    .sum();
+                let ek_cost = r.clause_plans.iter().map(|c| c.ek_cost).max().unwrap_or(0);
+                writeln!(
+                    f,
+                    "eager gates: {built} level(s) built, {degraded} degraded to lazy \
+                     (E_k cost {ek_cost}, limit {}, table limit {})",
+                    self.skip_limits.ek_cost_limit, self.skip_limits.eager_skip_limit
+                )?;
+                let memo_len: usize = r
+                    .clause_plans
+                    .iter()
+                    .flat_map(|c| &c.lazy_memo_peaks)
+                    .map(|&(len, _)| len)
+                    .sum();
+                let memo_cap: usize = r
+                    .clause_plans
+                    .iter()
+                    .flat_map(|c| &c.lazy_memo_peaks)
+                    .map(|&(_, cap)| cap)
+                    .sum();
+                let vset_len: usize = r.clause_plans.iter().map(|c| c.vset_peak.0).sum();
+                let vset_cap: usize = r.clause_plans.iter().map(|c| c.vset_peak.1).sum();
+                if memo_cap + vset_cap > 0 {
+                    writeln!(
+                        f,
+                        "lazy memo peaks: {memo_len} entries (capacity {memo_cap}), \
+                         {vset_len} forbidden set(s) (capacity {vset_cap})"
+                    )?;
+                }
                 writeln!(f, "build stages: {}", self.profile)?;
             }
         }
@@ -216,12 +292,69 @@ mod tests {
             assert_eq!(c.list_sizes.len(), 2);
             assert_eq!(c.strategies.len(), 2);
         }
+        for c in &r.clause_plans {
+            // one flag per large position, and a gate cannot both build
+            // and degrade the same level
+            let large = c
+                .strategies
+                .iter()
+                .filter(|&&s| s == Strategy::Large)
+                .count();
+            assert_eq!(c.eager_built.len(), large);
+            assert_eq!(c.degraded.len(), large);
+            assert_eq!(c.lazy_memo_peaks.len(), large);
+            for (b, d) in c.eager_built.iter().zip(&c.degraded) {
+                assert!(!(b & d), "built and degraded are exclusive");
+            }
+        }
+        assert_eq!(
+            ex.skip_limits.ek_cost_limit,
+            crate::enumerate::EK_COST_LIMIT
+        );
         let rendered = ex.to_string();
         assert!(rendered.contains("locality radius: 0"));
         assert!(rendered.contains("exclusive clauses:"));
+        assert!(rendered.contains("eager gates:"));
+        assert!(rendered.contains("degraded to lazy"));
         assert!(rendered.contains("build stages:"));
         assert!(rendered.contains("extract"));
         assert!(rendered.contains("ie-count"));
+        assert!(rendered.contains("warm-up"));
+    }
+
+    #[test]
+    fn explain_surfaces_degradation_and_memo_growth() {
+        use crate::{EngineConfig, SkipMode};
+        use lowdeg_par::ParConfig;
+        use std::ops::ControlFlow;
+        // Bounded(2) keeps d̃ small enough that the candidate lists cross the
+        // `(k-1)·d̃` threshold, so the plans actually contain Large levels.
+        let s = ColoredGraphSpec::balanced(400, DegreeClass::Bounded(2)).generate(61);
+        let q = parse_query(s.signature(), "B(x) & R(y) & !E(x, y)").unwrap();
+        let config = EngineConfig {
+            skip_mode: SkipMode::Eager,
+            eps: Epsilon::new(0.5),
+            ek_cost_limit: Some(0), // force every eager level to degrade
+            ..EngineConfig::default()
+        };
+        let engine = Engine::build_configured(&s, &q, &config, &ParConfig::serial(), None).unwrap();
+        // run one full enumeration so the memo watermarks are recorded
+        engine.for_each_answer(|_| ControlFlow::Continue(()));
+        let ex = engine.explain();
+        assert_eq!(ex.skip_limits.ek_cost_limit, 0);
+        let r = ex.reduction.as_ref().expect("reduced");
+        let degraded: usize = r
+            .clause_plans
+            .iter()
+            .map(|c| c.degraded.iter().filter(|&&d| d).count())
+            .sum();
+        assert!(degraded > 0, "0-limit must degrade large levels");
+        let vset_cap: usize = r.clause_plans.iter().map(|c| c.vset_peak.1).sum();
+        assert!(vset_cap > 0, "traversal must record interner watermarks");
+        let rendered = ex.to_string();
+        assert!(rendered.contains("eager gates: 0 level(s) built"));
+        assert!(rendered.contains("limit 0"));
+        assert!(rendered.contains("lazy memo peaks:"));
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub mod testing;
 
 pub use artifacts::{ArtifactCache, BuildProfile, Profiler, Stage, DEFAULT_CACHE_CAPACITY};
 pub use counting::CountingMemo;
-pub use engine::{AnswerStream, Engine};
-pub use enumerate::{SkipMode, VertexStream};
+pub use engine::{AnswerStream, Engine, EngineConfig};
+pub use enumerate::{ClausePlan, Enumerator, SkipLimits, SkipMode, VertexStream};
 pub use error::EngineError;
 pub use graph_query::{position_list, GraphClause, GraphQuery};
 pub use reduction::{CoreDigest, Reduction, ReductionCore};

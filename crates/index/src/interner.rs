@@ -44,6 +44,22 @@ impl<T: Copy + Eq + Hash> SliceInterner<T> {
         }
     }
 
+    /// An empty interner with room for `slices` distinct entries of mean
+    /// length `mean_len` before any rehash or arena regrowth. Hot loops
+    /// that would otherwise pay their first doubling mid-probe (the lazy
+    /// skip memo) pre-size through this.
+    pub fn with_capacity(slices: usize, mean_len: usize) -> Self {
+        let mut ids = FxHashMap::default();
+        ids.reserve(slices);
+        let mut spans = Vec::with_capacity(slices + 1);
+        spans.push(0);
+        SliceInterner {
+            ids,
+            flat: Vec::with_capacity(slices * mean_len),
+            spans,
+        }
+    }
+
     /// The id of `slice`, interning it first if unseen. Allocates only on
     /// the first occurrence of each distinct slice.
     pub fn intern(&mut self, slice: &[T]) -> u32 {
@@ -83,6 +99,13 @@ impl<T: Copy + Eq + Hash> SliceInterner<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Entries the id map can hold before its next rehash (memory-growth
+    /// diagnostics: the enumerator reports the peak per traversal).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ids.capacity()
     }
 }
 

@@ -106,6 +106,18 @@ impl<V> RadixFuncStore<V> {
         self.slots.len()
     }
 
+    /// Read-touch every page of the trie so the first lookups after a build
+    /// pay no first-touch page fault. One word per 4 KiB page (1024 `u32`s)
+    /// suffices; the wrapping fold is returned so callers can `black_box` it
+    /// and the pass cannot be optimized away.
+    pub fn prefault(&self) -> u64 {
+        let mut acc = 0u64;
+        for chunk in self.slots.chunks(1024) {
+            acc = acc.wrapping_add(chunk[0] as u64);
+        }
+        acc
+    }
+
     /// Decompose `key` into trie chunks, most significant chunk of the first
     /// coordinate first.
     #[inline]
